@@ -1,0 +1,4 @@
+//! `cargo bench` target that regenerates every table and figure.
+fn main() {
+    pocolo_bench::figures::run_all();
+}

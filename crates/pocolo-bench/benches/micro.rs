@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for the paper's systems claims:
+//!
+//! - §IV-C: the analytic allocation decision is "a constant time operation
+//!   (less than a millisecond)" — `demand_solver`.
+//! - §IV-A: model fitting is cheap enough to run online — `model_fitting`.
+//! - §IV-B: assignment solving (LP vs Hungarian vs exhaustive) —
+//!   `assignment`.
+//! - §IV-C: the 100 ms capper actuation loop — `capper_step`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pocolo::prelude::*;
+use pocolo_cluster::assign;
+use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+use pocolo_simserver::power::PowerDrawModel;
+use pocolo_simserver::SimServer;
+use pocolo_workloads::profiler::profile_lc;
+use std::hint::black_box;
+
+fn demand_solver(c: &mut Criterion) {
+    let machine = MachineSpec::xeon_e5_2650();
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let truth = LcModel::for_app(LcApp::Sphinx, machine);
+    let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+    let utility = fit_indirect_utility(&space, &samples, &FitOptions::default())
+        .unwrap()
+        .utility;
+    c.bench_function("demand_solver/analytic", |b| {
+        b.iter(|| utility.demand(black_box(Watts(120.0))).unwrap())
+    });
+    c.bench_function("demand_solver/integral", |b| {
+        b.iter(|| utility.demand_integral(black_box(Watts(120.0))).unwrap())
+    });
+    c.bench_function("demand_solver/min_power_for", |b| {
+        b.iter(|| utility.min_power_for(black_box(5.0)).unwrap())
+    });
+}
+
+fn model_fitting(c: &mut Criterion) {
+    let machine = MachineSpec::xeon_e5_2650();
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let truth = LcModel::for_app(LcApp::Xapian, machine);
+    let mut group = c.benchmark_group("model_fitting");
+    for stride in [1u32, 2, 3] {
+        let cfg = ProfilerConfig {
+            core_stride: stride,
+            ..ProfilerConfig::default()
+        };
+        let samples = profile_lc(&truth, &power, &space, &cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples.len()),
+            &samples,
+            |b, samples| {
+                b.iter(|| {
+                    fit_indirect_utility(&space, black_box(samples), &FitOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn assignment(c: &mut Criterion) {
+    use rand::prelude::*;
+    let mut group = c.benchmark_group("assignment");
+    for n in [4usize, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let values: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let matrix = PerfMatrix::new(
+            (0..n).map(|i| format!("be{i}")).collect(),
+            (0..n).map(|j| format!("lc{j}")).collect(),
+            values,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &matrix, |b, m| {
+            b.iter(|| assign::solve(black_box(m), Solver::Hungarian).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lp_simplex", n), &matrix, |b, m| {
+            b.iter(|| assign::solve(black_box(m), Solver::Lp).unwrap())
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &matrix, |b, m| {
+                b.iter(|| assign::solve(black_box(m), Solver::Exhaustive).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn capper_step(c: &mut Criterion) {
+    let machine = MachineSpec::xeon_e5_2650();
+    let mut server = SimServer::new(machine.clone(), Watts(154.0));
+    server
+        .install(
+            TenantRole::Secondary,
+            TenantAllocation::new(CoreSet::range(4, 8), WayMask::range(8, 12), Frequency(2.2)),
+        )
+        .unwrap();
+    let capper = PowerCapper::default();
+    c.bench_function("capper_step", |b| {
+        b.iter(|| capper.step(&mut server, black_box(Watts(150.0))).unwrap())
+    });
+}
+
+fn streaming_percentile(c: &mut Criterion) {
+    use pocolo_simserver::p2::P2Quantile;
+    c.bench_function("p2_quantile_observe", |b| {
+        let mut est = P2Quantile::new(0.99);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x * 1.000_1 + 0.37) % 100.0;
+            est.observe(black_box(x));
+        })
+    });
+}
+
+fn be_queue(c: &mut Criterion) {
+    use pocolo_manager::queue::{BeJob, BeQueue, QueueDiscipline};
+    c.bench_function("be_queue_advance_sjf", |b| {
+        b.iter_with_setup(
+            || {
+                let mut q = BeQueue::new(QueueDiscipline::Sjf);
+                for i in 0..32 {
+                    q.submit(BeJob::new(i, "job", 1.0 + i as f64, 0.0));
+                }
+                q
+            },
+            |mut q| {
+                let _ = q.advance(black_box(0.8), 0.1, 0.1);
+                q
+            },
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    demand_solver,
+    model_fitting,
+    assignment,
+    capper_step,
+    streaming_percentile,
+    be_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Runs the three ablation studies (DESIGN.md §5).
+fn main() {
+    let bench = pocolo_bench::common::Bench::new();
+    pocolo_bench::figures::ablations::slack_filter(&bench);
+    pocolo_bench::figures::ablations::myopic_placement(&bench);
+    pocolo_bench::figures::ablations::solver_choice(&bench);
+    pocolo_bench::figures::ablations::fairness(&bench);
+    pocolo_bench::figures::ablations::consolidation(0.66);
+    pocolo_bench::figures::ablations::sharing(&bench);
+    pocolo_bench::figures::ablations::rebalance(&bench);
+}

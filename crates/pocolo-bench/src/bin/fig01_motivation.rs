@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (diurnal colocation motivation).
+fn main() {
+    pocolo_bench::figures::motivation::fig01(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 (uncapped colocation power overshoot).
+fn main() {
+    pocolo_bench::figures::motivation::fig02(&pocolo_bench::common::Bench::new());
+}

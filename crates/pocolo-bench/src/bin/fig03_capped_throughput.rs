@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3 (BE throughput under a 70 W budget).
+fn main() {
+    pocolo_bench::figures::motivation::fig03(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 (lstm vs rnn across the xapian load range).
+fn main() {
+    pocolo_bench::figures::motivation::fig04(&pocolo_bench::common::Bench::new());
+}

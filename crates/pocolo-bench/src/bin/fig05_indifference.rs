@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (sphinx indifference curves + least-power path).
+fn main() {
+    pocolo_bench::figures::analysis::fig05(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (Edgeworth-box spare capacity).
+fn main() {
+    pocolo_bench::figures::analysis::fig06(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,5 @@
+//! Prints Fig. 7 (the system architecture pipeline, annotated with this
+//! repository's entry points).
+fn main() {
+    pocolo_bench::figures::tables::fig07();
+}

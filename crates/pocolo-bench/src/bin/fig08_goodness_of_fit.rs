@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (R² of the Cobb-Douglas fits).
+fn main() {
+    pocolo_bench::figures::analysis::fig08(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figs. 9–11 (direct/indirect preference vectors).
+fn main() {
+    pocolo_bench::figures::analysis::fig09_11(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12 (policy throughput comparison).
+fn main() {
+    let runs = pocolo_bench::figures::evaluation::run_policies();
+    pocolo_bench::figures::evaluation::fig12(&runs);
+}

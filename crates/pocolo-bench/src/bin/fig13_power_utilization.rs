@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (policy power-utilization comparison).
+fn main() {
+    let runs = pocolo_bench::figures::evaluation::run_policies();
+    pocolo_bench::figures::evaluation::fig13(&runs);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 14 (POColo vs exhaustive placement).
+fn main() {
+    pocolo_bench::figures::evaluation::fig14(&pocolo_bench::common::Bench::new());
+}

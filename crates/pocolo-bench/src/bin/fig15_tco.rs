@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15 (amortized monthly TCO).
+fn main() {
+    let runs = pocolo_bench::figures::evaluation::run_policies();
+    pocolo_bench::figures::tco::fig15(&runs);
+}

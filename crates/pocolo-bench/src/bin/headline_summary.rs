@@ -1,0 +1,5 @@
+//! Regenerates the §I headline numbers.
+fn main() {
+    let runs = pocolo_bench::figures::evaluation::run_policies();
+    pocolo_bench::figures::evaluation::headline(&runs);
+}

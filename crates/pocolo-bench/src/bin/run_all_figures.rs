@@ -1,0 +1,4 @@
+//! Regenerates every table and figure in paper order.
+fn main() {
+    pocolo_bench::figures::run_all();
+}

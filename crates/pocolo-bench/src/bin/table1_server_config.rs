@@ -1,0 +1,4 @@
+//! Regenerates Table I (server configuration).
+fn main() {
+    pocolo_bench::figures::tables::table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (LC application characteristics).
+fn main() {
+    pocolo_bench::figures::tables::table2(&pocolo_bench::common::Bench::new());
+}

@@ -1,0 +1,197 @@
+//! Figures 5, 6, 8 and 9–11: the analytical characterization (§III, §V-C).
+
+use pocolo::prelude::*;
+use pocolo_core::curves::{expansion_path, indifference_curve, EdgeworthBox};
+use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+use pocolo_workloads::profiler::{profile_be, profile_lc};
+
+use crate::common::{f1, f3, row, save_json, section, Bench};
+use serde::Serialize;
+
+/// Fig. 5 data: sphinx indifference curves plus the least-power path.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig05 {
+    /// Per load level: `(load_frac, Vec<(cores, ways)>)` iso-load curves.
+    pub curves: Vec<(f64, Vec<(f64, f64)>)>,
+    /// The least-power allocation per load: `(load_frac, cores, ways, watts)`.
+    pub path: Vec<(f64, f64, f64, f64)>,
+}
+
+/// Fig. 5: indifference curves and the power-efficient expansion path.
+pub fn fig05(bench: &Bench) -> Fig05 {
+    section("Fig 5 — sphinx indifference curves + least-power path");
+    let utility = bench.lc_fitted(LcApp::Sphinx);
+    let peak = bench.lc_truth(LcApp::Sphinx).peak_load_rps();
+    let base = utility.space().min_allocation();
+    let mut curves = Vec::new();
+    for level in [0.2, 0.4, 0.6, 0.8] {
+        let target = level * peak;
+        let curve = indifference_curve(utility.performance_model(), &base, 0, 1, target, 12)
+            .expect("sphinx curve is well-defined");
+        println!(
+            "iso-load {:.0}%: {}",
+            level * 100.0,
+            curve
+                .iter()
+                .map(|(c, w)| format!("({c:.1},{w:.1})"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        curves.push((level, curve));
+    }
+    let targets: Vec<f64> = [0.2, 0.4, 0.6, 0.8].iter().map(|l| l * peak).collect();
+    let path = expansion_path(utility, &targets).expect("targets are reachable");
+    let mut path_rows = Vec::new();
+    row("load", &["cores".into(), "ways".into(), "power W".into()]);
+    for (level, p) in [0.2, 0.4, 0.6, 0.8].iter().zip(&path) {
+        row(
+            &format!("{:.0}%", level * 100.0),
+            &[
+                f1(p.allocation.amount(0)),
+                f1(p.allocation.amount(1)),
+                f1(p.power.0),
+            ],
+        );
+        path_rows.push((
+            *level,
+            p.allocation.amount(0),
+            p.allocation.amount(1),
+            p.power.0,
+        ));
+    }
+    let data = Fig05 {
+        curves,
+        path: path_rows,
+    };
+    save_json("fig05_indifference", &data);
+    data
+}
+
+/// Fig. 6 data: spare capacity along sphinx's expansion path.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig06 {
+    /// `(load_frac, spare_cores, spare_ways, headroom_watts)`.
+    pub spare: Vec<(f64, f64, f64, f64)>,
+}
+
+/// Fig. 6: the Edgeworth box — what the co-runner gets at each load.
+pub fn fig06(bench: &Bench) -> Fig06 {
+    section("Fig 6 — Edgeworth box: spare capacity for the co-runner (sphinx)");
+    let utility = bench.lc_fitted(LcApp::Sphinx);
+    let truth = bench.lc_truth(LcApp::Sphinx);
+    let boxy = EdgeworthBox::new(utility.space().clone(), truth.provisioned_power())
+        .expect("cap is positive");
+    let levels = [0.2, 0.4, 0.6, 0.8];
+    let targets: Vec<f64> = levels.iter().map(|l| l * truth.peak_load_rps()).collect();
+    let spares = boxy
+        .spare_along_path(utility, &targets)
+        .expect("targets reachable");
+    let mut out = Vec::new();
+    row(
+        "load",
+        &["spare c".into(), "spare w".into(), "headroom W".into()],
+    );
+    for (level, s) in levels.iter().zip(&spares) {
+        row(
+            &format!("{:.0}%", level * 100.0),
+            &[
+                f1(s.spare_amounts[0]),
+                f1(s.spare_amounts[1]),
+                f1(s.power_headroom.0),
+            ],
+        );
+        out.push((
+            *level,
+            s.spare_amounts[0],
+            s.spare_amounts[1],
+            s.power_headroom.0,
+        ));
+    }
+    let data = Fig06 { spare: out };
+    save_json("fig06_edgeworth", &data);
+    data
+}
+
+/// Fig. 8 data: goodness of fit per app.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08 {
+    /// `(app, perf_r2, power_r2)` for all eight applications.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Fig. 8: R² of the Cobb-Douglas fits (paper band: 0.8–0.95 perf,
+/// 0.8–0.98 power).
+pub fn fig08(bench: &Bench) -> Fig08 {
+    section("Fig 8 — goodness of fit (R²)");
+    let cfg = ProfilerConfig::default();
+    let opts = FitOptions::default();
+    let mut rows = Vec::new();
+    row("app", &["perf R²".into(), "power R²".into()]);
+    for app in LcApp::ALL {
+        let samples = profile_lc(bench.lc_truth(app), &bench.power, &bench.space, &cfg);
+        let fit = fit_indirect_utility(&bench.space, &samples, &opts).expect("grid fits");
+        row(app.name(), &[f3(fit.performance_r2), f3(fit.power_r2)]);
+        rows.push((app.name().to_string(), fit.performance_r2, fit.power_r2));
+    }
+    for app in BeApp::ALL {
+        let samples = profile_be(bench.be_truth(app), &bench.power, &bench.space, &cfg);
+        let fit = fit_indirect_utility(&bench.space, &samples, &opts).expect("grid fits");
+        row(app.name(), &[f3(fit.performance_r2), f3(fit.power_r2)]);
+        rows.push((app.name().to_string(), fit.performance_r2, fit.power_r2));
+    }
+    let data = Fig08 { rows };
+    save_json("fig08_goodness_of_fit", &data);
+    data
+}
+
+/// Figs. 9–11 data: direct utilities, power needs and indirect utilities.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig0911 {
+    /// `(app, direct_cores_share, p_cores, p_ways, indirect_cores_share)`.
+    pub rows: Vec<(String, f64, f64, f64, f64)>,
+}
+
+/// Figs. 9–11: why placement changes once power is taken into account.
+pub fn fig09_11(bench: &Bench) -> Fig0911 {
+    section("Figs 9-11 — direct utilities, power needs, indirect utilities");
+    let mut rows = Vec::new();
+    row(
+        "app",
+        &[
+            "α_c share".into(),
+            "p_c W".into(),
+            "p_w W".into(),
+            "α/p c-share".into(),
+        ],
+    );
+    let mut push = |name: &str, u: &IndirectUtility| {
+        let direct = u.direct_preference_vector();
+        let indirect = u.preference_vector();
+        let p = u.power_model().p_dynamic();
+        row(
+            name,
+            &[
+                f3(direct.weight(0)),
+                f3(p[0]),
+                f3(p[1]),
+                f3(indirect.weight(0)),
+            ],
+        );
+        rows.push((
+            name.to_string(),
+            direct.weight(0),
+            p[0],
+            p[1],
+            indirect.weight(0),
+        ));
+    };
+    for app in LcApp::ALL {
+        push(app.name(), bench.lc_fitted(app));
+    }
+    for app in BeApp::ALL {
+        push(app.name(), bench.be_fitted(app));
+    }
+    let data = Fig0911 { rows };
+    save_json("fig09_11_preferences", &data);
+    data
+}

@@ -1,0 +1,109 @@
+//! Fig. 15: the total-cost-of-ownership analysis (§V-F).
+
+use pocolo::prelude::*;
+
+use crate::common::{row, section};
+use crate::figures::evaluation::PolicyRuns;
+
+/// Fig. 15 data: amortized monthly TCO per policy.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// `(policy, servers, power_infra, energy, total)` in dollars/month.
+    pub costs: Vec<(String, f64, f64, f64, f64)>,
+}
+
+/// Builds the paper's four TCO scenarios from the policy runs and prints
+/// the amortized monthly breakdown.
+///
+/// Scenarios are compared at **iso-throughput** (total useful work = LC
+/// load served + BE throughput): better policies need fewer servers.
+/// `Random(NoCap)` provisions every server at 185 W (the max peak across
+/// the four primaries) instead of right-sizing.
+pub fn fig15(runs: &PolicyRuns) -> Fig15 {
+    section("Fig 15 — amortized monthly TCO (millions of dollars)");
+    let model = TcoModel::default();
+
+    // Average provisioned capacity across the cluster's four server types.
+    let avg_cap = |r: &ExperimentResult| {
+        Watts(r.pairs.iter().map(|p| p.metrics.power_cap.0).sum::<f64>() / r.pairs.len() as f64)
+    };
+    let avg_power = |r: &ExperimentResult| {
+        Watts(r.pairs.iter().map(|p| p.metrics.avg_power().0).sum::<f64>() / r.pairs.len() as f64)
+    };
+    // Useful work: the LC apps all serve the same sweep (mean 50 % load),
+    // plus the policy-dependent BE throughput.
+    let work = |r: &ExperimentResult| 0.5 + r.summary.avg_be_throughput;
+    let base_work = work(&runs.random);
+
+    let scenarios = vec![
+        Scenario {
+            name: "Random(NoCap)".into(),
+            provisioned_per_server: Watts(185.0),
+            avg_power_per_server: avg_power(&runs.random),
+            relative_throughput: 1.0,
+        },
+        Scenario {
+            name: "Random".into(),
+            provisioned_per_server: avg_cap(&runs.random),
+            avg_power_per_server: avg_power(&runs.random),
+            relative_throughput: 1.0,
+        },
+        Scenario {
+            name: "POM".into(),
+            provisioned_per_server: avg_cap(&runs.pom),
+            avg_power_per_server: avg_power(&runs.pom),
+            relative_throughput: work(&runs.pom) / base_work,
+        },
+        Scenario {
+            name: "POColo".into(),
+            provisioned_per_server: avg_cap(&runs.pocolo),
+            avg_power_per_server: avg_power(&runs.pocolo),
+            relative_throughput: work(&runs.pocolo) / base_work,
+        },
+    ];
+
+    let costs = model.compare(&scenarios);
+    let mut out = Vec::new();
+    row(
+        "policy",
+        &[
+            "servers".into(),
+            "pwr infra".into(),
+            "energy".into(),
+            "total".into(),
+        ],
+    );
+    let m = 1e6;
+    for c in &costs {
+        row(
+            &c.name,
+            &[
+                format!("{:.2}", c.server_usd / m),
+                format!("{:.2}", c.power_infra_usd / m),
+                format!("{:.2}", c.energy_usd / m),
+                format!("{:.2}", c.total() / m),
+            ],
+        );
+        out.push((
+            c.name.clone(),
+            c.server_usd,
+            c.power_infra_usd,
+            c.energy_usd,
+            c.total(),
+        ));
+    }
+    let total_of = |name: &str| {
+        out.iter()
+            .find(|(n, ..)| n == name)
+            .map(|(_, _, _, _, t)| *t)
+            .expect("scenario present")
+    };
+    let pocolo = total_of("POColo");
+    println!(
+        "POColo vs Random(NoCap): {:.1}% | vs Random: {:.1}% | vs POM: {:.1}%  (paper: -12% / -16% / -8%)",
+        100.0 * (pocolo / total_of("Random(NoCap)") - 1.0),
+        100.0 * (pocolo / total_of("Random") - 1.0),
+        100.0 * (pocolo / total_of("POM") - 1.0),
+    );
+    Fig15 { costs: out }
+}

@@ -1,0 +1,21 @@
+//! # pocolo-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! Pocolo paper's evaluation (§V). Each generator is a library function
+//! returning structured data (so integration tests can assert on shapes)
+//! and printing the same rows/series the paper reports.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo bench -p pocolo-bench            # all figures + criterion micros
+//! cargo run -p pocolo-bench --bin fig12_policy_throughput   # one figure
+//! ```
+//!
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record produced from these generators.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod figures;

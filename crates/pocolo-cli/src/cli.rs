@@ -1,0 +1,486 @@
+//! Argument parsing and subcommand execution, hand-rolled (no external
+//! argument-parsing dependency) and fully unit-tested.
+
+use std::fmt::Write as _;
+
+use pocolo::prelude::*;
+
+/// Usage text.
+pub const USAGE: &str = "\
+pocolo — power optimized colocation (IISWC 2020 reproduction)
+
+USAGE:
+    pocolo <COMMAND> [OPTIONS]
+
+COMMANDS:
+    fit --app <name>         profile + fit one application's indirect utility
+    convexity --app <name>   screen an app for framework suitability (§V-G)
+    place                    compute the power-optimized placement
+    simulate --policy <p>    run the 10-90% sweep under a policy
+    tco                      amortized monthly TCO comparison
+    table2                   Table II: LC application characteristics
+    help                     this text
+
+OPTIONS:
+    --app <name>       img-dnn | sphinx | xapian | tpcc | lstm | rnn | graph | pbzip
+    --policy <p>       random | pom | pocolo          (default: pocolo)
+    --solver <s>       lp | hungarian | exhaustive | fair   (default: lp)
+    --dwell <seconds>  seconds per load level          (default: 20)
+    --seed <n>         RNG seed                        (default: 1)
+    --json             machine-readable output";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// The subcommand.
+    pub command: String,
+    /// `--app`.
+    pub app: Option<String>,
+    /// `--policy`.
+    pub policy: String,
+    /// `--solver`.
+    pub solver: String,
+    /// `--dwell`.
+    pub dwell: f64,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--json`.
+    pub json: bool,
+}
+
+/// Parses raw arguments.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands/flags or missing
+/// values.
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let command = it.next().cloned().unwrap_or_else(|| "help".to_string());
+    let mut opts = Options {
+        command,
+        app: None,
+        policy: "pocolo".into(),
+        solver: "lp".into(),
+        dwell: 20.0,
+        seed: 1,
+        json: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--app" => {
+                opts.app = Some(
+                    it.next()
+                        .ok_or_else(|| "--app needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--policy" => {
+                opts.policy = it
+                    .next()
+                    .ok_or_else(|| "--policy needs a value".to_string())?
+                    .clone()
+            }
+            "--solver" => {
+                opts.solver = it
+                    .next()
+                    .ok_or_else(|| "--solver needs a value".to_string())?
+                    .clone()
+            }
+            "--dwell" => {
+                opts.dwell = it
+                    .next()
+                    .ok_or_else(|| "--dwell needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--dwell: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or_else(|| "--seed needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn solver_of(name: &str) -> Result<Solver, String> {
+    match name {
+        "lp" => Ok(Solver::Lp),
+        "hungarian" => Ok(Solver::Hungarian),
+        "exhaustive" => Ok(Solver::Exhaustive),
+        "fair" => Ok(Solver::MaxMinFair),
+        other => Err(format!("unknown solver {other:?}")),
+    }
+}
+
+/// Executes the parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a message for invalid arguments or (unexpected) model failures.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let opts = parse(args)?;
+    match opts.command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "table2" => cmd_table2(&opts),
+        "fit" => cmd_fit(&opts),
+        "convexity" => cmd_convexity(&opts),
+        "place" => cmd_place(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "tco" => cmd_tco(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_table2(opts: &Options) -> Result<String, String> {
+    let machine = MachineSpec::xeon_e5_2650();
+    let rows: Vec<serde_json::Value> = LcApp::ALL
+        .iter()
+        .map(|&app| {
+            let m = LcModel::for_app(app, machine.clone());
+            serde_json::json!({
+                "app": app.name(),
+                "peak_load_rps": m.peak_load_rps(),
+                "p99_slo_ms": m.slo_p99_ms(),
+                "peak_power_w": m.provisioned_power().0,
+            })
+        })
+        .collect();
+    if opts.json {
+        return serde_json::to_string_pretty(&rows).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>12} {:>14}",
+        "app", "peak load/s", "p99 SLO ms", "peak power W"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14} {:>12} {:>14}",
+            r["app"].as_str().unwrap_or("?"),
+            r["peak_load_rps"],
+            r["p99_slo_ms"],
+            r["peak_power_w"]
+        );
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_fit(opts: &Options) -> Result<String, String> {
+    let name = opts.app.as_deref().ok_or("fit requires --app <name>")?;
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let (kind, utility) = fitted
+        .lc()
+        .iter()
+        .find(|(a, _, _)| a.name() == name)
+        .map(|(_, _, u)| ("latency-critical", u.clone()))
+        .or_else(|| {
+            fitted
+                .be()
+                .iter()
+                .find(|(a, _, _)| a.name() == name)
+                .map(|(_, _, u)| ("best-effort", u.clone()))
+        })
+        .ok_or_else(|| format!("unknown app {name:?} (see `pocolo help`)"))?;
+    let pref = utility.preference_vector();
+    let direct = utility.direct_preference_vector();
+    if opts.json {
+        return serde_json::to_string_pretty(&serde_json::json!({
+            "app": name,
+            "kind": kind,
+            "alphas": utility.performance_model().alphas(),
+            "alpha0": utility.performance_model().alpha0(),
+            "p_static_w": utility.power_model().p_static().0,
+            "p_dynamic": utility.power_model().p_dynamic(),
+            "direct_preference": direct.weights(),
+            "indirect_preference": pref.weights(),
+        }))
+        .map_err(|e| e.to_string());
+    }
+    Ok(format!(
+        "{name} ({kind})\n  performance: {}\n  power:       {}\n  direct preference (cores:ways):   {direct}\n  indirect preference (per watt):   {pref}",
+        utility.performance_model(),
+        utility.power_model(),
+    ))
+}
+
+fn cmd_convexity(opts: &Options) -> Result<String, String> {
+    use pocolo_simserver::power::PowerDrawModel;
+    let name = opts.app.as_deref().ok_or("convexity requires --app <name>")?;
+    let machine = MachineSpec::xeon_e5_2650();
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let cfg = ProfilerConfig::default();
+    let samples = if let Some(&app) = LcApp::ALL.iter().find(|a| a.name() == name) {
+        profile_lc(&LcModel::for_app(app, machine.clone()), &power, &space, &cfg)
+    } else if let Some(&app) = BeApp::ALL.iter().find(|a| a.name() == name) {
+        profile_be(&BeModel::for_app(app, machine.clone()), &power, &space, &cfg)
+    } else {
+        return Err(format!("unknown app {name:?} (see `pocolo help`)"));
+    };
+    let report = check_convexity(&space, &samples, 0.10).map_err(|e| e.to_string())?;
+    if opts.json {
+        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{name}: {}
+",
+        if report.is_suitable(0.05) {
+            "suitable for the Cobb-Douglas framework"
+        } else {
+            "NOT suitable — preferences violate convexity/monotonicity"
+        }
+    );
+    for a in &report.axes {
+        let _ = writeln!(
+            out,
+            "  {:>10}: {} triples, {:.1}% convexity violations, {:.1}% monotonicity violations",
+            a.resource,
+            a.triples,
+            100.0 * a.convexity_violations,
+            100.0 * a.monotonicity_violations
+        );
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_place(opts: &Options) -> Result<String, String> {
+    let solver = solver_of(&opts.solver)?;
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let manager = ClusterManager::new(fitted.be_profiles(), fitted.server_profiles());
+    let matrix = manager.performance_matrix().map_err(|e| e.to_string())?;
+    let assignment = manager.place(solver).map_err(|e| e.to_string())?;
+    let pairs: Vec<(String, String)> = assignment
+        .pairs
+        .iter()
+        .map(|&(r, c)| {
+            (
+                matrix.row_labels()[r].clone(),
+                matrix.col_labels()[c].clone(),
+            )
+        })
+        .collect();
+    if opts.json {
+        return serde_json::to_string_pretty(&serde_json::json!({
+            "solver": opts.solver,
+            "pairs": pairs,
+            "total": assignment.total,
+        }))
+        .map_err(|e| e.to_string());
+    }
+    let mut out = format!("{matrix}\nplacement ({}):\n", opts.solver);
+    for (be, lc) in &pairs {
+        let _ = writeln!(out, "  {be} -> {lc}");
+    }
+    let _ = write!(out, "total estimated throughput: {:.4}", assignment.total);
+    Ok(out)
+}
+
+fn cmd_simulate(opts: &Options) -> Result<String, String> {
+    let policy = match opts.policy.as_str() {
+        "random" => Policy::Random { seed: opts.seed },
+        "pom" => Policy::Pom { seed: opts.seed },
+        "pocolo" => Policy::Pocolo {
+            solver: solver_of(&opts.solver)?,
+        },
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    if opts.dwell.is_nan() || opts.dwell <= 0.0 {
+        return Err("--dwell must be positive".into());
+    }
+    let config = ExperimentConfig {
+        dwell_s: opts.dwell,
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+    let result = run_experiment(policy, &config);
+    if opts.json {
+        return serde_json::to_string_pretty(&result).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{}: BE throughput {:.4}, power utilization {:.1}%, capping {:.1}%, worst SLO violation {:.1}%\n",
+        result.policy,
+        result.summary.avg_be_throughput,
+        100.0 * result.summary.avg_power_utilization,
+        100.0 * result.summary.avg_capping_frac,
+        100.0 * result.summary.worst_violation_frac,
+    );
+    for p in &result.pairs {
+        let _ = writeln!(
+            out,
+            "  {:>8} + {:<6} thpt {:.4}  util {:.1}%",
+            p.lc,
+            p.be,
+            p.metrics.be_throughput_avg,
+            100.0 * p.metrics.power_utilization()
+        );
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_tco(opts: &Options) -> Result<String, String> {
+    let model = TcoModel::default();
+    let scenarios = [
+        ("Random(NoCap)", 185.0, 144.0, 1.0),
+        ("Random", 150.5, 141.4, 1.0),
+        ("POM", 150.5, 141.0, 1.126),
+        ("POColo", 150.5, 141.2, 1.154),
+    ];
+    let costs: Vec<MonthlyCost> = scenarios
+        .iter()
+        .map(|&(name, cap, avg, rel)| {
+            model.monthly_cost(&Scenario {
+                name: name.into(),
+                provisioned_per_server: Watts(cap),
+                avg_power_per_server: Watts(avg),
+                relative_throughput: rel,
+            })
+        })
+        .collect();
+    if opts.json {
+        return serde_json::to_string_pretty(&costs).map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12}\n",
+        "policy", "servers $M", "infra $M", "energy $M", "total $M"
+    );
+    for c in &costs {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            c.name,
+            c.server_usd / 1e6,
+            c.power_infra_usd / 1e6,
+            c.energy_usd / 1e6,
+            c.total() / 1e6
+        );
+    }
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse(&argv("place")).unwrap();
+        assert_eq!(o.command, "place");
+        assert_eq!(o.solver, "lp");
+        assert_eq!(o.policy, "pocolo");
+        assert!(!o.json);
+        assert_eq!(o.dwell, 20.0);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = parse(&argv("simulate --policy pom --dwell 5 --seed 9 --json")).unwrap();
+        assert_eq!(o.policy, "pom");
+        assert_eq!(o.dwell, 5.0);
+        assert_eq!(o.seed, 9);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&argv("fit --app")).is_err());
+        assert!(parse(&argv("fit --frobnicate")).is_err());
+        assert!(parse(&argv("simulate --dwell abc")).is_err());
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv("explode")).is_err());
+    }
+
+    #[test]
+    fn table2_text_and_json() {
+        let text = run(&argv("table2")).unwrap();
+        assert!(text.contains("sphinx") && text.contains("182"));
+        let json = run(&argv("table2 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fit_requires_app() {
+        assert!(run(&argv("fit")).is_err());
+        assert!(run(&argv("fit --app nosuch")).is_err());
+    }
+
+    #[test]
+    fn fit_outputs_preferences() {
+        let out = run(&argv("fit --app graph")).unwrap();
+        assert!(out.contains("indirect preference"));
+        let json = run(&argv("fit --app sphinx --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let pref = v["indirect_preference"][0].as_f64().unwrap();
+        assert!(pref < 0.35, "sphinx cores preference {pref}");
+    }
+
+    #[test]
+    fn place_reports_paper_pairings() {
+        let json = run(&argv("place --solver hungarian --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let pairs = v["pairs"].as_array().unwrap();
+        assert_eq!(pairs.len(), 4);
+        let has = |be: &str, lc: &str| {
+            pairs
+                .iter()
+                .any(|p| p[0].as_str() == Some(be) && p[1].as_str() == Some(lc))
+        };
+        assert!(has("graph", "sphinx"));
+        assert!(has("lstm", "img-dnn"));
+    }
+
+    #[test]
+    fn convexity_screen_runs() {
+        let out = run(&argv("convexity --app sphinx")).unwrap();
+        assert!(out.contains("suitable"));
+        assert!(run(&argv("convexity")).is_err());
+        assert!(run(&argv("convexity --app nosuch")).is_err());
+        let json = run(&argv("convexity --app graph --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["axes"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn simulate_quick_run() {
+        let out = run(&argv("simulate --policy pom --dwell 2")).unwrap();
+        assert!(out.contains("POM"));
+        assert!(out.contains("img-dnn"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_input() {
+        assert!(run(&argv("simulate --policy warp")).is_err());
+        assert!(run(&argv("simulate --dwell -1")).is_err());
+        assert!(run(&argv("place --solver quantum")).is_err());
+    }
+
+    #[test]
+    fn tco_outputs_four_scenarios() {
+        let out = run(&argv("tco")).unwrap();
+        assert!(out.contains("POColo") && out.contains("Random(NoCap)"));
+        let json = run(&argv("tco --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Admission control: when more best-effort candidates exist than servers,
+//! decide *which* to admit — the cluster-management concern the paper's
+//! related-work section calls "admittance control and job placement".
+//!
+//! With `N` candidates and `M < N` servers (one BE slot each), the optimal
+//! joint admit+place decision is a rectangular assignment with servers as
+//! rows: the Hungarian solve simultaneously picks the best `M`-subset of
+//! apps and their placement.
+
+use crate::assign::{hungarian, Assignment};
+use crate::error::ClusterError;
+use crate::matrix::PerfMatrix;
+
+/// Outcome of admission control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionDecision {
+    /// The placement over admitted apps: `(be_row, server_col)` pairs in
+    /// the original matrix's indices.
+    pub placement: Assignment,
+    /// Rows (BE apps) that were *not* admitted, ascending.
+    pub rejected: Vec<usize>,
+}
+
+/// Chooses which BE apps to admit and where to place them, maximizing total
+/// estimated throughput. Works for any matrix shape:
+///
+/// - `rows ≤ cols`: everything is admitted (plain assignment).
+/// - `rows > cols`: the best `cols`-sized subset is admitted.
+///
+/// ```
+/// use pocolo_cluster::{admit_and_place, PerfMatrix};
+/// # fn main() -> Result<(), pocolo_cluster::ClusterError> {
+/// // Three candidates for two servers: the weak one is rejected.
+/// let matrix = PerfMatrix::new(
+///     vec!["graph".into(), "lstm".into(), "pbzip".into()],
+///     vec!["sphinx".into(), "img-dnn".into()],
+///     vec![vec![0.9, 0.5], vec![0.4, 0.8], vec![0.3, 0.2]],
+/// )?;
+/// let decision = admit_and_place(&matrix)?;
+/// assert_eq!(decision.rejected, vec![2]); // pbzip waits
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates matrix errors (none for well-formed inputs).
+pub fn admit_and_place(matrix: &PerfMatrix) -> Result<AdmissionDecision, ClusterError> {
+    let rows = matrix.rows();
+    let cols = matrix.cols();
+    if rows <= cols {
+        let placement = hungarian::solve_max(matrix);
+        return Ok(AdmissionDecision {
+            placement,
+            rejected: Vec::new(),
+        });
+    }
+    // Transpose: servers become rows (cols_t = apps >= rows_t = servers),
+    // so the Hungarian matching picks one app per server — implicitly the
+    // most valuable subset.
+    let transposed: Vec<Vec<f64>> = (0..cols)
+        .map(|c| (0..rows).map(|r| matrix.value(r, c)).collect())
+        .collect();
+    let t = PerfMatrix::new(
+        matrix.col_labels().to_vec(),
+        matrix.row_labels().to_vec(),
+        transposed,
+    )?;
+    let server_to_app = hungarian::solve_max(&t);
+    let mut pairs: Vec<(usize, usize)> = server_to_app
+        .pairs
+        .iter()
+        .map(|&(server, app)| (app, server))
+        .collect();
+    pairs.sort_unstable();
+    let admitted: Vec<usize> = pairs.iter().map(|&(r, _)| r).collect();
+    let rejected: Vec<usize> = (0..rows).filter(|r| !admitted.contains(r)).collect();
+    let total = matrix.assignment_value(&pairs);
+    Ok(AdmissionDecision {
+        placement: Assignment { pairs, total },
+        rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(values: Vec<Vec<f64>>) -> PerfMatrix {
+        let rows = values.len();
+        let cols = values[0].len();
+        PerfMatrix::new(
+            (0..rows).map(|i| format!("be{i}")).collect(),
+            (0..cols).map(|j| format!("lc{j}")).collect(),
+            values,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn square_admits_everyone() {
+        let m = matrix(vec![vec![0.9, 0.1], vec![0.1, 0.9]]);
+        let d = admit_and_place(&m).unwrap();
+        assert!(d.rejected.is_empty());
+        assert!((d.placement.total - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribed_rejects_the_weakest() {
+        // Three candidates, two servers: the middling app loses.
+        let m = matrix(vec![
+            vec![0.9, 0.8],  // strong everywhere
+            vec![0.3, 0.2],  // weak everywhere -> rejected
+            vec![0.7, 0.95], // strong on server 1
+        ]);
+        let d = admit_and_place(&m).unwrap();
+        assert_eq!(d.rejected, vec![1]);
+        assert_eq!(d.placement.pairs, vec![(0, 0), (2, 1)]);
+        assert!((d.placement.total - (0.9 + 0.95)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_choice_is_jointly_optimal() {
+        // The jointly best pair is {app0 -> s0, app2 -> s1} = 1.95, beating
+        // both {0,1} = 1.90 and the seemingly balanced {1,2} = 1.90.
+        let m = matrix(vec![vec![1.00, 0.10], vec![0.95, 0.90], vec![0.90, 0.95]]);
+        let d = admit_and_place(&m).unwrap();
+        assert_eq!(d.rejected, vec![1]);
+        assert!((d.placement.total - 1.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let rows = rng.gen_range(3..=6);
+            let cols = rng.gen_range(2..rows);
+            let vals: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let m = matrix(vals.clone());
+            let d = admit_and_place(&m).unwrap();
+            // Brute force over subsets × permutations.
+            let best = brute_force(&vals, cols);
+            assert!(
+                (d.placement.total - best).abs() < 1e-9,
+                "got {} want {best} for {vals:?}",
+                d.placement.total
+            );
+            assert_eq!(d.rejected.len(), rows - cols);
+        }
+    }
+
+    fn brute_force(vals: &[Vec<f64>], cols: usize) -> f64 {
+        fn rec(
+            vals: &[Vec<f64>],
+            col_used: &mut [bool],
+            row: usize,
+            placed: usize,
+            cols: usize,
+            acc: f64,
+            best: &mut f64,
+        ) {
+            if placed == cols {
+                *best = best.max(acc);
+                return;
+            }
+            if row == vals.len() {
+                return;
+            }
+            // Skip this row.
+            rec(vals, col_used, row + 1, placed, cols, acc, best);
+            // Or place it on any free column.
+            for c in 0..cols {
+                if !col_used[c] {
+                    col_used[c] = true;
+                    rec(
+                        vals,
+                        col_used,
+                        row + 1,
+                        placed + 1,
+                        cols,
+                        acc + vals[row][c],
+                        best,
+                    );
+                    col_used[c] = false;
+                }
+            }
+        }
+        let mut best = f64::NEG_INFINITY;
+        rec(vals, &mut vec![false; cols], 0, 0, cols, 0.0, &mut best);
+        best
+    }
+}

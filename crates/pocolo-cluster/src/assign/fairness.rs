@@ -1,0 +1,254 @@
+//! Max-min fair assignment — the counterpoint to POColo's
+//! total-throughput objective.
+//!
+//! The paper notes (§V-D) that POColo "is not designed to consider
+//! fairness... it allows poorer performance for some co-locations (e.g. the
+//! co-runner of TPCC) while most effectively matching other co-locations."
+//! This module quantifies that trade-off: a **bottleneck assignment** that
+//! maximizes the *worst* co-runner's throughput first, breaking ties by
+//! total throughput.
+//!
+//! Algorithm: binary search over candidate thresholds (the distinct matrix
+//! values); a threshold `v` is feasible iff a perfect matching exists using
+//! only entries ≥ `v` (checked with Kuhn's augmenting-path matching). The
+//! final assignment maximizes total value among matchings that respect the
+//! best threshold, via the Hungarian method with sub-threshold entries
+//! forbidden.
+
+use crate::assign::{hungarian, Assignment};
+use crate::error::ClusterError;
+use crate::matrix::PerfMatrix;
+
+/// Kuhn's augmenting-path bipartite matching: can every row be matched to a
+/// distinct column using only admissible edges?
+fn has_perfect_matching(admissible: &[Vec<bool>], cols: usize) -> bool {
+    let rows = admissible.len();
+    let mut col_match: Vec<Option<usize>> = vec![None; cols];
+
+    fn try_row(
+        r: usize,
+        admissible: &[Vec<bool>],
+        visited: &mut [bool],
+        col_match: &mut [Option<usize>],
+    ) -> bool {
+        for c in 0..visited.len() {
+            if admissible[r][c] && !visited[c] {
+                visited[c] = true;
+                if col_match[c].is_none()
+                    || try_row(
+                        col_match[c].expect("checked above"),
+                        admissible,
+                        visited,
+                        col_match,
+                    )
+                {
+                    col_match[c] = Some(r);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    for r in 0..rows {
+        let mut visited = vec![false; cols];
+        if !try_row(r, admissible, &mut visited, &mut col_match) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The largest threshold `v` such that a perfect matching exists using only
+/// entries ≥ `v`.
+fn best_bottleneck(matrix: &PerfMatrix) -> f64 {
+    let mut values: Vec<f64> = matrix
+        .values()
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite throughputs"));
+    values.dedup();
+    // Binary search the feasibility frontier (feasible at values[0] by
+    // assumption rows <= cols; monotone decreasing in v).
+    let feasible = |v: f64| {
+        let admissible: Vec<Vec<bool>> = matrix
+            .values()
+            .iter()
+            .map(|row| row.iter().map(|&x| x >= v).collect())
+            .collect();
+        has_perfect_matching(&admissible, matrix.cols())
+    };
+    let (mut lo, mut hi) = (0usize, values.len() - 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if feasible(values[mid]) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    values[lo]
+}
+
+/// Max-min fair assignment: maximize the minimum entry, then the total.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::TooManyApps`] when rows exceed columns.
+pub fn solve_max_min_fair(matrix: &PerfMatrix) -> Result<Assignment, ClusterError> {
+    if matrix.rows() > matrix.cols() {
+        return Err(ClusterError::TooManyApps {
+            apps: matrix.rows(),
+            servers: matrix.cols(),
+        });
+    }
+    let bottleneck = best_bottleneck(matrix);
+    // Forbid sub-threshold entries by making them catastrophically
+    // expensive in the min-cost transform, then take the best total.
+    let peak = matrix
+        .values()
+        .iter()
+        .flat_map(|r| r.iter())
+        .cloned()
+        .fold(0.0, f64::max);
+    let forbidden = peak * 1e6 + 1.0;
+    let cost: Vec<Vec<f64>> = matrix
+        .values()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&v| if v >= bottleneck { peak - v } else { forbidden })
+                .collect()
+        })
+        .collect();
+    let row_to_col = hungarian::hungarian_min(&cost);
+    let pairs: Vec<(usize, usize)> = row_to_col.into_iter().enumerate().collect();
+    debug_assert!(
+        pairs.iter().all(|&(r, c)| matrix.value(r, c) >= bottleneck),
+        "bottleneck threshold violated"
+    );
+    let total = matrix.assignment_value(&pairs);
+    Ok(Assignment { pairs, total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{search, solve, Solver};
+
+    fn matrix(values: Vec<Vec<f64>>) -> PerfMatrix {
+        let rows = values.len();
+        let cols = values[0].len();
+        PerfMatrix::new(
+            (0..rows).map(|i| format!("be{i}")).collect(),
+            (0..cols).map(|j| format!("lc{j}")).collect(),
+            values,
+        )
+        .unwrap()
+    }
+
+    fn min_entry(m: &PerfMatrix, a: &Assignment) -> f64 {
+        a.pairs
+            .iter()
+            .map(|&(r, c)| m.value(r, c))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn fair_solution_beats_total_optimal_on_the_minimum() {
+        // Total-optimal: rows 0,1 take the big diagonal and row 2 starves.
+        let m = matrix(vec![
+            vec![0.9, 0.5, 0.05],
+            vec![0.5, 0.9, 0.05],
+            vec![0.45, 0.45, 0.05],
+        ]);
+        let total_opt = solve(&m, Solver::Exhaustive).unwrap();
+        let fair = solve_max_min_fair(&m).unwrap();
+        assert!(min_entry(&m, &fair) >= min_entry(&m, &total_opt));
+        assert!(fair.total <= total_opt.total + 1e-9);
+    }
+
+    #[test]
+    fn fair_equals_optimal_when_no_conflict() {
+        let m = matrix(vec![vec![1.0, 0.1], vec![0.1, 1.0]]);
+        let fair = solve_max_min_fair(&m).unwrap();
+        let opt = solve(&m, Solver::Exhaustive).unwrap();
+        assert_eq!(fair.pairs, opt.pairs);
+    }
+
+    #[test]
+    fn bottleneck_matches_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=5);
+            let vals: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let m = matrix(vals);
+            let fair = solve_max_min_fair(&m).unwrap();
+            // Brute force the best achievable minimum.
+            let best_min = search::enumerate_all(&m)
+                .into_iter()
+                .map(|(pairs, _)| {
+                    pairs
+                        .iter()
+                        .map(|&(r, c)| m.value(r, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (min_entry(&m, &fair) - best_min).abs() < 1e-9,
+                "fair min {} != brute-force best min {best_min} on {m}",
+                min_entry(&m, &fair)
+            );
+        }
+    }
+
+    #[test]
+    fn maximizes_total_among_fair_solutions() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..=5);
+            let vals: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let m = matrix(vals);
+            let fair = solve_max_min_fair(&m).unwrap();
+            let bottleneck = min_entry(&m, &fair);
+            let best_total_at_bottleneck = search::enumerate_all(&m)
+                .into_iter()
+                .filter(|(pairs, _)| {
+                    pairs
+                        .iter()
+                        .all(|&(r, c)| m.value(r, c) >= bottleneck - 1e-12)
+                })
+                .map(|(_, total)| total)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (fair.total - best_total_at_bottleneck).abs() < 1e-9,
+                "fair total {} != best total {best_total_at_bottleneck} at bottleneck {bottleneck}",
+                fair.total
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_instances() {
+        let m = matrix(vec![vec![0.2, 0.9, 0.5], vec![0.9, 0.2, 0.5]]);
+        let fair = solve_max_min_fair(&m).unwrap();
+        assert!(min_entry(&m, &fair) >= 0.5);
+        assert_eq!(fair.pairs.len(), 2);
+    }
+
+    #[test]
+    fn too_many_rows_rejected() {
+        let m = matrix(vec![vec![1.0], vec![2.0]]);
+        assert!(matches!(
+            solve_max_min_fair(&m),
+            Err(ClusterError::TooManyApps { .. })
+        ));
+    }
+}

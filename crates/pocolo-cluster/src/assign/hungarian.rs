@@ -1,0 +1,217 @@
+//! The Hungarian (Kuhn-Munkres) algorithm with potentials — O(n²m).
+//!
+//! Solves the rectangular assignment problem exactly: match each row to a
+//! distinct column minimizing total cost (or maximizing total value via
+//! [`solve_max`]). Requires `rows ≤ cols`.
+
+use crate::assign::Assignment;
+use crate::matrix::PerfMatrix;
+
+/// Minimum-cost assignment of rows to distinct columns.
+///
+/// Returns `row → col`. Uses the classic potentials formulation: maintain
+/// dual potentials `u` (rows) and `v` (columns) and grow alternating trees
+/// from each unmatched row, adjusting potentials by the bottleneck slack.
+///
+/// # Panics
+///
+/// Panics if `cost` is empty, ragged, or has more rows than columns.
+pub fn hungarian_min(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "cost matrix must be non-empty");
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|r| r.len() == m),
+        "cost matrix must be rectangular"
+    );
+    assert!(n <= m, "need rows <= cols for a perfect row matching");
+
+    const INF: f64 = f64::INFINITY;
+    // 1-based arrays; p[j] holds the (1-based) row matched to column j,
+    // p[0] is the scratch slot for the row currently being inserted.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
+    row_to_col
+}
+
+/// Maximum-value assignment over a performance matrix.
+pub fn solve_max(matrix: &PerfMatrix) -> Assignment {
+    let peak = matrix
+        .values()
+        .iter()
+        .flat_map(|r| r.iter())
+        .cloned()
+        .fold(0.0, f64::max);
+    let cost: Vec<Vec<f64>> = matrix
+        .values()
+        .iter()
+        .map(|row| row.iter().map(|&v| peak - v).collect())
+        .collect();
+    let row_to_col = hungarian_min(&cost);
+    let pairs: Vec<(usize, usize)> = row_to_col.into_iter().enumerate().collect();
+    let total = matrix.assignment_value(&pairs);
+    Assignment { pairs, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_identity() {
+        let cost = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+        ];
+        assert_eq!(hungarian_min(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Known optimum: 0→1, 1→0, 2→2 with cost 1+2+1 = 4? Check:
+        // row0: [4, 1, 3], row1: [2, 0, 5], row2: [3, 2, 2].
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let m = hungarian_min(&cost);
+        let total: f64 = m.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        assert!(
+            (total - 5.0).abs() < 1e-9,
+            "optimal total is 5, got {total} via {m:?}"
+        );
+    }
+
+    #[test]
+    fn rectangular() {
+        let cost = vec![vec![5.0, 1.0, 9.0, 2.0], vec![1.0, 5.0, 9.0, 3.0]];
+        let m = hungarian_min(&cost);
+        assert_eq!(m, vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(n..=6);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
+                .collect();
+            let assign = hungarian_min(&cost);
+            let total: f64 = assign.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            let best = brute_force_min(&cost);
+            assert!(
+                (total - best).abs() < 1e-6,
+                "hungarian {total} != brute {best} for {cost:?}"
+            );
+            // Distinct columns.
+            let mut cols = assign.clone();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), n);
+        }
+    }
+
+    fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut best = f64::INFINITY;
+        let mut used = vec![false; m];
+        fn rec(
+            i: usize,
+            n: usize,
+            m: usize,
+            cost: &[Vec<f64>],
+            used: &mut [bool],
+            acc: f64,
+            best: &mut f64,
+        ) {
+            if i == n {
+                *best = best.min(acc);
+                return;
+            }
+            for j in 0..m {
+                if !used[j] {
+                    used[j] = true;
+                    rec(i + 1, n, m, cost, used, acc + cost[i][j], best);
+                    used[j] = false;
+                }
+            }
+        }
+        rec(0, n, m, cost, &mut used, 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn too_many_rows_panics() {
+        let _ = hungarian_min(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_panics() {
+        let _ = hungarian_min(&[]);
+    }
+}

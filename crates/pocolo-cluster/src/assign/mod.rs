@@ -1,0 +1,217 @@
+//! Assignment solvers over a [`PerfMatrix`].
+//!
+//! The paper's cluster manager "uses a LP solver to identify an assignment
+//! that maximizes the overall cluster performance" and cites the Hungarian
+//! method and randomization as standard alternatives (§IV-B, refs
+//! \[28–30\]). All of them are implemented here from scratch, plus the
+//! exhaustive search used as the oracle in Fig. 14.
+
+pub mod fairness;
+pub mod hungarian;
+pub mod search;
+pub mod simplex;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+use crate::matrix::PerfMatrix;
+
+/// Which algorithm to use for placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// Exact O(n³) Kuhn-Munkres.
+    Hungarian,
+    /// Two-phase dense simplex on the assignment LP (integral at optimum).
+    Lp,
+    /// Brute-force over all placements — exponential, oracle only.
+    Exhaustive,
+    /// Uniform random one-BE-per-server placement (the paper's baseline).
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Max-min fair: maximize the worst co-runner's throughput first, then
+    /// the total (the fairness objective the paper's POColo trades away).
+    MaxMinFair,
+}
+
+/// A placement: `pairs[(be_row, server_col)]` plus its total value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// `(row, col)` pairs, sorted by row.
+    pub pairs: Vec<(usize, usize)>,
+    /// Sum of matrix entries over the pairs.
+    pub total: f64,
+}
+
+impl Assignment {
+    /// The server column assigned to best-effort row `row`, if any.
+    pub fn server_for(&self, row: usize) -> Option<usize> {
+        self.pairs.iter().find(|&&(r, _)| r == row).map(|&(_, c)| c)
+    }
+
+    /// The best-effort row placed on server `col`, if any.
+    pub fn app_on(&self, col: usize) -> Option<usize> {
+        self.pairs.iter().find(|&&(_, c)| c == col).map(|&(r, _)| r)
+    }
+}
+
+/// Solves the placement problem with the chosen algorithm.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::TooManyApps`] when rows exceed columns, and
+/// solver-specific errors ([`ClusterError::Infeasible`] /
+/// [`ClusterError::Unbounded`] from the LP).
+pub fn solve(matrix: &PerfMatrix, solver: Solver) -> Result<Assignment, ClusterError> {
+    if matrix.rows() > matrix.cols() {
+        return Err(ClusterError::TooManyApps {
+            apps: matrix.rows(),
+            servers: matrix.cols(),
+        });
+    }
+    let mut assignment = match solver {
+        Solver::Hungarian => hungarian::solve_max(matrix),
+        Solver::Lp => simplex::solve_assignment_lp(matrix)?,
+        Solver::Exhaustive => search::exhaustive_max(matrix),
+        Solver::MaxMinFair => fairness::solve_max_min_fair(matrix)?,
+        Solver::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cols: Vec<usize> = (0..matrix.cols()).collect();
+            cols.shuffle(&mut rng);
+            let pairs: Vec<(usize, usize)> = (0..matrix.rows()).map(|r| (r, cols[r])).collect();
+            let total = matrix.assignment_value(&pairs);
+            Assignment { pairs, total }
+        }
+    };
+    assignment.pairs.sort_unstable();
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(values: Vec<Vec<f64>>) -> PerfMatrix {
+        let rows = values.len();
+        let cols = values[0].len();
+        PerfMatrix::new(
+            (0..rows).map(|i| format!("be{i}")).collect(),
+            (0..cols).map(|j| format!("lc{j}")).collect(),
+            values,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_exact_solvers_agree_on_small_instance() {
+        let m = matrix(vec![
+            vec![0.9, 0.2, 0.3, 0.1],
+            vec![0.4, 0.8, 0.2, 0.2],
+            vec![0.3, 0.3, 0.7, 0.4],
+            vec![0.1, 0.2, 0.4, 0.6],
+        ]);
+        let h = solve(&m, Solver::Hungarian).unwrap();
+        let l = solve(&m, Solver::Lp).unwrap();
+        let e = solve(&m, Solver::Exhaustive).unwrap();
+        assert!((h.total - e.total).abs() < 1e-9, "hungarian {h:?} vs {e:?}");
+        assert!((l.total - e.total).abs() < 1e-9, "lp {l:?} vs {e:?}");
+        assert_eq!(e.total, 0.9 + 0.8 + 0.7 + 0.6);
+    }
+
+    #[test]
+    fn random_is_valid_but_usually_worse() {
+        let m = matrix(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let opt = solve(&m, Solver::Exhaustive).unwrap();
+        let mut worse = 0;
+        for seed in 0..20 {
+            let r = solve(&m, Solver::Random { seed }).unwrap();
+            // Valid: one app per server.
+            let mut cols: Vec<usize> = r.pairs.iter().map(|&(_, c)| c).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), 3);
+            if r.total < opt.total - 1e-9 {
+                worse += 1;
+            }
+        }
+        assert!(
+            worse > 10,
+            "random should usually miss the diagonal optimum"
+        );
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let m = matrix(vec![vec![0.3, 0.4], vec![0.2, 0.9]]);
+        let a = solve(&m, Solver::Random { seed: 11 }).unwrap();
+        let b = solve(&m, Solver::Random { seed: 11 }).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rectangular_more_servers_than_apps() {
+        let m = matrix(vec![vec![0.1, 0.9, 0.5], vec![0.8, 0.7, 0.2]]);
+        let h = solve(&m, Solver::Hungarian).unwrap();
+        let e = solve(&m, Solver::Exhaustive).unwrap();
+        let l = solve(&m, Solver::Lp).unwrap();
+        assert!((h.total - e.total).abs() < 1e-9);
+        assert!((l.total - e.total).abs() < 1e-9);
+        assert_eq!(e.total, 0.9 + 0.8);
+    }
+
+    #[test]
+    fn too_many_apps_rejected() {
+        let m = matrix(vec![vec![0.1], vec![0.2]]);
+        assert!(matches!(
+            solve(&m, Solver::Hungarian),
+            Err(ClusterError::TooManyApps { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = matrix(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let a = solve(&m, Solver::Hungarian).unwrap();
+        assert_eq!(a.server_for(0), Some(0));
+        assert_eq!(a.app_on(1), Some(1));
+        assert_eq!(a.server_for(9), None);
+        assert_eq!(a.app_on(9), None);
+    }
+
+    #[test]
+    fn exact_solvers_match_on_random_matrices() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..=5);
+            let mcols = rng.gen_range(n..=6);
+            let vals: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..mcols).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let m = matrix(vals);
+            let h = solve(&m, Solver::Hungarian).unwrap();
+            let e = solve(&m, Solver::Exhaustive).unwrap();
+            let l = solve(&m, Solver::Lp).unwrap();
+            assert!(
+                (h.total - e.total).abs() < 1e-6,
+                "hungarian {} != exhaustive {} on {m}",
+                h.total,
+                e.total
+            );
+            assert!(
+                (l.total - e.total).abs() < 1e-6,
+                "lp {} != exhaustive {} on {m}",
+                l.total,
+                e.total
+            );
+        }
+    }
+}

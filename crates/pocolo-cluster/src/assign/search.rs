@@ -1,0 +1,154 @@
+//! Exhaustive placement search — the oracle the paper compares POColo's
+//! choices against in Fig. 14 ("all 4×4 combinations").
+
+use crate::assign::Assignment;
+use crate::matrix::PerfMatrix;
+
+/// Finds the maximum-value assignment by enumerating every way to place the
+/// rows on distinct columns. Exponential — intended for small instances
+/// (the paper's cluster is 4×4).
+pub fn exhaustive_max(matrix: &PerfMatrix) -> Assignment {
+    let n = matrix.rows();
+    let m = matrix.cols();
+    assert!(n <= m, "need rows <= cols");
+    let mut used = vec![false; m];
+    let mut current = Vec::with_capacity(n);
+    let mut best_pairs = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    search(
+        matrix,
+        0,
+        &mut used,
+        &mut current,
+        0.0,
+        &mut best,
+        &mut best_pairs,
+    );
+    Assignment {
+        pairs: best_pairs,
+        total: best,
+    }
+}
+
+fn search(
+    matrix: &PerfMatrix,
+    row: usize,
+    used: &mut [bool],
+    current: &mut Vec<(usize, usize)>,
+    acc: f64,
+    best: &mut f64,
+    best_pairs: &mut Vec<(usize, usize)>,
+) {
+    if row == matrix.rows() {
+        if acc > *best {
+            *best = acc;
+            *best_pairs = current.clone();
+        }
+        return;
+    }
+    for col in 0..matrix.cols() {
+        if !used[col] {
+            used[col] = true;
+            current.push((row, col));
+            search(
+                matrix,
+                row + 1,
+                used,
+                current,
+                acc + matrix.value(row, col),
+                best,
+                best_pairs,
+            );
+            current.pop();
+            used[col] = false;
+        }
+    }
+}
+
+/// Enumerates *every* complete placement with its total value — the data
+/// behind Fig. 14's per-combination comparison. Rows are placed on distinct
+/// columns; each element is `(pairs, total)`.
+pub fn enumerate_all(matrix: &PerfMatrix) -> Vec<(Vec<(usize, usize)>, f64)> {
+    let mut out = Vec::new();
+    let mut used = vec![false; matrix.cols()];
+    let mut current = Vec::new();
+    enumerate(matrix, 0, &mut used, &mut current, 0.0, &mut out);
+    out
+}
+
+fn enumerate(
+    matrix: &PerfMatrix,
+    row: usize,
+    used: &mut [bool],
+    current: &mut Vec<(usize, usize)>,
+    acc: f64,
+    out: &mut Vec<(Vec<(usize, usize)>, f64)>,
+) {
+    if row == matrix.rows() {
+        out.push((current.clone(), acc));
+        return;
+    }
+    for col in 0..matrix.cols() {
+        if !used[col] {
+            used[col] = true;
+            current.push((row, col));
+            enumerate(
+                matrix,
+                row + 1,
+                used,
+                current,
+                acc + matrix.value(row, col),
+                out,
+            );
+            current.pop();
+            used[col] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(values: Vec<Vec<f64>>) -> PerfMatrix {
+        let rows = values.len();
+        let cols = values[0].len();
+        PerfMatrix::new(
+            (0..rows).map(|i| format!("r{i}")).collect(),
+            (0..cols).map(|j| format!("c{j}")).collect(),
+            values,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_optimum() {
+        let m = matrix(vec![vec![0.1, 0.9], vec![0.9, 0.1]]);
+        let a = exhaustive_max(&m);
+        assert!((a.total - 1.8).abs() < 1e-12);
+        assert_eq!(a.pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn enumerates_all_permutations() {
+        let m = matrix(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let all = enumerate_all(&m);
+        assert_eq!(all.len(), 6); // 3!
+        let best = all
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((exhaustive_max(&m).total - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_enumeration_counts() {
+        let m = matrix(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        // 3 × 2 = 6 ordered placements of 2 rows on 3 columns.
+        assert_eq!(enumerate_all(&m).len(), 6);
+    }
+}

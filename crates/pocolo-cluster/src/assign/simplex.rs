@@ -1,0 +1,571 @@
+//! A from-scratch two-phase dense simplex solver, plus the assignment-LP
+//! wrapper used by the cluster manager (the paper's §IV-B "LP solver").
+//!
+//! The solver handles the general form
+//!
+//! ```text
+//! maximize c·x   subject to   Aᵢ·x {≤,=,≥} bᵢ ,  x ≥ 0
+//! ```
+//!
+//! with Bland's anti-cycling rule. The assignment relaxation is integral
+//! (its constraint matrix is totally unimodular), so the simplex optimum is
+//! a permutation and rounding is exact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assign::Assignment;
+use crate::error::ClusterError;
+use crate::matrix::PerfMatrix;
+
+/// Relation of one linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `A·x ≤ b`
+    Le,
+    /// `A·x = b`
+    Eq,
+    /// `A·x ≥ b`
+    Ge,
+}
+
+/// One linear constraint `coeffs·x {≤,=,≥} rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Coefficients over the decision variables.
+    pub coeffs: Vec<f64>,
+    /// The relation.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program in decision variables `x ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    /// Objective coefficients (always maximized).
+    pub objective: Vec<f64>,
+    /// The constraint set.
+    pub constraints: Vec<Constraint>,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Optimal decision-variable values.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP by two-phase simplex.
+///
+/// # Errors
+///
+/// [`ClusterError::Infeasible`] when no feasible point exists;
+/// [`ClusterError::Unbounded`] when the objective is unbounded above;
+/// [`ClusterError::InvalidMatrix`] for ragged inputs.
+pub fn solve(lp: &LinearProgram) -> Result<LpSolution, ClusterError> {
+    let n = lp.objective.len();
+    for c in &lp.constraints {
+        if c.coeffs.len() != n {
+            return Err(ClusterError::InvalidMatrix(format!(
+                "constraint has {} coefficients, expected {n}",
+                c.coeffs.len()
+            )));
+        }
+    }
+    let m = lp.constraints.len();
+
+    // Normalize to b >= 0 and count auxiliary columns.
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = lp
+        .constraints
+        .iter()
+        .map(|c| {
+            if c.rhs < 0.0 {
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (c.coeffs.iter().map(|v| -v).collect(), flipped, -c.rhs)
+            } else {
+                (c.coeffs.clone(), c.relation, c.rhs)
+            }
+        })
+        .collect();
+
+    let n_slack = rows
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Eq | Relation::Ge))
+        .count();
+    let total = n + n_slack + n_art;
+
+    // Tableau: m rows of `total + 1` (last = rhs).
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut artificial_cols = Vec::new();
+    for (i, (coeffs, rel, rhs)) in rows.drain(..).enumerate() {
+        t[i][..n].copy_from_slice(&coeffs);
+        t[i][total] = rhs;
+        match rel {
+            Relation::Le => {
+                t[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                t[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: maximize -(sum of artificials).
+    if !artificial_cols.is_empty() {
+        let mut obj = vec![0.0f64; total + 1];
+        for &a in &artificial_cols {
+            obj[a] = -1.0;
+        }
+        price_out(&mut obj, &t, &basis, total);
+        run_simplex(&mut t, &mut obj, &mut basis, total)?;
+        // obj[total] carries the *negated* objective value, so a positive
+        // residual means Σ artificials > 0 at optimum: infeasible.
+        if obj[total] > 1e-7 {
+            return Err(ClusterError::Infeasible);
+        }
+        // Drive any degenerate basic artificial out of the basis.
+        for i in 0..m {
+            if artificial_cols.contains(&basis[i]) {
+                if let Some(col) = (0..n + n_slack).find(|&c| t[i][c].abs() > EPS) {
+                    pivot(&mut t, &mut vec![0.0; total + 1], &mut basis, i, col, total);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective, with artificial columns frozen at zero.
+    let mut obj = vec![0.0f64; total + 1];
+    obj[..n].copy_from_slice(&lp.objective);
+    for &a in &artificial_cols {
+        for row in t.iter_mut() {
+            row[a] = 0.0;
+        }
+        obj[a] = 0.0;
+    }
+    price_out(&mut obj, &t, &basis, total);
+    run_simplex(&mut t, &mut obj, &mut basis, total)?;
+
+    let mut x = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[i][total];
+        }
+    }
+    let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+    Ok(LpSolution { x, objective })
+}
+
+/// Express the objective in terms of non-basic variables (reduced costs).
+/// After pricing out, `obj[total]` holds the *negated* current objective.
+fn price_out(obj: &mut [f64], t: &[Vec<f64>], basis: &[usize], total: usize) {
+    for (i, &b) in basis.iter().enumerate() {
+        let coeff = obj[b];
+        if coeff.abs() > EPS {
+            for c in 0..=total {
+                obj[c] -= coeff * t[i][c];
+            }
+        }
+    }
+}
+
+/// Primal simplex iterations with Bland's rule on a priced-out objective.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+) -> Result<(), ClusterError> {
+    for _ in 0..10_000 {
+        // Bland: smallest index with positive reduced cost.
+        let Some(entering) = (0..total).find(|&c| obj[c] > EPS) else {
+            return Ok(());
+        };
+        // Ratio test; Bland tie-break on smallest basis index.
+        let mut leaving: Option<(usize, f64)> = None;
+        for (i, row) in t.iter().enumerate() {
+            if row[entering] > EPS {
+                let ratio = row[total] / row[entering];
+                let better = match leaving {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leaving = Some((i, ratio));
+                }
+            }
+        }
+        let Some((pivot_row, _)) = leaving else {
+            return Err(ClusterError::Unbounded);
+        };
+        pivot(t, obj, basis, pivot_row, entering, total);
+    }
+    // Bland's rule guarantees termination; this is a defensive bound.
+    Err(ClusterError::Unbounded)
+}
+
+#[allow(clippy::needless_range_loop)] // tableau kernel
+fn pivot(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    let pv = t[row][col];
+    for c in 0..=total {
+        t[row][c] /= pv;
+    }
+    for i in 0..t.len() {
+        if i != row && t[i][col].abs() > EPS {
+            let f = t[i][col];
+            for c in 0..=total {
+                t[i][c] -= f * t[row][c];
+            }
+        }
+    }
+    if obj[col].abs() > EPS {
+        let f = obj[col];
+        for c in 0..=total {
+            obj[c] -= f * t[row][c];
+        }
+    }
+    basis[row] = col;
+}
+
+/// Solves the assignment problem on `matrix` as a linear program:
+/// maximize `Σ vᵢⱼ·xᵢⱼ` with each row placed exactly once and each column
+/// used at most once. The relaxation is integral, so thresholding at ½
+/// recovers the permutation.
+///
+/// # Errors
+///
+/// Propagates LP solver errors (a well-formed matrix is always feasible).
+pub fn solve_assignment_lp(matrix: &PerfMatrix) -> Result<Assignment, ClusterError> {
+    let rows = matrix.rows();
+    let cols = matrix.cols();
+    let nvars = rows * cols;
+    let var = |r: usize, c: usize| r * cols + c;
+
+    let mut objective = vec![0.0; nvars];
+    for r in 0..rows {
+        for c in 0..cols {
+            objective[var(r, c)] = matrix.value(r, c);
+        }
+    }
+    let mut constraints = Vec::with_capacity(rows + cols);
+    for r in 0..rows {
+        let mut coeffs = vec![0.0; nvars];
+        for c in 0..cols {
+            coeffs[var(r, c)] = 1.0;
+        }
+        constraints.push(Constraint {
+            coeffs,
+            relation: Relation::Eq,
+            rhs: 1.0,
+        });
+    }
+    for c in 0..cols {
+        let mut coeffs = vec![0.0; nvars];
+        for r in 0..rows {
+            coeffs[var(r, c)] = 1.0;
+        }
+        constraints.push(Constraint {
+            coeffs,
+            relation: Relation::Le,
+            rhs: 1.0,
+        });
+    }
+    let solution = solve(&LinearProgram {
+        objective,
+        constraints,
+    })?;
+
+    let mut pairs = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let c = (0..cols)
+            .max_by(|&a, &b| {
+                solution.x[var(r, a)]
+                    .partial_cmp(&solution.x[var(r, b)])
+                    .expect("lp values are finite")
+            })
+            .expect("at least one column");
+        debug_assert!(
+            solution.x[var(r, c)] > 0.5,
+            "assignment LP should be integral"
+        );
+        pairs.push((r, c));
+    }
+    let total = matrix.assignment_value(&pairs);
+    Ok(Assignment { pairs, total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2 -> x=2, y=2, obj=10.
+        let lp = LinearProgram {
+            objective: vec![3.0, 2.0],
+            constraints: vec![
+                Constraint {
+                    coeffs: vec![1.0, 1.0],
+                    relation: Relation::Le,
+                    rhs: 4.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    relation: Relation::Le,
+                    rhs: 2.0,
+                },
+            ],
+        };
+        let s = solve(&lp).unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-7, "{s:?}");
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 3, x <= 1 -> obj = 3 with x<=1.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                Constraint {
+                    coeffs: vec![1.0, 1.0],
+                    relation: Relation::Eq,
+                    rhs: 3.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    relation: Relation::Le,
+                    rhs: 1.0,
+                },
+            ],
+        };
+        let s = solve(&lp).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-7);
+        assert!((s.x[0] + s.x[1] - 3.0).abs() < 1e-7);
+        assert!(s.x[0] <= 1.0 + 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_and_negative_rhs() {
+        // max -x s.t. x >= 2 -> x = 2. Also expressed as -x <= -2.
+        let lp = LinearProgram {
+            objective: vec![-1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![-1.0],
+                relation: Relation::Le,
+                rhs: -2.0,
+            }],
+        };
+        let s = solve(&lp).unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.objective + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![
+                Constraint {
+                    coeffs: vec![1.0],
+                    relation: Relation::Le,
+                    rhs: 1.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0],
+                    relation: Relation::Ge,
+                    rhs: 2.0,
+                },
+            ],
+        };
+        assert_eq!(solve(&lp), Err(ClusterError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![-1.0],
+                relation: Relation::Le,
+                rhs: 1.0,
+            }],
+        };
+        assert_eq!(solve(&lp), Err(ClusterError::Unbounded));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    relation: Relation::Le,
+                    rhs: 1.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    relation: Relation::Le,
+                    rhs: 1.0,
+                },
+                Constraint {
+                    coeffs: vec![0.0, 1.0],
+                    relation: Relation::Le,
+                    rhs: 1.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0, 1.0],
+                    relation: Relation::Le,
+                    rhs: 2.0,
+                },
+            ],
+        };
+        let s = solve(&lp).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ragged_constraint_rejected() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![1.0],
+                relation: Relation::Le,
+                rhs: 1.0,
+            }],
+        };
+        assert!(matches!(solve(&lp), Err(ClusterError::InvalidMatrix(_))));
+    }
+
+    #[test]
+    fn assignment_lp_is_integral() {
+        let m = PerfMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["x".into(), "y".into(), "z".into()],
+            vec![
+                vec![0.9, 0.5, 0.1],
+                vec![0.6, 0.8, 0.3],
+                vec![0.2, 0.4, 0.95],
+            ],
+        )
+        .unwrap();
+        let a = solve_assignment_lp(&m).unwrap();
+        assert_eq!(a.pairs.len(), 3);
+        assert!((a.total - (0.9 + 0.8 + 0.95)).abs() < 1e-7);
+    }
+}
+
+#[cfg(test)]
+mod brute_force_tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// Brute-force a 2-variable LP by enumerating constraint-intersection
+    /// vertices (plus axis intercepts and the origin).
+    fn brute_force_2d(lp: &LinearProgram) -> Option<f64> {
+        let mut candidates = vec![(0.0, 0.0)];
+        let lines: Vec<(f64, f64, f64)> = lp
+            .constraints
+            .iter()
+            .map(|c| (c.coeffs[0], c.coeffs[1], c.rhs))
+            .collect();
+        // Pairwise intersections, including the axes x=0 and y=0.
+        let mut all = lines.clone();
+        all.push((1.0, 0.0, 0.0));
+        all.push((0.0, 1.0, 0.0));
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                let (a1, b1, c1) = all[i];
+                let (a2, b2, c2) = all[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() < 1e-12 {
+                    continue;
+                }
+                let x = (c1 * b2 - c2 * b1) / det;
+                let y = (a1 * c2 - a2 * c1) / det;
+                candidates.push((x, y));
+            }
+        }
+        let feasible = |x: f64, y: f64| {
+            x >= -1e-9
+                && y >= -1e-9
+                && lines.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-9)
+        };
+        candidates
+            .into_iter()
+            .filter(|&(x, y)| feasible(x, y))
+            .map(|(x, y)| lp.objective[0] * x + lp.objective[1] * y)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    }
+
+    #[test]
+    fn simplex_matches_vertex_enumeration_on_random_2d_lps() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut checked = 0;
+        for _ in 0..200 {
+            let lp = LinearProgram {
+                objective: vec![rng.gen_range(0.1..5.0), rng.gen_range(0.1..5.0)],
+                constraints: (0..rng.gen_range(1..=4))
+                    .map(|_| Constraint {
+                        coeffs: vec![rng.gen_range(0.1..3.0), rng.gen_range(0.1..3.0)],
+                        relation: Relation::Le,
+                        rhs: rng.gen_range(1.0..10.0),
+                    })
+                    .collect(),
+            };
+            // Positive coefficients + Le constraints: always feasible (the
+            // origin) and bounded.
+            let brute = brute_force_2d(&lp).expect("origin is feasible");
+            let simplex = solve(&lp).expect("bounded and feasible");
+            assert!(
+                (simplex.objective - brute).abs() < 1e-6 * brute.max(1.0),
+                "simplex {} vs brute force {brute} on {lp:?}",
+                simplex.objective
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 200);
+    }
+}

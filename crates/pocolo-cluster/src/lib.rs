@@ -1,0 +1,35 @@
+//! # pocolo-cluster
+//!
+//! Cluster-level placement for Pocolo (§IV-B): match each best-effort
+//! application to a latency-critical server so that total cluster
+//! throughput is maximized across the primaries' whole load range.
+//!
+//! The pipeline:
+//!
+//! 1. [`perfmatrix`] builds the BE×LC **performance matrix**: for every
+//!    (best-effort app, LC server) pair it walks the primary's least-power
+//!    expansion path over the load range, derives the spare resources and
+//!    power headroom at each load, and evaluates the BE app's fitted
+//!    indirect utility inside that box.
+//! 2. [`assign`] solves the assignment: an exact **Hungarian** algorithm, a
+//!    from-scratch two-phase **simplex LP** (the paper uses an LP solver),
+//!    **exhaustive** permutation search (the Fig. 14 oracle) and **random**
+//!    placement (the baseline).
+//! 3. [`placement::ClusterManager`] glues the two together.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod assign;
+pub mod error;
+pub mod matrix;
+pub mod perfmatrix;
+pub mod placement;
+
+pub use admission::{admit_and_place, AdmissionDecision};
+pub use assign::{Assignment, Solver};
+pub use error::ClusterError;
+pub use matrix::PerfMatrix;
+pub use perfmatrix::{estimate_pair_throughput, PerfMatrixBuilder, ServerProfile};
+pub use placement::ClusterManager;

@@ -1,0 +1,160 @@
+//! The BE×LC performance matrix (Fig. 7-II of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// A labelled rows×cols matrix of estimated throughputs: entry `(i, j)` is
+/// the predicted average throughput of best-effort app `i` when placed on
+/// latency-critical server `j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfMatrix {
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl PerfMatrix {
+    /// Builds a matrix from labels and row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidMatrix`] if empty, ragged, label
+    /// counts mismatch, or any value is not finite and non-negative.
+    pub fn new(
+        row_labels: Vec<String>,
+        col_labels: Vec<String>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<Self, ClusterError> {
+        if values.is_empty() || col_labels.is_empty() {
+            return Err(ClusterError::InvalidMatrix("matrix is empty".into()));
+        }
+        if values.len() != row_labels.len() {
+            return Err(ClusterError::InvalidMatrix(format!(
+                "{} rows but {} row labels",
+                values.len(),
+                row_labels.len()
+            )));
+        }
+        for row in &values {
+            if row.len() != col_labels.len() {
+                return Err(ClusterError::InvalidMatrix(format!(
+                    "ragged row: {} entries, {} col labels",
+                    row.len(),
+                    col_labels.len()
+                )));
+            }
+            for &v in row {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(ClusterError::InvalidMatrix(format!(
+                        "throughput {v} must be finite and non-negative"
+                    )));
+                }
+            }
+        }
+        Ok(PerfMatrix {
+            row_labels,
+            col_labels,
+            values,
+        })
+    }
+
+    /// Number of best-effort apps (rows).
+    pub fn rows(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of servers (columns).
+    pub fn cols(&self) -> usize {
+        self.col_labels.len()
+    }
+
+    /// Entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.values[row][col]
+    }
+
+    /// The raw row-major values.
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// Row (best-effort app) labels.
+    pub fn row_labels(&self) -> &[String] {
+        &self.row_labels
+    }
+
+    /// Column (server / LC app) labels.
+    pub fn col_labels(&self) -> &[String] {
+        &self.col_labels
+    }
+
+    /// Total value of an assignment given as `pairs[(row, col)]`.
+    pub fn assignment_value(&self, pairs: &[(usize, usize)]) -> f64 {
+        pairs.iter().map(|&(r, c)| self.values[r][c]).sum()
+    }
+}
+
+impl fmt::Display for PerfMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10}", "")?;
+        for c in &self.col_labels {
+            write!(f, " {c:>9}")?;
+        }
+        writeln!(f)?;
+        for (r, row) in self.row_labels.iter().zip(&self.values) {
+            write!(f, "{r:>10}")?;
+            for v in row {
+                write!(f, " {v:>9.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = PerfMatrix::new(
+            labels(&["lstm", "graph"]),
+            labels(&["sphinx", "xapian"]),
+            vec![vec![0.5, 0.7], vec![0.9, 0.4]],
+        )
+        .unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.value(1, 0), 0.9);
+        assert_eq!(m.assignment_value(&[(0, 1), (1, 0)]), 0.7 + 0.9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PerfMatrix::new(labels(&[]), labels(&["a"]), vec![]).is_err());
+        assert!(PerfMatrix::new(labels(&["x"]), labels(&["a", "b"]), vec![vec![1.0]]).is_err());
+        assert!(PerfMatrix::new(labels(&["x"]), labels(&["a"]), vec![vec![-1.0]]).is_err());
+        assert!(PerfMatrix::new(labels(&["x"]), labels(&["a"]), vec![vec![f64::NAN]]).is_err());
+        assert!(PerfMatrix::new(labels(&["x", "y"]), labels(&["a"]), vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let m =
+            PerfMatrix::new(labels(&["lstm"]), labels(&["sphinx"]), vec![vec![0.1234]]).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("lstm") && s.contains("sphinx") && s.contains("0.1234"));
+    }
+}

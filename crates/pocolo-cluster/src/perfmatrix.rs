@@ -1,0 +1,314 @@
+//! Building the BE×LC performance matrix from fitted models (§IV-B).
+//!
+//! For each (best-effort app, LC server) pair the builder walks the
+//! primary's least-power expansion path over its load range; at each load
+//! it computes the spare cores/ways and the power headroom under the
+//! server's provisioned cap, then evaluates the BE app's fitted indirect
+//! utility *inside that box*. The matrix entry is the average across loads
+//! — so placements favour apps that benefit across the primary's **entire
+//! load spectrum**, not one operating point (the Fig. 4 insight).
+
+use pocolo_core::error::CoreError;
+use pocolo_core::resources::{ResourceDescriptor, ResourceSpace};
+use pocolo_core::units::Watts;
+use pocolo_core::utility::IndirectUtility;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+use crate::matrix::PerfMatrix;
+
+/// A latency-critical server as the cluster manager sees it: the fitted
+/// model of its primary app, its provisioned power cap, and the primary's
+/// peak load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerProfile {
+    /// Label (the primary app's name).
+    pub label: String,
+    /// Fitted indirect utility of the primary (performance = max
+    /// sustainable load; power model includes the platform idle power).
+    pub utility: IndirectUtility,
+    /// Provisioned (right-sized) server power capacity.
+    pub power_cap: Watts,
+    /// The primary's peak load in its own units (requests/s).
+    pub peak_load: f64,
+}
+
+/// Estimated average throughput of a BE app (fitted utility `be`) placed on
+/// `server`, averaged over `load_levels` (fractions of the primary's peak).
+///
+/// Loads the primary cannot serve even with the full machine contribute a
+/// zero (the BE app would be evicted); so do levels with no spare capacity
+/// or headroom.
+///
+/// # Errors
+///
+/// Propagates unexpected model errors (dimension mismatches etc.);
+/// infeasibility is folded into zeros, not errors.
+pub fn estimate_pair_throughput(
+    be: &IndirectUtility,
+    server: &ServerProfile,
+    load_levels: &[f64],
+) -> Result<f64, ClusterError> {
+    if load_levels.is_empty() {
+        return Err(ClusterError::InvalidMatrix("no load levels".into()));
+    }
+    let space = server.utility.space();
+    let k = space.len();
+    let mut total = 0.0;
+    for &level in load_levels {
+        let target = level * server.peak_load;
+        let budget = match server.utility.min_power_for(target) {
+            Ok(p) => p,
+            Err(CoreError::UnreachableTarget { .. }) => {
+                // Primary needs everything; BE gets nothing at this load.
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let lc_alloc = server.utility.demand_integral(budget)?;
+        let lc_power = server.utility.power_model().power_of(&lc_alloc);
+        let headroom = server.power_cap - lc_power;
+        // Spare per dimension; whole units for integral resources.
+        let spare: Vec<f64> = (0..k)
+            .map(|j| {
+                let d = space.descriptor(j);
+                let raw = d.max() - lc_alloc.amount(j);
+                if d.is_integral() {
+                    raw.floor()
+                } else {
+                    raw
+                }
+            })
+            .collect();
+        if spare.iter().any(|&v| v < 1.0) || headroom <= Watts::ZERO {
+            continue;
+        }
+        let mut builder = ResourceSpace::builder();
+        for (j, &v) in spare.iter().enumerate() {
+            let d = space.descriptor(j);
+            builder = builder.resource(if d.is_integral() {
+                ResourceDescriptor::integral(d.name(), 1.0, v)
+            } else {
+                ResourceDescriptor::continuous(d.name(), 1.0, v)
+            });
+        }
+        let sub_space = builder.build()?;
+        let be_sub = IndirectUtility::new(
+            sub_space,
+            be.performance_model().clone(),
+            be.power_model().clone(),
+        )?;
+        match be_sub.demand_solution(headroom) {
+            Ok(sol) => total += sol.utility,
+            Err(CoreError::InfeasibleBudget { .. }) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(total / load_levels.len() as f64)
+}
+
+/// Builds [`PerfMatrix`]es from fitted models over a configurable load
+/// range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfMatrixBuilder {
+    load_levels: Vec<f64>,
+}
+
+impl Default for PerfMatrixBuilder {
+    /// The paper's uniform 10–90 % range in steps of 10 (§V-D).
+    fn default() -> Self {
+        PerfMatrixBuilder {
+            load_levels: (1..=9).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+}
+
+impl PerfMatrixBuilder {
+    /// Builder with the paper's default load range.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the load levels (fractions of each primary's peak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    #[must_use]
+    pub fn with_load_levels(mut self, levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "need at least one load level");
+        self.load_levels = levels;
+        self
+    }
+
+    /// The configured load levels.
+    pub fn load_levels(&self) -> &[f64] {
+        &self.load_levels
+    }
+
+    /// Builds the matrix: rows = best-effort apps, cols = servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors; see [`estimate_pair_throughput`].
+    pub fn build(
+        &self,
+        be_apps: &[(String, IndirectUtility)],
+        servers: &[ServerProfile],
+    ) -> Result<PerfMatrix, ClusterError> {
+        if be_apps.is_empty() || servers.is_empty() {
+            return Err(ClusterError::InvalidMatrix(
+                "need at least one app and one server".into(),
+            ));
+        }
+        let mut values = Vec::with_capacity(be_apps.len());
+        for (_, be) in be_apps {
+            let mut row = Vec::with_capacity(servers.len());
+            for server in servers {
+                row.push(estimate_pair_throughput(be, server, &self.load_levels)?);
+            }
+            values.push(row);
+        }
+        PerfMatrix::new(
+            be_apps.iter().map(|(l, _)| l.clone()).collect(),
+            servers.iter().map(|s| s.label.clone()).collect(),
+            values,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_simserver::power::PowerDrawModel;
+    use pocolo_simserver::MachineSpec;
+    use pocolo_workloads::profiler::{profile_be, profile_lc, ProfilerConfig};
+    use pocolo_workloads::{BeApp, BeModel, LcApp, LcModel};
+
+    fn fitted_cluster() -> (Vec<(String, IndirectUtility)>, Vec<ServerProfile>) {
+        let machine = MachineSpec::xeon_e5_2650();
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let cfg = ProfilerConfig::default();
+        let servers = LcApp::ALL
+            .iter()
+            .map(|&app| {
+                let truth = LcModel::for_app(app, machine.clone());
+                let samples = profile_lc(&truth, &power, &space, &cfg);
+                let fit = fit_indirect_utility(&space, &samples, &FitOptions::default()).unwrap();
+                ServerProfile {
+                    label: app.name().to_string(),
+                    utility: fit.utility,
+                    power_cap: truth.provisioned_power(),
+                    peak_load: truth.peak_load_rps(),
+                }
+            })
+            .collect();
+        let bes = BeApp::ALL
+            .iter()
+            .map(|&app| {
+                let truth = BeModel::for_app(app, machine.clone());
+                let samples = profile_be(&truth, &power, &space, &cfg);
+                let fit = fit_indirect_utility(&space, &samples, &FitOptions::default()).unwrap();
+                (app.name().to_string(), fit.utility)
+            })
+            .collect();
+        (bes, servers)
+    }
+
+    #[test]
+    fn matrix_has_sane_shape_and_values() {
+        let (bes, servers) = fitted_cluster();
+        let m = PerfMatrixBuilder::new().build(&bes, &servers).unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                let v = m.value(r, c);
+                assert!(v.is_finite() && v >= 0.0);
+                assert!(v < 1.5, "normalized throughput estimate should be < 1.5");
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_decrease_with_narrower_headroom() {
+        let (bes, servers) = fitted_cluster();
+        let be = &bes[2].1; // graph
+        let mut tight = servers[1].clone(); // sphinx
+        let loose = tight.clone();
+        tight.power_cap -= Watts(30.0);
+        let levels = [0.3, 0.5, 0.7];
+        let v_loose = estimate_pair_throughput(be, &loose, &levels).unwrap();
+        let v_tight = estimate_pair_throughput(be, &tight, &levels).unwrap();
+        assert!(
+            v_tight < v_loose,
+            "tighter cap must shrink the estimate: {v_tight} !< {v_loose}"
+        );
+    }
+
+    #[test]
+    fn high_loads_leave_less_for_be() {
+        let (bes, servers) = fitted_cluster();
+        let be = &bes[0].1;
+        let low = estimate_pair_throughput(be, &servers[2], &[0.1]).unwrap();
+        let high = estimate_pair_throughput(be, &servers[2], &[0.9]).unwrap();
+        assert!(high < low);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let (bes, servers) = fitted_cluster();
+        assert!(PerfMatrixBuilder::new().build(&[], &servers).is_err());
+        assert!(PerfMatrixBuilder::new().build(&bes, &[]).is_err());
+        assert!(estimate_pair_throughput(&bes[0].1, &servers[0], &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load level")]
+    fn empty_levels_panics() {
+        let _ = PerfMatrixBuilder::new().with_load_levels(vec![]);
+    }
+}
+
+#[cfg(test)]
+mod k3_tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_workloads::membw::{three_resource_space, ThreeResourceApp};
+
+    #[test]
+    fn estimates_work_at_three_resources() {
+        // A three-resource "primary" (the analytics mix scaled up) and a
+        // three-resource BE candidate: the matrix machinery must handle
+        // k = 3 spaces without assuming cores/ways.
+        let space = three_resource_space();
+        let primary = ThreeResourceApp::analytics_mix();
+        let be = ThreeResourceApp::compute_kernel();
+        let fit = |app: &ThreeResourceApp| {
+            fit_indirect_utility(&space, &app.profile(0.02, 5), &FitOptions::default())
+                .unwrap()
+                .utility
+        };
+        let primary_fit = fit(&primary);
+        let be_fit = fit(&be);
+        let peak = primary_fit
+            .value(primary_fit.max_power())
+            .expect("max power is feasible");
+        let server = ServerProfile {
+            label: "analytics".into(),
+            utility: primary_fit,
+            power_cap: Watts(120.0),
+            peak_load: peak,
+        };
+        let levels = [0.2, 0.5, 0.8];
+        let v = estimate_pair_throughput(&be_fit, &server, &levels).unwrap();
+        assert!(v.is_finite() && v > 0.0, "estimate {v}");
+        // Tighter cap -> smaller estimate, as at k = 2.
+        let mut tight = server.clone();
+        tight.power_cap = Watts(90.0);
+        let v_tight = estimate_pair_throughput(&be_fit, &tight, &levels).unwrap();
+        assert!(v_tight < v);
+    }
+}

@@ -1,0 +1,175 @@
+//! The cluster manager: performance matrix + assignment solver (Fig. 7,
+//! stages II–III).
+
+use serde::{Deserialize, Serialize};
+
+use pocolo_core::utility::IndirectUtility;
+
+use crate::assign::{self, Assignment, Solver};
+use crate::error::ClusterError;
+use crate::matrix::PerfMatrix;
+use crate::perfmatrix::{PerfMatrixBuilder, ServerProfile};
+
+/// Cluster-level placement engine.
+///
+/// Owns the fitted models of every best-effort candidate and every
+/// latency-critical server; produces the performance matrix and solves the
+/// placement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterManager {
+    be_apps: Vec<(String, IndirectUtility)>,
+    servers: Vec<ServerProfile>,
+    builder: PerfMatrixBuilder,
+}
+
+impl ClusterManager {
+    /// Creates a manager over fitted BE apps and LC server profiles, using
+    /// the paper's default 10–90 % load range for estimation.
+    pub fn new(be_apps: Vec<(String, IndirectUtility)>, servers: Vec<ServerProfile>) -> Self {
+        ClusterManager {
+            be_apps,
+            servers,
+            builder: PerfMatrixBuilder::new(),
+        }
+    }
+
+    /// Overrides the load levels used for matrix estimation.
+    #[must_use]
+    pub fn with_load_levels(mut self, levels: Vec<f64>) -> Self {
+        self.builder = self.builder.with_load_levels(levels);
+        self
+    }
+
+    /// The best-effort candidates (label, fitted utility).
+    pub fn be_apps(&self) -> &[(String, IndirectUtility)] {
+        &self.be_apps
+    }
+
+    /// The LC server profiles.
+    pub fn servers(&self) -> &[ServerProfile] {
+        &self.servers
+    }
+
+    /// Builds the BE×LC performance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures.
+    pub fn performance_matrix(&self) -> Result<PerfMatrix, ClusterError> {
+        self.builder.build(&self.be_apps, &self.servers)
+    }
+
+    /// Builds the matrix and solves the placement with `solver`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix and solver failures.
+    pub fn place(&self, solver: Solver) -> Result<Assignment, ClusterError> {
+        let matrix = self.performance_matrix()?;
+        assign::solve(&matrix, solver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_simserver::power::PowerDrawModel;
+    use pocolo_simserver::MachineSpec;
+    use pocolo_workloads::profiler::{profile_be, profile_lc, ProfilerConfig};
+    use pocolo_workloads::{BeApp, BeModel, LcApp, LcModel};
+
+    fn manager() -> ClusterManager {
+        let machine = MachineSpec::xeon_e5_2650();
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let cfg = ProfilerConfig::default();
+        let servers = LcApp::ALL
+            .iter()
+            .map(|&app| {
+                let truth = LcModel::for_app(app, machine.clone());
+                let samples = profile_lc(&truth, &power, &space, &cfg);
+                let fit = fit_indirect_utility(&space, &samples, &FitOptions::default()).unwrap();
+                ServerProfile {
+                    label: app.name().to_string(),
+                    utility: fit.utility,
+                    power_cap: truth.provisioned_power(),
+                    peak_load: truth.peak_load_rps(),
+                }
+            })
+            .collect();
+        let bes = BeApp::ALL
+            .iter()
+            .map(|&app| {
+                let truth = BeModel::for_app(app, machine.clone());
+                let samples = profile_be(&truth, &power, &space, &cfg);
+                let fit = fit_indirect_utility(&space, &samples, &FitOptions::default()).unwrap();
+                (app.name().to_string(), fit.utility)
+            })
+            .collect();
+        ClusterManager::new(bes, servers)
+    }
+
+    #[test]
+    fn pocolo_reproduces_paper_pairings() {
+        // §V-E: "Pocolo chooses to assign Graph to sphinx server ...
+        // LSTM is matched to img-dnn, whereas RNN/Pbzip are matched to
+        // Xapian or TPCC".
+        let mgr = manager();
+        let assignment = mgr.place(Solver::Hungarian).unwrap();
+        let matrix = mgr.performance_matrix().unwrap();
+        let col_of = |name: &str| matrix.col_labels().iter().position(|l| l == name).unwrap();
+        let row_of = |name: &str| matrix.row_labels().iter().position(|l| l == name).unwrap();
+        assert_eq!(
+            assignment.server_for(row_of("graph")),
+            Some(col_of("sphinx")),
+            "graph should pair with sphinx\n{matrix}"
+        );
+        assert_eq!(
+            assignment.server_for(row_of("lstm")),
+            Some(col_of("img-dnn")),
+            "lstm should pair with img-dnn\n{matrix}"
+        );
+        // rnn and pbzip land on xapian/tpcc in either order.
+        let rnn = assignment.server_for(row_of("rnn")).unwrap();
+        let pbzip = assignment.server_for(row_of("pbzip")).unwrap();
+        let xt = [col_of("xapian"), col_of("tpcc")];
+        assert!(xt.contains(&rnn) && xt.contains(&pbzip) && rnn != pbzip);
+    }
+
+    #[test]
+    fn lp_and_hungarian_agree() {
+        let mgr = manager();
+        let h = mgr.place(Solver::Hungarian).unwrap();
+        let l = mgr.place(Solver::Lp).unwrap();
+        let e = mgr.place(Solver::Exhaustive).unwrap();
+        assert!((h.total - e.total).abs() < 1e-9);
+        assert!((l.total - e.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_beats_random_on_average() {
+        let mgr = manager();
+        let opt = mgr.place(Solver::Hungarian).unwrap();
+        let mut rand_total = 0.0;
+        let n = 24;
+        for seed in 0..n {
+            rand_total += mgr.place(Solver::Random { seed }).unwrap().total;
+        }
+        let avg = rand_total / n as f64;
+        assert!(
+            opt.total > avg * 1.02,
+            "optimal {} should beat random average {avg}",
+            opt.total
+        );
+    }
+
+    #[test]
+    fn custom_load_levels() {
+        let mgr = manager().with_load_levels(vec![0.5]);
+        let m = mgr.performance_matrix().unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(mgr.be_apps().len(), 4);
+        assert_eq!(mgr.servers().len(), 4);
+    }
+}

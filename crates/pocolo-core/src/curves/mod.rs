@@ -1,0 +1,8 @@
+//! Geometric analyses from consumer theory: indifference curves, least-power
+//! expansion paths, and the Edgeworth box (Figs. 5 and 6 of the paper).
+
+pub mod edgeworth;
+pub mod indifference;
+
+pub use edgeworth::{EdgeworthBox, SpareCapacity};
+pub use indifference::{expansion_path, indifference_curve, least_power_allocation, PathPoint};

@@ -1,0 +1,140 @@
+//! Error types for the core framework.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the economics framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Two quantities that must agree on the number of direct resources did
+    /// not (e.g. an allocation with 3 entries against a 2-resource space).
+    DimensionMismatch {
+        /// Number of dimensions that was expected.
+        expected: usize,
+        /// Number of dimensions that was provided.
+        actual: usize,
+    },
+    /// A resource descriptor or space was internally inconsistent
+    /// (e.g. `min > max`, or no resources at all).
+    InvalidSpace(String),
+    /// An allocation fell outside the bounds of its resource space.
+    InvalidAllocation(String),
+    /// A model parameter was invalid (non-finite, non-positive where
+    /// positivity is required, …).
+    InvalidParameter(String),
+    /// Too few profiling samples to fit the requested model.
+    InsufficientSamples {
+        /// Samples required for the fit to be determined.
+        needed: usize,
+        /// Samples actually available after filtering.
+        available: usize,
+    },
+    /// The least-squares normal equations were singular (e.g. a resource was
+    /// never varied during profiling).
+    SingularSystem,
+    /// A power budget was too small to cover static power plus the minimum
+    /// allocation of every resource.
+    InfeasibleBudget {
+        /// The budget that was requested.
+        budget_watts: f64,
+        /// The minimum power required for a feasible allocation.
+        required_watts: f64,
+    },
+    /// A requested performance target is unreachable even with every
+    /// resource at its maximum.
+    UnreachableTarget {
+        /// The performance that was requested.
+        target: f64,
+        /// The best achievable performance.
+        achievable: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected} resources, got {actual}")
+            }
+            CoreError::InvalidSpace(msg) => write!(f, "invalid resource space: {msg}"),
+            CoreError::InvalidAllocation(msg) => write!(f, "invalid allocation: {msg}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::InsufficientSamples { needed, available } => write!(
+                f,
+                "insufficient samples: need at least {needed}, have {available}"
+            ),
+            CoreError::SingularSystem => {
+                write!(f, "singular least-squares system (a resource may never vary)")
+            }
+            CoreError::InfeasibleBudget {
+                budget_watts,
+                required_watts,
+            } => write!(
+                f,
+                "power budget {budget_watts:.2} W below the {required_watts:.2} W required for minimum allocations"
+            ),
+            CoreError::UnreachableTarget { target, achievable } => write!(
+                f,
+                "performance target {target:.3} exceeds best achievable {achievable:.3}"
+            ),
+        }
+    }
+}
+
+impl StdError for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (
+                CoreError::DimensionMismatch {
+                    expected: 2,
+                    actual: 3,
+                },
+                "dimension mismatch",
+            ),
+            (
+                CoreError::InvalidSpace("empty".into()),
+                "invalid resource space",
+            ),
+            (CoreError::SingularSystem, "singular"),
+            (
+                CoreError::InsufficientSamples {
+                    needed: 4,
+                    available: 1,
+                },
+                "insufficient samples",
+            ),
+            (
+                CoreError::InfeasibleBudget {
+                    budget_watts: 10.0,
+                    required_watts: 60.0,
+                },
+                "power budget",
+            ),
+            (
+                CoreError::UnreachableTarget {
+                    target: 10.0,
+                    achievable: 5.0,
+                },
+                "performance target",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: StdError + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

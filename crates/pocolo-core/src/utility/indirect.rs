@@ -1,0 +1,573 @@
+//! The Cobb-Douglas **indirect utility**: performance maximized over
+//! allocations that fit a power budget.
+//!
+//! This is the paper's analytical core (§III). Given
+//!
+//! ```text
+//! maximize   α₀ ∏ rⱼ^αⱼ
+//! subject to P_static + Σ rⱼ pⱼ ≤ Power,   lⱼ ≤ rⱼ ≤ uⱼ
+//! ```
+//!
+//! the unconstrained-in-bounds optimum is the closed-form demand
+//! `rⱼ* = (Power − P_static)/pⱼ · αⱼ/Σα`; box constraints are handled by
+//! KKT water-filling (binding a violated bound and re-solving the rest),
+//! which terminates in at most `k` rounds. The whole solve is `O(k²)` —
+//! the "constant time, less than a millisecond" allocation decision of
+//! §IV-C.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::preference::PreferenceVector;
+use crate::resources::{Allocation, ResourceSpace};
+use crate::units::Watts;
+use crate::utility::{CobbDouglas, PowerModel};
+
+/// Result of a demand solve: the power-optimal allocation plus diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandSolution {
+    /// The (continuous) optimal allocation.
+    pub allocation: Allocation,
+    /// Performance achieved at [`DemandSolution::allocation`].
+    pub utility: f64,
+    /// Power drawn at the optimal allocation (≤ the requested budget).
+    pub power: Watts,
+    /// Dimensions whose upper bound binds at the optimum.
+    pub saturated: Vec<usize>,
+}
+
+/// A performance model and a power model over the same resource space,
+/// combined under a power budget.
+///
+/// See the [crate-level documentation](crate) for a full example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndirectUtility {
+    space: ResourceSpace,
+    perf: CobbDouglas,
+    power: PowerModel,
+}
+
+impl IndirectUtility {
+    /// Combines a performance and a power model over `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if the three parts disagree
+    /// on the number of direct resources.
+    pub fn new(
+        space: ResourceSpace,
+        perf: CobbDouglas,
+        power: PowerModel,
+    ) -> Result<Self, CoreError> {
+        if perf.len() != space.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: space.len(),
+                actual: perf.len(),
+            });
+        }
+        if power.len() != space.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: space.len(),
+                actual: power.len(),
+            });
+        }
+        Ok(IndirectUtility { space, perf, power })
+    }
+
+    /// The resource space the models are defined over.
+    pub fn space(&self) -> &ResourceSpace {
+        &self.space
+    }
+
+    /// The Cobb-Douglas performance model.
+    pub fn performance_model(&self) -> &CobbDouglas {
+        &self.perf
+    }
+
+    /// The linear power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The minimum power at which *any* allocation is feasible
+    /// (`P_static + Σ pⱼ lⱼ`).
+    pub fn min_feasible_power(&self) -> Watts {
+        let mins: Vec<f64> = self.space.iter().map(|d| d.min()).collect();
+        self.power
+            .power_of_amounts(&mins)
+            .expect("space and power model dimensions agree")
+    }
+
+    /// Power drawn with every resource at its maximum.
+    pub fn max_power(&self) -> Watts {
+        let maxs: Vec<f64> = self.space.iter().map(|d| d.max()).collect();
+        self.power
+            .power_of_amounts(&maxs)
+            .expect("space and power model dimensions agree")
+    }
+
+    /// The scaled preference vector `(αⱼ/pⱼ) / Σᵢ(αᵢ/pᵢ)` — relative
+    /// performance-per-watt of each direct resource, independent of load or
+    /// budget (§III).
+    ///
+    /// A resource with zero marginal power cost is treated as having a very
+    /// small cost so the ratio stays finite.
+    pub fn preference_vector(&self) -> PreferenceVector {
+        const EPS: f64 = 1e-9;
+        let raw: Vec<f64> = self
+            .perf
+            .alphas()
+            .iter()
+            .zip(self.power.p_dynamic())
+            .map(|(&a, &p)| a / p.max(EPS))
+            .collect();
+        PreferenceVector::from_raw(raw)
+    }
+
+    /// The *direct* (power-oblivious) preference vector `αⱼ / Σα`.
+    pub fn direct_preference_vector(&self) -> PreferenceVector {
+        PreferenceVector::from_raw(self.perf.alphas().to_vec())
+    }
+
+    /// Solves the demand problem: the allocation maximizing performance
+    /// under `budget`, respecting the space's box bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InfeasibleBudget`] if `budget` cannot cover the
+    /// minimum allocation of every resource.
+    pub fn demand(&self, budget: Watts) -> Result<Allocation, CoreError> {
+        Ok(self.demand_solution(budget)?.allocation)
+    }
+
+    /// Like [`IndirectUtility::demand`] but returns the full
+    /// [`DemandSolution`] with utility, power and saturation diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IndirectUtility::demand`].
+    pub fn demand_solution(&self, budget: Watts) -> Result<DemandSolution, CoreError> {
+        let k = self.space.len();
+        let min_power = self.min_feasible_power();
+        if budget < min_power {
+            return Err(CoreError::InfeasibleBudget {
+                budget_watts: budget.0,
+                required_watts: min_power.0,
+            });
+        }
+
+        let lows: Vec<f64> = self.space.iter().map(|d| d.min()).collect();
+        let highs: Vec<f64> = self.space.iter().map(|d| d.max()).collect();
+        let alphas = self.perf.alphas();
+        let costs = self.power.p_dynamic();
+
+        // KKT stationarity gives r_j(λ) = α_j/(λ·p_j), clamped into the box;
+        // the spend Σ p_j·r_j(λ) is continuous and non-increasing in λ, so
+        // the budget-binding multiplier is found by bisection. Resources
+        // with α_j = 0 sit at their minimum; free resources (p_j = 0) at
+        // their maximum.
+        let r_at = |lambda: f64, j: usize| -> f64 {
+            if alphas[j] == 0.0 {
+                lows[j]
+            } else if costs[j] == 0.0 {
+                highs[j]
+            } else {
+                (alphas[j] / (lambda * costs[j])).clamp(lows[j], highs[j])
+            }
+        };
+        let spend = |lambda: f64| -> f64 {
+            self.power.p_static().0 + (0..k).map(|j| costs[j] * r_at(lambda, j)).sum::<f64>()
+        };
+
+        // Bracket λ so every responsive resource is clamped at the extremes.
+        let mut lam_lo = f64::MAX;
+        let mut lam_hi = f64::MIN_POSITIVE;
+        for j in 0..k {
+            if alphas[j] > 0.0 && costs[j] > 0.0 {
+                lam_lo = lam_lo.min(alphas[j] / (highs[j] * costs[j]));
+                lam_hi = lam_hi.max(alphas[j] / (lows[j] * costs[j]));
+            }
+        }
+        let amounts: Vec<f64> = if lam_lo > lam_hi {
+            // No resource responds to λ (all fixed by zero-α / zero-cost).
+            (0..k).map(|j| r_at(1.0, j)).collect()
+        } else {
+            lam_lo *= 0.5;
+            lam_hi *= 2.0;
+            if spend(lam_lo) <= budget.0 {
+                // Budget covers everything the model wants: all at max.
+                (0..k).map(|j| r_at(lam_lo, j)).collect()
+            } else {
+                // Geometric bisection on the monotone spend curve; lam_hi
+                // stays on the under-budget side of the bracket.
+                for _ in 0..128 {
+                    if lam_hi / lam_lo < 1.0 + 1e-13 {
+                        break;
+                    }
+                    let mid = (lam_lo * lam_hi).sqrt();
+                    if spend(mid) > budget.0 {
+                        lam_lo = mid;
+                    } else {
+                        lam_hi = mid;
+                    }
+                }
+                (0..k).map(|j| r_at(lam_hi, j)).collect()
+            }
+        };
+        debug_assert!(
+            self.power
+                .power_of_amounts(&amounts)
+                .expect("dimensions agree")
+                .0
+                <= budget.0 * (1.0 + 1e-9) + 1e-9,
+            "demand overspent the budget"
+        );
+
+        let allocation = self.space.allocation_clamped(amounts)?;
+        let utility = self.perf.evaluate(&allocation)?;
+        let power = self.power.power_of(&allocation);
+        let saturated = (0..k)
+            .filter(|&j| (allocation.amount(j) - highs[j]).abs() < 1e-9)
+            .collect();
+        Ok(DemandSolution {
+            allocation,
+            utility,
+            power,
+            saturated,
+        })
+    }
+
+    /// Rounds a continuous demand solution to hardware-allocatable whole
+    /// units without exceeding `budget`: floors integral resources, then
+    /// greedily spends leftover watts on the unit increment with the best
+    /// marginal utility per watt.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IndirectUtility::demand`].
+    pub fn demand_integral(&self, budget: Watts) -> Result<Allocation, CoreError> {
+        let continuous = self.demand(budget)?;
+        let mut current = continuous.floored();
+        let costs = self.power.p_dynamic();
+        loop {
+            let power_now = self.power.power_of(&current);
+            let headroom = (budget - power_now).0;
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.space.len() {
+                let d = self.space.descriptor(j);
+                if !d.is_integral() {
+                    continue;
+                }
+                let next = current.amount(j) + 1.0;
+                if next > d.max() + 1e-9 || costs[j] > headroom + 1e-9 {
+                    continue;
+                }
+                let mut amounts = current.amounts().to_vec();
+                amounts[j] = next;
+                let gain = self.perf.evaluate_amounts(&amounts)? - self.perf.evaluate(&current)?;
+                let per_watt = if costs[j] > 0.0 {
+                    gain / costs[j]
+                } else {
+                    f64::MAX
+                };
+                if best.is_none_or(|(_, g)| per_watt > g) {
+                    best = Some((j, per_watt));
+                }
+            }
+            match best {
+                Some((j, _)) => {
+                    let mut amounts = current.amounts().to_vec();
+                    amounts[j] += 1.0;
+                    current = self.space.allocation(amounts)?;
+                }
+                None => break,
+            }
+        }
+        Ok(current)
+    }
+
+    /// The indirect utility *value*: best achievable performance under
+    /// `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IndirectUtility::demand`].
+    pub fn value(&self, budget: Watts) -> Result<f64, CoreError> {
+        Ok(self.demand_solution(budget)?.utility)
+    }
+
+    /// Inverts the indirect utility: the least power at which `target`
+    /// performance is achievable (the dotted expansion path of Fig. 5).
+    ///
+    /// Solved by bisection on the monotone map `budget → value(budget)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnreachableTarget`] if even the full server
+    /// cannot reach `target`, or [`CoreError::InvalidParameter`] if `target`
+    /// is not positive.
+    pub fn min_power_for(&self, target: f64) -> Result<Watts, CoreError> {
+        if !target.is_finite() || target <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "performance target must be positive and finite, got {target}"
+            )));
+        }
+        let lo0 = self.min_feasible_power();
+        let hi0 = self.max_power();
+        let best = self.value(hi0)?;
+        if target > best * (1.0 + 1e-9) {
+            return Err(CoreError::UnreachableTarget {
+                target,
+                achievable: best,
+            });
+        }
+        if self.value(lo0)? >= target {
+            return Ok(lo0);
+        }
+        let (mut lo, mut hi) = (lo0.0, hi0.0);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.value(Watts(mid))? >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo < 1e-9 {
+                break;
+            }
+        }
+        Ok(Watts(hi))
+    }
+}
+
+impl fmt::Display for IndirectUtility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "max {} s.t. {} ≤ budget", self.perf, self.power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceDescriptor;
+
+    fn utility() -> IndirectUtility {
+        let space = ResourceSpace::cores_and_ways();
+        let perf = CobbDouglas::new(100.0, vec![0.6, 0.4]).unwrap();
+        let power = PowerModel::new(Watts(50.0), vec![6.0, 1.5]).unwrap();
+        IndirectUtility::new(space, perf, power).unwrap()
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let space = ResourceSpace::cores_and_ways();
+        let perf = CobbDouglas::new(1.0, vec![0.5]).unwrap();
+        let power = PowerModel::new(Watts(10.0), vec![1.0, 1.0]).unwrap();
+        assert!(IndirectUtility::new(space.clone(), perf, power.clone()).is_err());
+        let perf2 = CobbDouglas::new(1.0, vec![0.5, 0.5]).unwrap();
+        let power1 = PowerModel::new(Watts(10.0), vec![1.0]).unwrap();
+        assert!(IndirectUtility::new(space, perf2, power1).is_err());
+    }
+
+    #[test]
+    fn demand_matches_closed_form_in_interior() {
+        let u = utility();
+        // Pick a budget so the closed-form lands strictly inside bounds.
+        // dyn = 40 W; r_cores = 40*0.6/6 = 4, r_ways = 40*0.4/1.5 = 10.67.
+        let d = u.demand(Watts(90.0)).unwrap();
+        assert!((d.amount(0) - 4.0).abs() < 1e-9);
+        assert!((d.amount(1) - 40.0 * 0.4 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_spends_full_budget_in_interior() {
+        let u = utility();
+        let sol = u.demand_solution(Watts(90.0)).unwrap();
+        assert!((sol.power.0 - 90.0).abs() < 1e-9);
+        assert!(sol.saturated.is_empty());
+    }
+
+    #[test]
+    fn demand_saturates_upper_bounds_for_large_budget() {
+        let u = utility();
+        let sol = u.demand_solution(Watts(1000.0)).unwrap();
+        assert_eq!(sol.allocation.amounts(), &[12.0, 20.0]);
+        assert_eq!(sol.saturated, vec![0, 1]);
+        assert!(sol.power < Watts(1000.0));
+    }
+
+    #[test]
+    fn demand_respects_lower_bounds_for_tight_budget() {
+        let u = utility();
+        // Just above the minimum feasible power of 50 + 6 + 1.5 = 57.5 W.
+        let sol = u.demand_solution(Watts(58.0)).unwrap();
+        for j in 0..2 {
+            assert!(sol.allocation.amount(j) >= u.space().descriptor(j).min() - 1e-9);
+        }
+        assert!(sol.power <= Watts(58.0 + 1e-9));
+    }
+
+    #[test]
+    fn demand_rejects_infeasible_budget() {
+        let u = utility();
+        assert!(matches!(
+            u.demand(Watts(40.0)),
+            Err(CoreError::InfeasibleBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn demand_beats_random_feasible_points() {
+        use rand::prelude::*;
+        let u = utility();
+        let budget = Watts(100.0);
+        let opt = u.value(budget).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let c = rng.gen_range(1.0..=12.0);
+            let w = rng.gen_range(1.0..=20.0);
+            if u.power_model().power_of_amounts(&[c, w]).unwrap() > budget {
+                continue;
+            }
+            let perf = u.performance_model().evaluate_amounts(&[c, w]).unwrap();
+            assert!(
+                perf <= opt * (1.0 + 1e-9),
+                "random point ({c},{w}) perf {perf} beats optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_is_monotone_in_budget() {
+        let u = utility();
+        let mut prev = 0.0;
+        for b in [60, 70, 80, 90, 100, 120, 150, 200] {
+            let v = u.value(Watts(b as f64)).unwrap();
+            assert!(v >= prev, "value must be non-decreasing in budget");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn min_power_inverts_value() {
+        let u = utility();
+        let v = u.value(Watts(100.0)).unwrap();
+        let p = u.min_power_for(v).unwrap();
+        assert!((p.0 - 100.0).abs() < 1e-5, "got {p}");
+    }
+
+    #[test]
+    fn min_power_unreachable_target() {
+        let u = utility();
+        let best = u.value(u.max_power()).unwrap();
+        assert!(matches!(
+            u.min_power_for(best * 2.0),
+            Err(CoreError::UnreachableTarget { .. })
+        ));
+        assert!(u.min_power_for(-1.0).is_err());
+    }
+
+    #[test]
+    fn min_power_for_trivially_low_target() {
+        let u = utility();
+        let p = u.min_power_for(1e-6).unwrap();
+        assert_eq!(p, u.min_feasible_power());
+    }
+
+    #[test]
+    fn preference_vector_matches_alpha_over_p() {
+        let u = utility();
+        let pv = u.preference_vector();
+        // alpha/p = [0.1, 0.2667] -> normalized [0.2727, 0.7273]
+        let raw0 = 0.6 / 6.0;
+        let raw1 = 0.4 / 1.5;
+        let total = raw0 + raw1;
+        assert!((pv.weight(0) - raw0 / total).abs() < 1e-9);
+        assert!((pv.weight(1) - raw1 / total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_preference_is_power_oblivious() {
+        let u = utility();
+        let dv = u.direct_preference_vector();
+        assert!((dv.weight(0) - 0.6).abs() < 1e-9);
+        assert!((dv.weight(1) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_alpha_resource_gets_minimum() {
+        let space = ResourceSpace::cores_and_ways();
+        let perf = CobbDouglas::new(10.0, vec![1.0, 0.0]).unwrap();
+        let power = PowerModel::new(Watts(50.0), vec![6.0, 1.5]).unwrap();
+        let u = IndirectUtility::new(space, perf, power).unwrap();
+        let d = u.demand(Watts(120.0)).unwrap();
+        assert_eq!(d.amount(1), 1.0);
+    }
+
+    #[test]
+    fn free_resource_gets_maximum() {
+        let space = ResourceSpace::cores_and_ways();
+        let perf = CobbDouglas::new(10.0, vec![0.5, 0.5]).unwrap();
+        let power = PowerModel::new(Watts(50.0), vec![6.0, 0.0]).unwrap();
+        let u = IndirectUtility::new(space, perf, power).unwrap();
+        let d = u.demand(Watts(80.0)).unwrap();
+        assert_eq!(d.amount(1), 20.0);
+    }
+
+    #[test]
+    fn demand_integral_is_whole_units_within_budget() {
+        let u = utility();
+        let budget = Watts(97.0);
+        let a = u.demand_integral(budget).unwrap();
+        for j in 0..2 {
+            assert!((a.amount(j) - a.amount(j).round()).abs() < 1e-9);
+        }
+        assert!(u.power_model().power_of(&a) <= budget);
+    }
+
+    #[test]
+    fn demand_integral_uses_leftover_budget() {
+        let u = utility();
+        let budget = Watts(97.0);
+        let a = u.demand_integral(budget).unwrap();
+        let leftover = (budget - u.power_model().power_of(&a)).0;
+        // No single unit increment should still fit.
+        let min_cost = u
+            .power_model()
+            .p_dynamic()
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
+        let at_max = (0..2).all(|j| a.amount(j) >= u.space().descriptor(j).max() - 1e-9);
+        assert!(at_max || leftover < min_cost + 1e-9);
+    }
+
+    #[test]
+    fn three_resource_demand() {
+        let space = ResourceSpace::builder()
+            .resource(ResourceDescriptor::integral("cores", 1.0, 12.0))
+            .resource(ResourceDescriptor::integral("ways", 1.0, 20.0))
+            .resource(ResourceDescriptor::continuous("membw", 1.0, 10.0))
+            .build()
+            .unwrap();
+        let perf = CobbDouglas::new(10.0, vec![0.5, 0.3, 0.2]).unwrap();
+        let power = PowerModel::new(Watts(40.0), vec![6.0, 1.5, 2.0]).unwrap();
+        let u = IndirectUtility::new(space, perf, power).unwrap();
+        let sol = u.demand_solution(Watts(120.0)).unwrap();
+        assert!(sol.power <= Watts(120.0 + 1e-9));
+        // Interior optimum: shares proportional to alpha.
+        let spend: Vec<f64> = (0..3)
+            .map(|j| sol.allocation.amount(j) * u.power_model().p_dynamic()[j])
+            .collect();
+        let total: f64 = spend.iter().sum();
+        assert!((spend[0] / total - 0.5).abs() < 1e-6);
+        assert!((spend[2] / total - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_mentions_budget() {
+        assert!(format!("{}", utility()).contains("budget"));
+    }
+}

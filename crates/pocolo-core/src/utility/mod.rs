@@ -1,0 +1,12 @@
+//! Utility functions: Cobb-Douglas performance models, linear power models,
+//! and the indirect utility that combines them under a power budget.
+
+mod cobb_douglas;
+mod indirect;
+mod power;
+pub mod substitution;
+
+pub use cobb_douglas::CobbDouglas;
+pub use indirect::{DemandSolution, IndirectUtility};
+pub use power::PowerModel;
+pub use substitution::{mrs, tangency_gap};

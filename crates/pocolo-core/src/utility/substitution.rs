@@ -1,0 +1,190 @@
+//! Marginal rates of substitution and the tangency condition.
+//!
+//! Consumer theory's optimality condition — the geometric heart of Fig. 5:
+//! at a power-efficient allocation the indifference curve is *tangent* to
+//! the budget line, i.e. the marginal rate of substitution between any two
+//! resources equals their marginal power-cost ratio:
+//!
+//! ```text
+//! MRS_ij = (∂U/∂r_i)/(∂U/∂r_j) = p_i / p_j
+//! ```
+//!
+//! The [`tangency_gap`] diagnostic measures how far an allocation is from
+//! that condition — near zero for the analytic demand's interior solutions,
+//! large for power-oblivious (e.g. random indifference-curve) allocations.
+
+use crate::error::CoreError;
+use crate::resources::Allocation;
+use crate::utility::IndirectUtility;
+
+/// The marginal rate of substitution of resource `i` for resource `j` at
+/// `allocation`: how many units of `j` the application would trade for one
+/// more unit of `i` at equal performance.
+///
+/// For Cobb-Douglas this is `(αᵢ/αⱼ)·(rⱼ/rᵢ)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] for out-of-range indices and
+/// [`CoreError::InvalidParameter`] if `αⱼ = 0` (resource `j` has no
+/// marginal value, so the rate is undefined).
+pub fn mrs(
+    utility: &IndirectUtility,
+    allocation: &Allocation,
+    i: usize,
+    j: usize,
+) -> Result<f64, CoreError> {
+    let alphas = utility.performance_model().alphas();
+    if i >= alphas.len() || j >= alphas.len() {
+        return Err(CoreError::DimensionMismatch {
+            expected: alphas.len(),
+            actual: i.max(j),
+        });
+    }
+    if alphas[j] == 0.0 {
+        return Err(CoreError::InvalidParameter(
+            "resource j has zero marginal utility; MRS undefined".into(),
+        ));
+    }
+    let mi = utility.performance_model().marginal(allocation, i)?;
+    let mj = utility.performance_model().marginal(allocation, j)?;
+    Ok(mi / mj)
+}
+
+/// How far `allocation` deviates from the tangency condition, as the
+/// maximum over resource pairs of `|ln(MRS_ij · pⱼ/pᵢ)|` — zero exactly at
+/// an interior power-efficient allocation, and symmetric in over-/under-
+/// provisioning. Pairs involving a zero exponent or zero cost are skipped.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from the underlying models.
+pub fn tangency_gap(
+    utility: &IndirectUtility,
+    allocation: &Allocation,
+) -> Result<f64, CoreError> {
+    let alphas = utility.performance_model().alphas();
+    let costs = utility.power_model().p_dynamic();
+    let k = alphas.len();
+    let mut worst: f64 = 0.0;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if alphas[i] == 0.0 || alphas[j] == 0.0 || costs[i] == 0.0 || costs[j] == 0.0 {
+                continue;
+            }
+            let rate = mrs(utility, allocation, i, j)?;
+            let price_ratio = costs[i] / costs[j];
+            worst = worst.max((rate / price_ratio).ln().abs());
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceSpace;
+    use crate::units::Watts;
+    use crate::utility::{CobbDouglas, PowerModel};
+
+    fn utility() -> IndirectUtility {
+        IndirectUtility::new(
+            ResourceSpace::cores_and_ways(),
+            CobbDouglas::new(100.0, vec![0.6, 0.4]).unwrap(),
+            PowerModel::new(Watts(50.0), vec![6.0, 1.5]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mrs_closed_form() {
+        // Cobb-Douglas: MRS_01 = (α0/α1)·(r1/r0) = (0.6/0.4)·(10/4) = 3.75.
+        let u = utility();
+        let a = u.space().allocation(vec![4.0, 10.0]).unwrap();
+        let rate = mrs(&u, &a, 0, 1).unwrap();
+        assert!((rate - 3.75).abs() < 1e-9);
+        // Antisymmetry: MRS_10 = 1/MRS_01.
+        let inv = mrs(&u, &a, 1, 0).unwrap();
+        assert!((rate * inv - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_solutions_satisfy_tangency() {
+        let u = utility();
+        // Interior demand (budget well inside the box).
+        let d = u.demand(Watts(95.0)).unwrap();
+        let gap = tangency_gap(&u, &d).unwrap();
+        assert!(gap < 1e-6, "interior optimum must be tangent, gap {gap}");
+    }
+
+    #[test]
+    fn saturated_demand_may_break_tangency() {
+        // With a huge budget the upper bounds bind; the KKT condition
+        // becomes an inequality and the tangency gap is legitimately
+        // non-zero.
+        let u = utility();
+        let d = u.demand(Watts(1000.0)).unwrap();
+        assert_eq!(d.amounts(), &[12.0, 20.0]);
+        let gap = tangency_gap(&u, &d).unwrap();
+        assert!(gap.is_finite());
+    }
+
+    #[test]
+    fn power_oblivious_allocations_have_large_gaps() {
+        // Points on the same indifference curve as the optimum, chosen
+        // without regard to power, violate tangency.
+        let u = utility();
+        let opt = u.demand(Watts(95.0)).unwrap();
+        let target = u.performance_model().evaluate(&opt).unwrap();
+        let opt_gap = tangency_gap(&u, &opt).unwrap();
+        for cores in [2.0, 8.0, 11.0] {
+            let ways = u
+                .performance_model()
+                .solve_for_resource(&[cores, 0.0], 1, target)
+                .unwrap();
+            if !(1.0..=20.0).contains(&ways) {
+                continue;
+            }
+            let point = u.space().allocation(vec![cores, ways]).unwrap();
+            let gap = tangency_gap(&u, &point).unwrap();
+            assert!(
+                gap > opt_gap + 0.1,
+                "iso-perf point ({cores},{ways}) should be far from tangency: {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_distance_from_optimum() {
+        let u = utility();
+        let opt = u.demand(Watts(95.0)).unwrap();
+        let target = u.performance_model().evaluate(&opt).unwrap();
+        let gap_at = |cores: f64| {
+            let ways = u
+                .performance_model()
+                .solve_for_resource(&[cores, 0.0], 1, target)
+                .unwrap();
+            let p = u.space().allocation(vec![cores, ways]).unwrap();
+            tangency_gap(&u, &p).unwrap()
+        };
+        let near = gap_at(opt.amount(0) * 1.1);
+        let far = gap_at(opt.amount(0) * 2.0);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn error_paths() {
+        let u = utility();
+        let a = u.space().allocation(vec![4.0, 10.0]).unwrap();
+        assert!(mrs(&u, &a, 0, 7).is_err());
+        let flat = IndirectUtility::new(
+            ResourceSpace::cores_and_ways(),
+            CobbDouglas::new(10.0, vec![1.0, 0.0]).unwrap(),
+            PowerModel::new(Watts(10.0), vec![1.0, 1.0]).unwrap(),
+        )
+        .unwrap();
+        assert!(mrs(&flat, &a, 0, 1).is_err());
+        // Zero-exponent pairs are skipped in the gap (no panic, finite).
+        assert!(tangency_gap(&flat, &a).unwrap().abs() < 1e-12);
+    }
+}

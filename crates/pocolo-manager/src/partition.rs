@@ -1,0 +1,114 @@
+//! Partitioning a machine between the primary and secondary tenant.
+
+use pocolo_core::units::Frequency;
+use pocolo_simserver::{CoreSet, MachineSpec, TenantAllocation, WayMask};
+
+/// Splits the machine: the primary receives the first `lc_cores` cores and
+/// `lc_ways` LLC ways; the secondary receives everything left, or `None`
+/// if fewer than one core or one way remains.
+///
+/// The counts are clamped to `[1, capacity]` for the primary (the
+/// latency-critical application always keeps at least one core and one
+/// way, and never more than the machine has).
+///
+/// ```
+/// use pocolo_manager::partition;
+/// use pocolo_simserver::MachineSpec;
+/// use pocolo_core::units::Frequency;
+///
+/// let m = MachineSpec::xeon_e5_2650();
+/// let (lc, be) = partition(&m, 4, 8, Frequency(2.2), Frequency(2.2));
+/// assert_eq!(lc.cores.count(), 4);
+/// let be = be.unwrap();
+/// assert_eq!(be.cores.count(), 8);
+/// assert_eq!(be.ways.count(), 12);
+/// assert!(lc.is_disjoint_from(&be));
+/// ```
+pub fn partition(
+    machine: &MachineSpec,
+    lc_cores: u32,
+    lc_ways: u32,
+    lc_freq: Frequency,
+    be_freq: Frequency,
+) -> (TenantAllocation, Option<TenantAllocation>) {
+    let lc_cores = lc_cores.clamp(1, machine.cores());
+    let lc_ways = lc_ways.clamp(1, machine.llc_ways());
+    let primary = TenantAllocation::new(
+        CoreSet::range(0, lc_cores),
+        WayMask::range(0, lc_ways),
+        machine.clamp_frequency(lc_freq),
+    );
+    let spare_cores = machine.cores() - lc_cores;
+    let spare_ways = machine.llc_ways() - lc_ways;
+    let secondary = if spare_cores >= 1 && spare_ways >= 1 {
+        Some(TenantAllocation::new(
+            CoreSet::range(lc_cores, spare_cores),
+            WayMask::range(lc_ways, spare_ways),
+            machine.clamp_frequency(be_freq),
+        ))
+    } else {
+        None
+    };
+    (primary, secondary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::xeon_e5_2650()
+    }
+
+    #[test]
+    fn split_is_disjoint_and_exhaustive() {
+        let m = machine();
+        for c in 1..=11 {
+            for w in 1..=19 {
+                let (lc, be) = partition(&m, c, w, Frequency(2.2), Frequency(2.2));
+                let be = be.expect("spare exists");
+                assert!(lc.is_disjoint_from(&be));
+                assert_eq!(lc.cores.count() + be.cores.count(), 12);
+                assert_eq!(lc.ways.count() + be.ways.count(), 20);
+            }
+        }
+    }
+
+    #[test]
+    fn full_primary_leaves_no_secondary() {
+        let m = machine();
+        let (lc, be) = partition(&m, 12, 10, Frequency(2.2), Frequency(2.2));
+        assert_eq!(lc.cores.count(), 12);
+        assert!(be.is_none(), "no spare cores -> no secondary");
+        let (_, be) = partition(&m, 10, 20, Frequency(2.2), Frequency(2.2));
+        assert!(be.is_none(), "no spare ways -> no secondary");
+    }
+
+    #[test]
+    fn counts_are_clamped() {
+        let m = machine();
+        let (lc, _) = partition(&m, 0, 0, Frequency(2.2), Frequency(2.2));
+        assert_eq!(lc.cores.count(), 1);
+        assert_eq!(lc.ways.count(), 1);
+        let (lc, be) = partition(&m, 99, 99, Frequency(2.2), Frequency(2.2));
+        assert_eq!(lc.cores.count(), 12);
+        assert_eq!(lc.ways.count(), 20);
+        assert!(be.is_none());
+    }
+
+    #[test]
+    fn frequencies_are_clamped_per_tenant() {
+        let m = machine();
+        let (lc, be) = partition(&m, 4, 8, Frequency(9.0), Frequency(0.3));
+        assert_eq!(lc.frequency, Frequency(2.2));
+        assert_eq!(be.unwrap().frequency, Frequency(1.2));
+    }
+
+    #[test]
+    fn allocations_validate_against_machine() {
+        let m = machine();
+        let (lc, be) = partition(&m, 6, 10, Frequency(2.2), Frequency(1.8));
+        assert!(lc.validate(&m).is_ok());
+        assert!(be.unwrap().validate(&m).is_ok());
+    }
+}

@@ -1,0 +1,431 @@
+//! Time-sharing a server's best-effort slot among multiple jobs — the
+//! paper's §V-G extension ("if there are more than one best-effort
+//! application, they can be scheduled to time-share the server (e.g.
+//! first-come first-served, shortest job first)").
+//!
+//! A [`BeQueue`] holds pending [`BeJob`]s, each with a fixed amount of
+//! *work* (throughput-seconds). At any instant exactly one job occupies the
+//! secondary slot; it accumulates progress at the server's current
+//! normalized BE throughput. The queue discipline decides who runs next.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One best-effort job: an identifier and its remaining work, measured in
+/// normalized throughput-seconds (1.0 throughput for 10 s = 10 units).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeJob {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Human-readable name (e.g. the BE app).
+    pub name: String,
+    /// Remaining work units.
+    pub remaining: f64,
+    /// Time the job entered the queue (simulation seconds).
+    pub arrived_at: f64,
+}
+
+impl BeJob {
+    /// Creates a job with `work` units arriving at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `work` is positive and finite.
+    pub fn new(id: u64, name: impl Into<String>, work: f64, now: f64) -> Self {
+        assert!(work.is_finite() && work > 0.0, "job work must be positive");
+        BeJob {
+            id,
+            name: name.into(),
+            remaining: work,
+            arrived_at: now,
+        }
+    }
+}
+
+impl fmt::Display for BeJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{} ({:.1} left)", self.name, self.id, self.remaining)
+    }
+}
+
+/// Queue discipline for the secondary slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First-come, first-served.
+    Fcfs,
+    /// Shortest (remaining) job first — preemptive at job boundaries.
+    Sjf,
+}
+
+/// A completed job with its queueing statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// The finished job (remaining = 0).
+    pub job: BeJob,
+    /// Completion time (simulation seconds).
+    pub finished_at: f64,
+    /// Turnaround: completion − arrival.
+    pub turnaround_s: f64,
+}
+
+/// A time-shared best-effort queue for one server's secondary slot.
+///
+/// ```
+/// use pocolo_manager::queue::{BeQueue, BeJob, QueueDiscipline};
+///
+/// let mut q = BeQueue::new(QueueDiscipline::Sjf);
+/// q.submit(BeJob::new(1, "graph", 10.0, 0.0));
+/// q.submit(BeJob::new(2, "pbzip", 2.0, 0.0));
+/// // SJF runs the short pbzip job first.
+/// assert_eq!(q.current().unwrap().id, 2);
+/// // 4 seconds at throughput 0.6 = 2.4 work units: pbzip (2.0) finishes.
+/// let done = q.advance(0.6, 4.0, 4.0);
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(q.current().unwrap().id, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeQueue {
+    discipline: QueueDiscipline,
+    pending: VecDeque<BeJob>,
+    current: Option<BeJob>,
+    completed: Vec<CompletedJob>,
+}
+
+impl BeQueue {
+    /// An empty queue with the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        BeQueue {
+            discipline,
+            pending: VecDeque::new(),
+            current: None,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The discipline in force.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Submits a job; it may immediately become current if the slot is free
+    /// (or preempt under SJF if strictly shorter).
+    pub fn submit(&mut self, job: BeJob) {
+        self.pending.push_back(job);
+        self.schedule();
+    }
+
+    /// The job currently occupying the secondary slot.
+    pub fn current(&self) -> Option<&BeJob> {
+        self.current.as_ref()
+    }
+
+    /// Jobs waiting behind the current one.
+    pub fn pending(&self) -> impl Iterator<Item = &BeJob> {
+        self.pending.iter()
+    }
+
+    /// Number of unfinished jobs (current + pending).
+    pub fn len(&self) -> usize {
+        self.pending.len() + usize::from(self.current.is_some())
+    }
+
+    /// True when no work remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All completions so far, in finish order.
+    pub fn completed(&self) -> &[CompletedJob] {
+        &self.completed
+    }
+
+    /// Advances the current job by `throughput × dt` work units, finishing
+    /// and rotating jobs as needed. `now` is the simulation time at the end
+    /// of the interval. Returns jobs completed during this interval.
+    ///
+    /// Within one interval several short jobs may finish back-to-back; the
+    /// leftover time flows into the next job (completion times interpolate
+    /// within the interval).
+    pub fn advance(&mut self, throughput: f64, dt: f64, now: f64) -> Vec<CompletedJob> {
+        let mut finished = Vec::new();
+        if throughput <= 0.0 || dt <= 0.0 {
+            return finished;
+        }
+        let mut budget = throughput * dt;
+        let interval_start = now - dt;
+        while budget > 0.0 {
+            self.schedule();
+            let Some(job) = self.current.as_mut() else {
+                break;
+            };
+            if job.remaining <= budget {
+                budget -= job.remaining;
+                let consumed_frac = (throughput * dt - budget) / (throughput * dt);
+                let mut done = self.current.take().expect("current exists");
+                done.remaining = 0.0;
+                let finished_at = interval_start + consumed_frac * dt;
+                let completed = CompletedJob {
+                    turnaround_s: finished_at - done.arrived_at,
+                    finished_at,
+                    job: done,
+                };
+                self.completed.push(completed.clone());
+                finished.push(completed);
+            } else {
+                job.remaining -= budget;
+                budget = 0.0;
+            }
+        }
+        finished
+    }
+
+    /// Picks the next current job per the discipline. Under SJF a pending
+    /// job strictly shorter than the current one preempts it (the current
+    /// job returns to the pending pool with its progress kept).
+    fn schedule(&mut self) {
+        match self.discipline {
+            QueueDiscipline::Fcfs => {
+                if self.current.is_none() {
+                    self.current = self.pending.pop_front();
+                }
+            }
+            QueueDiscipline::Sjf => {
+                let shortest_pending = self
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.remaining
+                            .partial_cmp(&b.1.remaining)
+                            .expect("work is finite")
+                    })
+                    .map(|(i, j)| (i, j.remaining));
+                match (&self.current, shortest_pending) {
+                    (None, Some((i, _))) => {
+                        self.current = self.pending.remove(i);
+                    }
+                    (Some(cur), Some((i, rem))) if rem < cur.remaining => {
+                        let preempted = self.current.take().expect("matched Some");
+                        self.current = self.pending.remove(i);
+                        self.pending.push_back(preempted);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Mean turnaround of completed jobs, if any.
+    pub fn mean_turnaround(&self) -> Option<f64> {
+        if self.completed.is_empty() {
+            None
+        } else {
+            Some(
+                self.completed.iter().map(|c| c.turnaround_s).sum::<f64>()
+                    / self.completed.len() as f64,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> Vec<BeJob> {
+        vec![
+            BeJob::new(1, "graph", 10.0, 0.0),
+            BeJob::new(2, "pbzip", 2.0, 0.0),
+            BeJob::new(3, "lstm", 5.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn fcfs_runs_in_arrival_order() {
+        let mut q = BeQueue::new(QueueDiscipline::Fcfs);
+        for j in jobs() {
+            q.submit(j);
+        }
+        assert_eq!(q.current().unwrap().id, 1);
+        assert_eq!(q.len(), 3);
+        // throughput 1.0: graph (10) then pbzip (2) then lstm (5).
+        let done = q.advance(1.0, 17.0, 17.0);
+        assert_eq!(
+            done.iter().map(|c| c.job.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sjf_runs_shortest_first() {
+        let mut q = BeQueue::new(QueueDiscipline::Sjf);
+        for j in jobs() {
+            q.submit(j);
+        }
+        assert_eq!(q.current().unwrap().id, 2, "pbzip (2.0) is shortest");
+        let done = q.advance(1.0, 17.0, 17.0);
+        assert_eq!(
+            done.iter().map(|c| c.job.id).collect::<Vec<_>>(),
+            vec![2, 3, 1]
+        );
+    }
+
+    #[test]
+    fn sjf_minimizes_mean_turnaround() {
+        let run = |d: QueueDiscipline| {
+            let mut q = BeQueue::new(d);
+            for j in jobs() {
+                q.submit(j);
+            }
+            q.advance(1.0, 17.0, 17.0);
+            q.mean_turnaround().unwrap()
+        };
+        let fcfs = run(QueueDiscipline::Fcfs);
+        let sjf = run(QueueDiscipline::Sjf);
+        assert!(sjf < fcfs, "SJF {sjf} should beat FCFS {fcfs}");
+        // Closed form: FCFS (10 + 12 + 17)/3 = 13, SJF (2 + 7 + 17)/3 = 8.67.
+        assert!((fcfs - 13.0).abs() < 1e-9);
+        assert!((sjf - 26.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_times_interpolate_within_interval() {
+        let mut q = BeQueue::new(QueueDiscipline::Fcfs);
+        q.submit(BeJob::new(1, "a", 1.0, 0.0));
+        q.submit(BeJob::new(2, "b", 1.0, 0.0));
+        // 4 s at throughput 0.5 = 2.0 units: both finish, at t=2 and t=4.
+        let done = q.advance(0.5, 4.0, 4.0);
+        assert_eq!(done.len(), 2);
+        assert!((done[0].finished_at - 2.0).abs() < 1e-9);
+        assert!((done[1].finished_at - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_progress_is_retained() {
+        let mut q = BeQueue::new(QueueDiscipline::Fcfs);
+        q.submit(BeJob::new(1, "a", 10.0, 0.0));
+        q.advance(1.0, 4.0, 4.0);
+        assert!((q.current().unwrap().remaining - 6.0).abs() < 1e-9);
+        q.advance(0.5, 4.0, 8.0);
+        assert!((q.current().unwrap().remaining - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sjf_preempts_longer_current_job() {
+        let mut q = BeQueue::new(QueueDiscipline::Sjf);
+        q.submit(BeJob::new(1, "long", 20.0, 0.0));
+        q.advance(1.0, 5.0, 5.0); // long has 15 left
+        q.submit(BeJob::new(2, "short", 1.0, 5.0));
+        assert_eq!(q.current().unwrap().id, 2, "short job preempts");
+        let done = q.advance(1.0, 2.0, 7.0);
+        assert_eq!(done[0].job.id, 2);
+        // Long job resumes with progress intact.
+        assert!((q.current().unwrap().remaining - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_never_preempts() {
+        let mut q = BeQueue::new(QueueDiscipline::Fcfs);
+        q.submit(BeJob::new(1, "long", 20.0, 0.0));
+        q.submit(BeJob::new(2, "short", 1.0, 0.0));
+        assert_eq!(q.current().unwrap().id, 1);
+    }
+
+    #[test]
+    fn zero_throughput_makes_no_progress() {
+        let mut q = BeQueue::new(QueueDiscipline::Fcfs);
+        q.submit(BeJob::new(1, "a", 5.0, 0.0));
+        let done = q.advance(0.0, 10.0, 10.0);
+        assert!(done.is_empty());
+        assert!((q.current().unwrap().remaining - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_queue_is_quiet() {
+        let mut q = BeQueue::new(QueueDiscipline::Sjf);
+        assert!(q.is_empty());
+        assert!(q.advance(1.0, 10.0, 10.0).is_empty());
+        assert!(q.mean_turnaround().is_none());
+        assert_eq!(q.current(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn zero_work_job_panics() {
+        let _ = BeJob::new(1, "a", 0.0, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let j = BeJob::new(7, "graph", 3.25, 0.0);
+        assert_eq!(format!("{j}"), "graph#7 (3.2 left)");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Work is conserved: whatever throughput×time is delivered equals
+        /// completed work plus progress on unfinished jobs.
+        #[test]
+        fn work_conservation(
+            works in proptest::collection::vec(0.5f64..20.0, 1..10),
+            thpt in 0.1f64..1.0,
+            steps in 1usize..40,
+        ) {
+            let total_submitted: f64 = works.iter().sum();
+            let mut q = BeQueue::new(QueueDiscipline::Fcfs);
+            for (i, &w) in works.iter().enumerate() {
+                q.submit(BeJob::new(i as u64, "j", w, 0.0));
+            }
+            let mut t = 0.0;
+            for _ in 0..steps {
+                t += 1.0;
+                q.advance(thpt, 1.0, t);
+            }
+            let completed: f64 = works
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| q.completed().iter().any(|c| c.job.id == *i as u64))
+                .map(|(_, &w)| w)
+                .sum();
+            let remaining: f64 = q
+                .pending()
+                .map(|j| j.remaining)
+                .chain(q.current().map(|j| j.remaining))
+                .sum();
+            let delivered = (thpt * steps as f64).min(total_submitted);
+            prop_assert!(
+                (completed + (total_submitted - completed - remaining) - delivered).abs()
+                    < 1e-6,
+                "conservation: completed {completed}, remaining {remaining}, delivered {delivered}"
+            );
+        }
+
+        /// SJF's mean turnaround never exceeds FCFS's when all jobs arrive
+        /// together (the classic scheduling theorem).
+        #[test]
+        fn sjf_at_least_as_good_as_fcfs(
+            works in proptest::collection::vec(0.5f64..20.0, 2..8),
+        ) {
+            let run = |d: QueueDiscipline| {
+                let mut q = BeQueue::new(d);
+                for (i, &w) in works.iter().enumerate() {
+                    q.submit(BeJob::new(i as u64, "j", w, 0.0));
+                }
+                let horizon = works.iter().sum::<f64>() + 1.0;
+                q.advance(1.0, horizon, horizon);
+                q.mean_turnaround().expect("all jobs completed")
+            };
+            let fcfs = run(QueueDiscipline::Fcfs);
+            let sjf = run(QueueDiscipline::Sjf);
+            prop_assert!(sjf <= fcfs + 1e-9, "SJF {sjf} must not exceed FCFS {fcfs}");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The per-server control loop (§IV-C).
+//!
+//! Every control window (1 s in the paper) the manager:
+//!
+//! 1. reads the primary's current load and observed p99 latency slack,
+//! 2. adjusts a multiplicative sizing **margin** by feedback — grow when
+//!    slack dips under 10 %, shrink when there is ample headroom (this
+//!    absorbs model misfit and load noise),
+//! 3. asks its [`LcPolicy`] for the primary's (cores, ways),
+//! 4. re-partitions the server: primary first, every spare resource to the
+//!    best-effort secondary (whose DVFS/quota state the capper owns and is
+//!    preserved across re-partitions).
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use pocolo_core::error::CoreError;
+use pocolo_core::units::Frequency;
+use pocolo_core::utility::IndirectUtility;
+use pocolo_simserver::{SimError, SimServer, TenantRole};
+use serde::{Deserialize, Serialize};
+
+use crate::partition::partition;
+use crate::policy::LcPolicy;
+
+/// Errors from the server manager.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ManagerError {
+    /// The economics model failed (fit mismatch, unreachable target, …).
+    Model(CoreError),
+    /// The simulated server rejected a knob setting.
+    Server(SimError),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::Model(e) => write!(f, "model error: {e}"),
+            ManagerError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl StdError for ManagerError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ManagerError::Model(e) => Some(e),
+            ManagerError::Server(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for ManagerError {
+    fn from(e: CoreError) -> Self {
+        ManagerError::Model(e)
+    }
+}
+
+impl From<SimError> for ManagerError {
+    fn from(e: SimError) -> Self {
+        ManagerError::Server(e)
+    }
+}
+
+/// Tuning of the feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagerConfig {
+    /// Grow the margin when observed slack falls below this (paper: 10 %).
+    pub min_slack: f64,
+    /// Shrink the margin when observed slack exceeds this.
+    pub high_slack: f64,
+    /// Initial sizing margin (target = load × margin).
+    pub initial_margin: f64,
+    /// Multiplier applied to the margin on low slack.
+    pub margin_up: f64,
+    /// Multiplier applied on ample slack.
+    pub margin_down: f64,
+    /// Margin clamp range.
+    pub margin_bounds: (f64, f64),
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            min_slack: 0.10,
+            high_slack: 0.50,
+            initial_margin: 1.10,
+            margin_up: 1.12,
+            margin_down: 0.985,
+            margin_bounds: (1.02, 1.8),
+        }
+    }
+}
+
+/// The per-server manager: fitted model + policy + feedback state.
+#[derive(Debug, Clone)]
+pub struct ServerManager {
+    utility: IndirectUtility,
+    policy: LcPolicy,
+    config: ManagerConfig,
+    margin: f64,
+    last_counts: Option<(u32, u32)>,
+}
+
+impl ServerManager {
+    /// Creates a manager from the primary's *fitted* indirect utility and
+    /// an allocation policy.
+    pub fn new(utility: IndirectUtility, policy: LcPolicy, config: ManagerConfig) -> Self {
+        let margin = config.initial_margin;
+        ServerManager {
+            utility,
+            policy,
+            config,
+            margin,
+            last_counts: None,
+        }
+    }
+
+    /// The fitted model the manager plans with.
+    pub fn utility(&self) -> &IndirectUtility {
+        &self.utility
+    }
+
+    /// Current feedback margin (target = load × margin).
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// The primary counts chosen on the last step.
+    pub fn last_counts(&self) -> Option<(u32, u32)> {
+        self.last_counts
+    }
+
+    /// Runs one control step: updates the feedback margin from
+    /// `observed_slack` (if any), sizes the primary for `load_rps`, and
+    /// re-partitions `server`. Returns the primary's (cores, ways).
+    ///
+    /// The secondary's DVFS frequency and quota (owned by the power capper)
+    /// are carried over across re-partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] on model or knob failures.
+    pub fn control_step(
+        &mut self,
+        server: &mut SimServer,
+        load_rps: f64,
+        observed_slack: Option<f64>,
+    ) -> Result<(u32, u32), ManagerError> {
+        if let Some(slack) = observed_slack {
+            if slack < self.config.min_slack {
+                self.margin *= self.config.margin_up;
+            } else if slack > self.config.high_slack {
+                self.margin *= self.config.margin_down;
+            }
+            let (lo, hi) = self.config.margin_bounds;
+            self.margin = self.margin.clamp(lo, hi);
+        }
+
+        let target = load_rps * self.margin;
+        let (c, w) = self.policy.allocate(&self.utility, target)?;
+
+        // Preserve the capper's state on the secondary.
+        let (be_freq, be_quota) = server
+            .allocation(TenantRole::Secondary)
+            .map(|s| (s.frequency, s.cpu_quota))
+            .unwrap_or((server.machine().freq_max(), 1.0));
+
+        let machine = server.machine().clone();
+        let (primary, secondary) = partition(&machine, c, w, machine.freq_max(), be_freq);
+
+        // Evict the secondary first so a growing primary never collides.
+        server.evict(TenantRole::Secondary);
+        server.install(TenantRole::Primary, primary)?;
+        if let Some(mut sec) = secondary {
+            sec.cpu_quota = be_quota;
+            sec.frequency = Frequency(be_freq.0);
+            server.install(TenantRole::Secondary, sec)?;
+        }
+        self.last_counts = Some((c, w));
+        Ok((c, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use pocolo_simserver::power::PowerDrawModel;
+    use pocolo_simserver::MachineSpec;
+    use pocolo_workloads::profiler::{profile_lc, ProfilerConfig};
+    use pocolo_workloads::{LcApp, LcModel};
+
+    fn fitted(app: LcApp) -> (LcModel, IndirectUtility) {
+        let machine = MachineSpec::xeon_e5_2650();
+        let truth = LcModel::for_app(app, machine.clone());
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+        let fit = pocolo_core::fit::fit_indirect_utility(
+            &space,
+            &samples,
+            &pocolo_core::fit::FitOptions::default(),
+        )
+        .unwrap();
+        (truth, fit.utility)
+    }
+
+    fn run_loop(
+        app: LcApp,
+        policy: LcPolicy,
+        load_frac: f64,
+        steps: usize,
+    ) -> (LcModel, SimServer, ServerManager) {
+        let (truth, utility) = fitted(app);
+        let mut server = SimServer::new(truth.machine().clone(), truth.provisioned_power());
+        let mut mgr = ServerManager::new(utility, policy, ManagerConfig::default());
+        let load = load_frac * truth.peak_load_rps();
+        let mut slack = None;
+        for _ in 0..steps {
+            mgr.control_step(&mut server, load, slack).unwrap();
+            let alloc = *server.allocation(TenantRole::Primary).unwrap();
+            slack = Some(truth.latency_slack(load, &alloc));
+        }
+        (truth, server, mgr)
+    }
+
+    #[test]
+    fn converges_to_slo_with_slack_across_loads_and_apps() {
+        for app in [LcApp::Xapian, LcApp::Sphinx, LcApp::ImgDnn, LcApp::TpcC] {
+            for load_frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+                let (truth, server, _) = run_loop(app, LcPolicy::PowerOptimized, load_frac, 12);
+                let alloc = server.allocation(TenantRole::Primary).unwrap();
+                let load = load_frac * truth.peak_load_rps();
+                let slack = truth.latency_slack(load, alloc);
+                assert!(
+                    slack >= 0.0,
+                    "{app} at {load_frac}: SLO violated, slack {slack} with {alloc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_load_leaves_spare_resources() {
+        let (_, server, _) = run_loop(LcApp::Xapian, LcPolicy::PowerOptimized, 0.1, 12);
+        let sec = server.allocation(TenantRole::Secondary).unwrap();
+        assert!(
+            sec.cores.count() >= 8,
+            "10% load should leave most cores spare, got {}",
+            sec.cores.count()
+        );
+    }
+
+    #[test]
+    fn high_load_reclaims_resources() {
+        let (_, server_low, _) = run_loop(LcApp::Xapian, LcPolicy::PowerOptimized, 0.2, 12);
+        let (_, server_high, _) = run_loop(LcApp::Xapian, LcPolicy::PowerOptimized, 0.9, 12);
+        let low = server_low.allocation(TenantRole::Primary).unwrap();
+        let high = server_high.allocation(TenantRole::Primary).unwrap();
+        assert!(high.cores.count() > low.cores.count());
+    }
+
+    #[test]
+    fn margin_grows_on_low_slack() {
+        let (truth, utility) = fitted(LcApp::Sphinx);
+        let mut server = SimServer::new(truth.machine().clone(), truth.provisioned_power());
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        let m0 = mgr.margin();
+        mgr.control_step(&mut server, 5.0, Some(0.02)).unwrap();
+        assert!(mgr.margin() > m0);
+        // And shrinks on ample slack.
+        let m1 = mgr.margin();
+        mgr.control_step(&mut server, 5.0, Some(0.9)).unwrap();
+        assert!(mgr.margin() < m1);
+    }
+
+    #[test]
+    fn pom_draws_less_power_than_random_heracles() {
+        let power = PowerDrawModel::new(MachineSpec::xeon_e5_2650());
+        let mut pom_total = 0.0;
+        let mut rnd_total = 0.0;
+        for load_frac in [0.2, 0.4, 0.6, 0.8] {
+            let (truth, server, _) =
+                run_loop(LcApp::Sphinx, LcPolicy::PowerOptimized, load_frac, 12);
+            let alloc = server.allocation(TenantRole::Primary).unwrap();
+            pom_total += truth
+                .power_draw(load_frac * truth.peak_load_rps(), alloc, &power)
+                .0;
+            let (truth, server, _) =
+                run_loop(LcApp::Sphinx, LcPolicy::heracles_random(5), load_frac, 12);
+            let alloc = server.allocation(TenantRole::Primary).unwrap();
+            rnd_total += truth
+                .power_draw(load_frac * truth.peak_load_rps(), alloc, &power)
+                .0;
+        }
+        assert!(
+            pom_total < rnd_total,
+            "POM total {pom_total} should be below random Heracles {rnd_total}"
+        );
+    }
+
+    #[test]
+    fn secondary_capper_state_survives_repartition() {
+        let (truth, utility) = fitted(LcApp::Xapian);
+        let mut server = SimServer::new(truth.machine().clone(), truth.provisioned_power());
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        mgr.control_step(&mut server, 0.2 * truth.peak_load_rps(), None)
+            .unwrap();
+        // The capper throttles the secondary...
+        server
+            .set_frequency(TenantRole::Secondary, Frequency(1.5))
+            .unwrap();
+        server.set_quota(TenantRole::Secondary, 0.6).unwrap();
+        // ...and a re-partition keeps that state.
+        mgr.control_step(&mut server, 0.3 * truth.peak_load_rps(), Some(0.4))
+            .unwrap();
+        let sec = server.allocation(TenantRole::Secondary).unwrap();
+        assert_eq!(sec.frequency, Frequency(1.5));
+        assert!((sec.cpu_quota - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_counts_reported() {
+        let (_, _, mgr) = run_loop(LcApp::TpcC, LcPolicy::PowerOptimized, 0.5, 3);
+        let (c, w) = mgr.last_counts().unwrap();
+        assert!(c >= 1 && w >= 1);
+    }
+
+    #[test]
+    fn error_types_display() {
+        let e = ManagerError::Model(CoreError::SingularSystem);
+        assert!(e.to_string().contains("model error"));
+        assert!(StdError::source(&e).is_some());
+        let e = ManagerError::Server(SimError::NoSuchTenant("secondary"));
+        assert!(e.to_string().contains("server error"));
+    }
+}

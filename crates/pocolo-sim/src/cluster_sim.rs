@@ -1,0 +1,166 @@
+//! Simulation of the full four-server cluster via the event engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+use crate::metrics::{ClusterSummary, ServerMetrics};
+use crate::server_sim::ServerSim;
+
+/// Events driving the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterEvent {
+    /// A server's 1 s manager tick.
+    ManagerTick {
+        /// Index into the server list.
+        server: usize,
+    },
+    /// A server's 100 ms capper tick.
+    CapperTick {
+        /// Index into the server list.
+        server: usize,
+    },
+}
+
+/// A set of colocated servers advanced in lockstep by the event engine.
+#[derive(Debug)]
+pub struct ClusterSim {
+    servers: Vec<ServerSim>,
+    manager_period_s: f64,
+    capper_period_s: f64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster simulation over pre-assembled server sims.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty server list or non-positive periods.
+    pub fn new(servers: Vec<ServerSim>, manager_period_s: f64, capper_period_s: f64) -> Self {
+        assert!(!servers.is_empty(), "cluster needs at least one server");
+        assert!(
+            manager_period_s > 0.0 && capper_period_s > 0.0,
+            "control periods must be positive"
+        );
+        ClusterSim {
+            servers,
+            manager_period_s,
+            capper_period_s,
+        }
+    }
+
+    /// The simulated servers.
+    pub fn servers(&self) -> &[ServerSim] {
+        &self.servers
+    }
+
+    /// Runs the simulation for `duration_s` simulated seconds.
+    pub fn run(&mut self, duration_s: f64) {
+        let mut engine: Engine<ClusterEvent> = Engine::new();
+        for idx in 0..self.servers.len() {
+            engine.schedule_at_seconds(0.0, ClusterEvent::ManagerTick { server: idx });
+            engine.schedule_at_seconds(
+                self.capper_period_s,
+                ClusterEvent::CapperTick { server: idx },
+            );
+        }
+        while let Some(peek) = engine.peek_time_seconds() {
+            if peek > duration_s + 1e-9 {
+                break;
+            }
+            let entry = engine.pop().expect("peeked event exists");
+            let now = engine.now_seconds();
+            match entry.event {
+                ClusterEvent::ManagerTick { server } => {
+                    self.servers[server].on_manager_tick(now);
+                    engine.schedule_in(self.manager_period_s, ClusterEvent::ManagerTick { server });
+                }
+                ClusterEvent::CapperTick { server } => {
+                    self.servers[server].on_capper_tick(self.capper_period_s);
+                    engine.schedule_in(self.capper_period_s, ClusterEvent::CapperTick { server });
+                }
+            }
+        }
+    }
+
+    /// Per-server metrics snapshots.
+    pub fn metrics(&self) -> Vec<ServerMetrics> {
+        self.servers.iter().map(|s| s.metrics().clone()).collect()
+    }
+
+    /// Aggregated cluster summary.
+    pub fn summary(&self) -> ClusterSummary {
+        ClusterSummary::aggregate(&self.metrics()).expect("cluster is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_manager::LcPolicy;
+    use pocolo_simserver::power::PowerDrawModel;
+    use pocolo_simserver::MachineSpec;
+    use pocolo_workloads::profiler::{profile_lc, ProfilerConfig};
+    use pocolo_workloads::{BeApp, BeModel, LcApp, LcModel, LoadTrace};
+
+    fn server(lc: LcApp, be: BeApp) -> ServerSim {
+        let machine = MachineSpec::xeon_e5_2650();
+        let truth = LcModel::for_app(lc, machine.clone());
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+        let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default())
+            .unwrap()
+            .utility;
+        let cap = truth.provisioned_power();
+        ServerSim::new(
+            truth,
+            fitted,
+            Some(BeModel::for_app(be, machine)),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.4),
+            cap,
+            0.01,
+            7,
+        )
+    }
+
+    #[test]
+    fn runs_all_servers_for_the_duration() {
+        let mut cluster = ClusterSim::new(
+            vec![
+                server(LcApp::Xapian, BeApp::Rnn),
+                server(LcApp::Sphinx, BeApp::Graph),
+            ],
+            1.0,
+            0.1,
+        );
+        cluster.run(10.0);
+        for m in cluster.metrics() {
+            assert!(
+                (m.duration_s - 10.0).abs() < 0.2,
+                "covered {}",
+                m.duration_s
+            );
+            assert!(m.samples >= 99);
+        }
+        let s = cluster.summary();
+        assert!(s.avg_be_throughput > 0.0);
+        assert!(s.avg_power_utilization > 0.3 && s.avg_power_utilization <= 1.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_panics() {
+        let _ = ClusterSim::new(vec![], 1.0, 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_same_seeds() {
+        let mut a = ClusterSim::new(vec![server(LcApp::TpcC, BeApp::Lstm)], 1.0, 0.1);
+        let mut b = ClusterSim::new(vec![server(LcApp::TpcC, BeApp::Lstm)], 1.0, 0.1);
+        a.run(5.0);
+        b.run(5.0);
+        assert_eq!(a.metrics(), b.metrics());
+    }
+}

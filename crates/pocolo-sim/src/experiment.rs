@@ -1,0 +1,507 @@
+//! End-to-end policy experiments: the §V-D comparison of Random, POM and
+//! POColo over the uniform 10–90 % load sweep (Figs. 12 and 13).
+
+use pocolo_cluster::{PerfMatrixBuilder, ServerProfile, Solver};
+use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+use pocolo_core::utility::IndirectUtility;
+use pocolo_manager::LcPolicy;
+use pocolo_simserver::power::PowerDrawModel;
+use pocolo_simserver::MachineSpec;
+use pocolo_workloads::profiler::{profile_be, profile_lc, ProfilerConfig};
+use pocolo_workloads::{BeApp, BeModel, LcApp, LcModel, LoadTrace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster_sim::ClusterSim;
+use crate::metrics::{ClusterSummary, ServerMetrics};
+use crate::server_sim::ServerSim;
+
+/// The three policies of §V-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Random placement + power-oblivious (Heracles-style) server
+    /// management. The paper's baseline.
+    Random {
+        /// Seed for both the placement permutation and the server policy.
+        seed: u64,
+    },
+    /// Random placement + **P**ower **O**ptimized **M**anagement on the
+    /// server.
+    Pom {
+        /// Seed for the placement permutation.
+        seed: u64,
+    },
+    /// Power-optimized placement *and* server management — full Pocolo.
+    Pocolo {
+        /// Assignment solver (the paper uses an LP solver).
+        solver: Solver,
+    },
+}
+
+impl Policy {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Random { .. } => "Random",
+            Policy::Pom { .. } => "POM",
+            Policy::Pocolo { .. } => "POColo",
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Seconds spent at each of the nine load levels.
+    pub dwell_s: f64,
+    /// Server-manager control period (paper: 1 s).
+    pub manager_period_s: f64,
+    /// Power-capper control period (paper: 100 ms).
+    pub capper_period_s: f64,
+    /// Relative power-meter noise.
+    pub meter_noise: f64,
+    /// Base RNG seed (profiling noise, meters).
+    pub seed: u64,
+    /// Profiler settings used when fitting models.
+    pub profiler: ProfilerConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            dwell_s: 20.0,
+            manager_period_s: 1.0,
+            capper_period_s: 0.1,
+            meter_noise: 0.01,
+            seed: 0xC0C0,
+            profiler: ProfilerConfig::default(),
+        }
+    }
+}
+
+/// One server's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairResult {
+    /// The primary LC application.
+    pub lc: String,
+    /// The best-effort co-runner placed on this server.
+    pub be: String,
+    /// Accumulated metrics.
+    pub metrics: ServerMetrics,
+}
+
+/// Outcome of one policy experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-server pairings and metrics, in [`LcApp::ALL`] order.
+    pub pairs: Vec<PairResult>,
+    /// Cluster aggregation.
+    pub summary: ClusterSummary,
+}
+
+/// Fitted models for every application, reused across policies.
+#[derive(Debug, Clone)]
+pub struct FittedCluster {
+    machine: MachineSpec,
+    lc: Vec<(LcApp, LcModel, IndirectUtility)>,
+    be: Vec<(BeApp, BeModel, IndirectUtility)>,
+}
+
+impl FittedCluster {
+    /// Profiles and fits all eight applications.
+    pub fn fit(profiler: &ProfilerConfig) -> Self {
+        let machine = MachineSpec::xeon_e5_2650();
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let lc = LcApp::ALL
+            .iter()
+            .map(|&app| {
+                let truth = LcModel::for_app(app, machine.clone());
+                let samples = profile_lc(&truth, &power, &space, profiler);
+                let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default())
+                    .expect("LC profile grid is well-conditioned")
+                    .utility;
+                (app, truth, fitted)
+            })
+            .collect();
+        let be = BeApp::ALL
+            .iter()
+            .map(|&app| {
+                let truth = BeModel::for_app(app, machine.clone());
+                let samples = profile_be(&truth, &power, &space, profiler);
+                let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default())
+                    .expect("BE profile grid is well-conditioned")
+                    .utility;
+                (app, truth, fitted)
+            })
+            .collect();
+        FittedCluster { machine, lc, be }
+    }
+
+    /// The machine spec.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Fitted LC entries `(app, ground truth, fitted utility)`.
+    pub fn lc(&self) -> &[(LcApp, LcModel, IndirectUtility)] {
+        &self.lc
+    }
+
+    /// Fitted BE entries.
+    pub fn be(&self) -> &[(BeApp, BeModel, IndirectUtility)] {
+        &self.be
+    }
+
+    /// Cluster-manager server profiles from the fitted LC models.
+    pub fn server_profiles(&self) -> Vec<ServerProfile> {
+        self.lc
+            .iter()
+            .map(|(app, truth, fitted)| ServerProfile {
+                label: app.name().to_string(),
+                utility: fitted.clone(),
+                power_cap: truth.provisioned_power(),
+                peak_load: truth.peak_load_rps(),
+            })
+            .collect()
+    }
+
+    /// Fitted BE utilities labelled for the cluster manager.
+    pub fn be_profiles(&self) -> Vec<(String, IndirectUtility)> {
+        self.be
+            .iter()
+            .map(|(app, _, fitted)| (app.name().to_string(), fitted.clone()))
+            .collect()
+    }
+
+    /// Decides the placement for a policy: which BE app runs on each LC
+    /// server (index-aligned with [`FittedCluster::lc`]).
+    pub fn placement(&self, policy: Policy) -> Vec<BeApp> {
+        match policy {
+            Policy::Random { seed } | Policy::Pom { seed } => {
+                let mut order: Vec<BeApp> = self.be.iter().map(|(a, _, _)| *a).collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                order.shuffle(&mut rng);
+                order
+            }
+            Policy::Pocolo { solver } => {
+                let matrix = PerfMatrixBuilder::new()
+                    .build(&self.be_profiles(), &self.server_profiles())
+                    .expect("fitted models are well-formed");
+                let assignment =
+                    pocolo_cluster::assign::solve(&matrix, solver).expect("4x4 is solvable");
+                let mut out = vec![BeApp::Lstm; self.lc.len()];
+                for (row, col) in assignment.pairs {
+                    out[col] = self.be[row].0;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Runs one policy through the full load sweep and returns its results.
+pub fn run_experiment(policy: Policy, config: &ExperimentConfig) -> ExperimentResult {
+    let fitted = FittedCluster::fit(&config.profiler);
+    run_experiment_with(policy, config, &fitted)
+}
+
+/// Like [`run_experiment`] but reuses pre-fitted models (so policy
+/// comparisons share identical fits).
+pub fn run_experiment_with(
+    policy: Policy,
+    config: &ExperimentConfig,
+    fitted: &FittedCluster,
+) -> ExperimentResult {
+    run_with_trace(
+        policy,
+        config,
+        fitted,
+        LoadTrace::paper_sweep(config.dwell_s),
+        9.0 * config.dwell_s,
+    )
+}
+
+/// Runs a policy at each load level separately (constant-load runs of
+/// `config.dwell_s` each), returning `(level, summary)` pairs — the
+/// per-level detail behind the paper's averaged Fig. 12/13 bars.
+pub fn run_level_sweep(
+    policy: Policy,
+    config: &ExperimentConfig,
+    fitted: &FittedCluster,
+    levels: &[f64],
+) -> Vec<(f64, ClusterSummary)> {
+    levels
+        .iter()
+        .map(|&level| {
+            let result = run_with_trace(
+                policy,
+                config,
+                fitted,
+                LoadTrace::Constant(level),
+                config.dwell_s,
+            );
+            (level, result.summary)
+        })
+        .collect()
+}
+
+fn run_with_trace(
+    policy: Policy,
+    config: &ExperimentConfig,
+    fitted: &FittedCluster,
+    trace: LoadTrace,
+    duration_s: f64,
+) -> ExperimentResult {
+    let placement = fitted.placement(policy);
+    let servers: Vec<ServerSim> = fitted
+        .lc
+        .iter()
+        .enumerate()
+        .map(|(i, (_, truth, fit))| {
+            let be_app = placement[i];
+            let be_truth = fitted
+                .be
+                .iter()
+                .find(|(a, _, _)| *a == be_app)
+                .map(|(_, t, _)| t.clone());
+            let lc_policy = match policy {
+                // Power-oblivious baseline: a feasible indifference-curve
+                // point chosen without regard to power, re-drawn every
+                // control epoch.
+                Policy::Random { seed } => LcPolicy::heracles_random(seed ^ (i as u64)),
+                Policy::Pom { .. } | Policy::Pocolo { .. } => LcPolicy::PowerOptimized,
+            };
+            let be_fitted = fitted
+                .be
+                .iter()
+                .find(|(a, _, _)| *a == be_app)
+                .map(|(_, _, f)| f.clone());
+            let sim = ServerSim::new(
+                truth.clone(),
+                fit.clone(),
+                be_truth,
+                lc_policy,
+                trace.clone(),
+                truth.provisioned_power(),
+                config.meter_noise,
+                config.seed ^ ((i as u64) << 8),
+            );
+            match (policy, be_fitted) {
+                // Power-optimized policies plan the secondary proactively
+                // with the fitted model; the baseline is purely reactive.
+                (Policy::Pom { .. } | Policy::Pocolo { .. }, Some(bf)) => sim.with_proactive_be(bf),
+                _ => sim,
+            }
+        })
+        .collect();
+    let mut cluster = ClusterSim::new(servers, config.manager_period_s, config.capper_period_s);
+    cluster.run(duration_s);
+
+    let pairs = fitted
+        .lc
+        .iter()
+        .zip(cluster.metrics())
+        .enumerate()
+        .map(|(i, ((app, _, _), metrics))| PairResult {
+            lc: app.name().to_string(),
+            be: placement[i].name().to_string(),
+            metrics,
+        })
+        .collect();
+    ExperimentResult {
+        policy: policy.name().to_string(),
+        pairs,
+        summary: cluster.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            dwell_s: 6.0,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn placement_policies_are_valid_permutations() {
+        let fitted = FittedCluster::fit(&ProfilerConfig::default());
+        for policy in [
+            Policy::Random { seed: 3 },
+            Policy::Pom { seed: 3 },
+            Policy::Pocolo {
+                solver: Solver::Hungarian,
+            },
+        ] {
+            let p = fitted.placement(policy);
+            let mut names: Vec<&str> = p.iter().map(|a| a.name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 4, "{policy:?} must place each BE app once");
+        }
+    }
+
+    #[test]
+    fn pocolo_placement_matches_cluster_manager_pairings() {
+        let fitted = FittedCluster::fit(&ProfilerConfig::default());
+        let p = fitted.placement(Policy::Pocolo {
+            solver: Solver::Hungarian,
+        });
+        // lc order: img-dnn, sphinx, xapian, tpcc.
+        assert_eq!(p[0], BeApp::Lstm);
+        assert_eq!(p[1], BeApp::Graph);
+    }
+
+    #[test]
+    fn policy_ordering_matches_paper() {
+        // The headline §V-D result: POColo > POM > Random on BE throughput,
+        // and Random draws the most power.
+        let config = quick_config();
+        let fitted = FittedCluster::fit(&config.profiler);
+        let random = run_experiment_with(Policy::Random { seed: 1 }, &config, &fitted);
+        let pom = run_experiment_with(Policy::Pom { seed: 1 }, &config, &fitted);
+        let pocolo = run_experiment_with(
+            Policy::Pocolo {
+                solver: Solver::Hungarian,
+            },
+            &config,
+            &fitted,
+        );
+        assert!(
+            pom.summary.avg_be_throughput > random.summary.avg_be_throughput,
+            "POM {} should beat Random {}",
+            pom.summary.avg_be_throughput,
+            random.summary.avg_be_throughput
+        );
+        assert!(
+            pocolo.summary.avg_be_throughput > pom.summary.avg_be_throughput * 0.99,
+            "POColo {} should be at least POM {}",
+            pocolo.summary.avg_be_throughput,
+            pom.summary.avg_be_throughput
+        );
+        assert!(
+            random.summary.avg_power_utilization > pom.summary.avg_power_utilization,
+            "Random util {} should exceed POM {}",
+            random.summary.avg_power_utilization,
+            pom.summary.avg_power_utilization
+        );
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let config = quick_config();
+        let fitted = FittedCluster::fit(&config.profiler);
+        let a = run_experiment_with(Policy::Pom { seed: 9 }, &config, &fitted);
+        let b = run_experiment_with(Policy::Pom { seed: 9 }, &config, &fitted);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slo_is_respected_under_all_policies() {
+        let config = quick_config();
+        let fitted = FittedCluster::fit(&config.profiler);
+        for policy in [
+            Policy::Random { seed: 2 },
+            Policy::Pom { seed: 2 },
+            Policy::Pocolo { solver: Solver::Lp },
+        ] {
+            let r = run_experiment_with(policy, &config, &fitted);
+            assert!(
+                r.summary.worst_violation_frac < 0.25,
+                "{}: violations {} should be transient (load-step edges)",
+                r.policy,
+                r.summary.worst_violation_frac
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration {
+    use super::*;
+
+    #[test]
+    #[ignore = "calibration report"]
+    fn print_policy_comparison() {
+        let config = ExperimentConfig {
+            dwell_s: 10.0,
+            ..ExperimentConfig::default()
+        };
+        let fitted = FittedCluster::fit(&config.profiler);
+        for policy in [
+            Policy::Random { seed: 1 },
+            Policy::Pom { seed: 1 },
+            Policy::Pocolo {
+                solver: pocolo_cluster::Solver::Hungarian,
+            },
+        ] {
+            let r = run_experiment_with(policy, &config, &fitted);
+            println!(
+                "{:8} thpt={:.4} util={:.4} energy={:.0} e/thpt={:.0} cap%={:.3} viol={:.3}",
+                r.policy,
+                r.summary.avg_be_throughput,
+                r.summary.avg_power_utilization,
+                r.summary.total_energy.0,
+                r.summary.energy_per_throughput,
+                r.summary.avg_capping_frac,
+                r.summary.worst_violation_frac,
+            );
+            for p in &r.pairs {
+                println!(
+                    "    {:8} + {:6} thpt={:.4} util={:.4} cap%={:.3}",
+                    p.lc,
+                    p.be,
+                    p.metrics.be_throughput_avg,
+                    p.metrics.power_utilization(),
+                    p.metrics.capping_frac
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod level_sweep_tests {
+    use super::*;
+
+    #[test]
+    fn level_sweep_shapes() {
+        let config = ExperimentConfig {
+            dwell_s: 5.0,
+            ..ExperimentConfig::default()
+        };
+        let fitted = FittedCluster::fit(&config.profiler);
+        let levels = [0.1, 0.5, 0.9];
+        let sweep = run_level_sweep(
+            Policy::Pocolo {
+                solver: pocolo_cluster::Solver::Hungarian,
+            },
+            &config,
+            &fitted,
+            &levels,
+        );
+        assert_eq!(sweep.len(), 3);
+        // BE throughput falls as the primaries' load rises.
+        assert!(
+            sweep[0].1.avg_be_throughput > sweep[2].1.avg_be_throughput,
+            "10% load {} should beat 90% load {}",
+            sweep[0].1.avg_be_throughput,
+            sweep[2].1.avg_be_throughput
+        );
+        for (level, summary) in &sweep {
+            assert!(
+                summary.worst_violation_frac < 0.3,
+                "level {level}: violations {}",
+                summary.worst_violation_frac
+            );
+        }
+    }
+}

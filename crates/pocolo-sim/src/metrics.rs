@@ -1,0 +1,198 @@
+//! Metrics accumulated during simulation.
+
+use pocolo_core::units::{Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Per-server accumulator, sampled on every capper tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Simulated wall-clock covered, seconds.
+    pub duration_s: f64,
+    /// Integrated server energy.
+    pub energy: Joules,
+    /// Highest instantaneous (true) power observed.
+    pub peak_power: Watts,
+    /// The provisioned cap the server ran under.
+    pub power_cap: Watts,
+    /// Time-average of the BE app's normalized throughput.
+    pub be_throughput_avg: f64,
+    /// Fraction of time the primary's p99 violated its SLO.
+    pub lc_violation_frac: f64,
+    /// Fraction of capper ticks that had to throttle the secondary.
+    pub capping_frac: f64,
+    /// Number of accumulation samples.
+    pub samples: usize,
+    // Internal accumulators.
+    be_integral: f64,
+    violation_time: f64,
+    capping_events: usize,
+}
+
+impl ServerMetrics {
+    /// A fresh accumulator for a server with the given cap.
+    pub fn new(power_cap: Watts) -> Self {
+        ServerMetrics {
+            duration_s: 0.0,
+            energy: Joules::ZERO,
+            peak_power: Watts::ZERO,
+            power_cap,
+            be_throughput_avg: 0.0,
+            lc_violation_frac: 0.0,
+            capping_frac: 0.0,
+            samples: 0,
+            be_integral: 0.0,
+            violation_time: 0.0,
+            capping_events: 0,
+        }
+    }
+
+    /// Records one interval of `dt` seconds.
+    pub fn record(
+        &mut self,
+        dt: f64,
+        true_power: Watts,
+        be_throughput: f64,
+        lc_slack: f64,
+        throttled: bool,
+    ) {
+        debug_assert!(dt > 0.0);
+        self.duration_s += dt;
+        self.energy += true_power.over_seconds(dt);
+        self.peak_power = self.peak_power.max(true_power);
+        self.be_integral += be_throughput * dt;
+        if lc_slack < 0.0 {
+            self.violation_time += dt;
+        }
+        if throttled {
+            self.capping_events += 1;
+        }
+        self.samples += 1;
+        // Keep derived fields current so serialization is always valid.
+        self.be_throughput_avg = self.be_integral / self.duration_s;
+        self.lc_violation_frac = self.violation_time / self.duration_s;
+        self.capping_frac = self.capping_events as f64 / self.samples as f64;
+    }
+
+    /// Time-average server power.
+    pub fn avg_power(&self) -> Watts {
+        if self.duration_s > 0.0 {
+            Watts(self.energy.0 / self.duration_s)
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Average power as a fraction of the provisioned cap (Fig. 13).
+    pub fn power_utilization(&self) -> f64 {
+        if self.power_cap > Watts::ZERO {
+            self.avg_power() / self.power_cap
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Cluster-level aggregation across servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Mean of per-server BE throughput averages.
+    pub avg_be_throughput: f64,
+    /// Mean of per-server power utilizations.
+    pub avg_power_utilization: f64,
+    /// Total cluster energy.
+    pub total_energy: Joules,
+    /// Energy per unit of aggregate BE throughput (the paper's energy
+    /// metric improves more than raw power because throughput rises too).
+    pub energy_per_throughput: f64,
+    /// Worst per-server SLO violation fraction.
+    pub worst_violation_frac: f64,
+    /// Mean capping fraction.
+    pub avg_capping_frac: f64,
+}
+
+impl ClusterSummary {
+    /// Aggregates per-server metrics. Returns `None` for an empty slice.
+    pub fn aggregate(servers: &[ServerMetrics]) -> Option<ClusterSummary> {
+        if servers.is_empty() {
+            return None;
+        }
+        let n = servers.len() as f64;
+        let avg_be_throughput = servers.iter().map(|s| s.be_throughput_avg).sum::<f64>() / n;
+        let avg_power_utilization = servers.iter().map(|s| s.power_utilization()).sum::<f64>() / n;
+        let total_energy: Joules = servers.iter().map(|s| s.energy).sum();
+        let total_thpt: f64 = servers.iter().map(|s| s.be_throughput_avg).sum();
+        let energy_per_throughput = if total_thpt > 0.0 {
+            total_energy.0 / total_thpt
+        } else {
+            f64::INFINITY
+        };
+        let worst_violation_frac = servers
+            .iter()
+            .map(|s| s.lc_violation_frac)
+            .fold(0.0, f64::max);
+        let avg_capping_frac = servers.iter().map(|s| s.capping_frac).sum::<f64>() / n;
+        Some(ClusterSummary {
+            avg_be_throughput,
+            avg_power_utilization,
+            total_energy,
+            energy_per_throughput,
+            worst_violation_frac,
+            avg_capping_frac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = ServerMetrics::new(Watts(100.0));
+        m.record(1.0, Watts(80.0), 0.5, 0.2, false);
+        m.record(1.0, Watts(90.0), 0.7, -0.1, true);
+        assert_eq!(m.duration_s, 2.0);
+        assert_eq!(m.energy, Joules(170.0));
+        assert_eq!(m.peak_power, Watts(90.0));
+        assert!((m.avg_power().0 - 85.0).abs() < 1e-9);
+        assert!((m.power_utilization() - 0.85).abs() < 1e-9);
+        assert!((m.be_throughput_avg - 0.6).abs() < 1e-9);
+        assert!((m.lc_violation_frac - 0.5).abs() < 1e-9);
+        assert!((m.capping_frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = ServerMetrics::new(Watts(100.0));
+        assert_eq!(m.avg_power(), Watts::ZERO);
+        assert_eq!(m.power_utilization(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_cluster() {
+        let mut a = ServerMetrics::new(Watts(100.0));
+        a.record(10.0, Watts(90.0), 0.8, 0.2, false);
+        let mut b = ServerMetrics::new(Watts(200.0));
+        b.record(10.0, Watts(100.0), 0.4, -0.2, true);
+        let c = ClusterSummary::aggregate(&[a, b]).unwrap();
+        assert!((c.avg_be_throughput - 0.6).abs() < 1e-9);
+        assert!((c.avg_power_utilization - (0.9 + 0.5) / 2.0).abs() < 1e-9);
+        assert_eq!(c.total_energy, Joules(1900.0));
+        assert!((c.energy_per_throughput - 1900.0 / 1.2).abs() < 1e-9);
+        assert!((c.worst_violation_frac - 1.0).abs() < 1e-9);
+        assert!((c.avg_capping_frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_empty_is_none() {
+        assert!(ClusterSummary::aggregate(&[]).is_none());
+    }
+
+    #[test]
+    fn zero_throughput_energy_is_infinite() {
+        let mut a = ServerMetrics::new(Watts(100.0));
+        a.record(1.0, Watts(50.0), 0.0, 0.5, false);
+        let c = ClusterSummary::aggregate(&[a]).unwrap();
+        assert!(c.energy_per_throughput.is_infinite());
+    }
+}

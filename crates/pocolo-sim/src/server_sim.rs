@@ -1,0 +1,392 @@
+//! Simulation of a single colocated server: ground truth + control loops.
+
+use pocolo_core::units::{Frequency, Watts};
+use pocolo_core::utility::IndirectUtility;
+use pocolo_manager::{CapAction, LcPolicy, ManagerConfig, PowerCapper, ServerManager};
+use pocolo_simserver::power::{PowerDrawModel, PowerMeter};
+use pocolo_simserver::{SimServer, TenantRole};
+use pocolo_workloads::{BeModel, LcModel, LoadTrace};
+
+use crate::metrics::ServerMetrics;
+
+/// One server under simulation: the ground-truth workload models, the
+/// simulated hardware, and the two control loops.
+#[derive(Debug)]
+pub struct ServerSim {
+    lc_truth: LcModel,
+    be_truth: Option<BeModel>,
+    server: SimServer,
+    manager: ServerManager,
+    capper: PowerCapper,
+    meter: PowerMeter,
+    power_model: PowerDrawModel,
+    trace: LoadTrace,
+    metrics: ServerMetrics,
+    last_slack: Option<f64>,
+    current_load_rps: f64,
+    /// Fitted BE utility for proactive (model-guided) secondary planning.
+    be_fitted: Option<IndirectUtility>,
+    /// Frequency ceiling planned for the secondary this epoch.
+    freq_ceiling: Option<Frequency>,
+    /// Remaining migration pause: the BE app produces no throughput while
+    /// its state moves in (§I: "dynamically moving applications across
+    /// servers incurs high overheads").
+    pause_remaining_s: f64,
+}
+
+impl ServerSim {
+    /// Assembles a server simulation.
+    ///
+    /// `lc_fitted` is the *fitted* model the manager plans with (fit it from
+    /// profiles of `lc_truth`); `be_truth` is the co-runner's ground truth
+    /// (or `None` for a solo primary).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        lc_truth: LcModel,
+        lc_fitted: IndirectUtility,
+        be_truth: Option<BeModel>,
+        policy: LcPolicy,
+        trace: LoadTrace,
+        power_cap: Watts,
+        meter_noise: f64,
+        seed: u64,
+    ) -> Self {
+        let machine = lc_truth.machine().clone();
+        let server = SimServer::new(machine.clone(), power_cap);
+        let manager = ServerManager::new(lc_fitted, policy, ManagerConfig::default());
+        ServerSim {
+            power_model: PowerDrawModel::new(machine),
+            lc_truth,
+            be_truth,
+            server,
+            manager,
+            capper: PowerCapper::default(),
+            meter: PowerMeter::new(meter_noise, seed),
+            trace,
+            metrics: ServerMetrics::new(power_cap),
+            last_slack: None,
+            current_load_rps: 0.0,
+            be_fitted: None,
+            freq_ceiling: None,
+            pause_remaining_s: 0.0,
+        }
+    }
+
+    /// Swaps the best-effort co-runner (a cluster-level migration). The new
+    /// app pays `pause_s` seconds of zero throughput while it warms up;
+    /// the secondary slot's DVFS/quota state resets.
+    pub fn replace_be(
+        &mut self,
+        be_truth: Option<BeModel>,
+        be_fitted: Option<IndirectUtility>,
+        pause_s: f64,
+    ) {
+        self.be_truth = be_truth;
+        self.be_fitted = be_fitted;
+        self.pause_remaining_s = pause_s.max(0.0);
+        self.server.evict(TenantRole::Secondary);
+    }
+
+    /// The name of the current co-runner's remaining migration pause.
+    pub fn pause_remaining_s(&self) -> f64 {
+        self.pause_remaining_s
+    }
+
+    /// Enables proactive, model-guided management of the secondary (the
+    /// power-optimized policies): every manager epoch, the secondary's DVFS
+    /// frequency is *planned* from the fitted models so its predicted draw
+    /// fits the predicted power headroom — instead of running hot and being
+    /// reactively throttled. The reactive capper stays as a backstop.
+    #[must_use]
+    pub fn with_proactive_be(mut self, be_fitted: IndirectUtility) -> Self {
+        self.be_fitted = Some(be_fitted);
+        self
+    }
+
+    /// The ground-truth LC model.
+    pub fn lc_truth(&self) -> &LcModel {
+        &self.lc_truth
+    }
+
+    /// The co-runner's ground truth, if placed.
+    pub fn be_truth(&self) -> Option<&BeModel> {
+        self.be_truth.as_ref()
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The underlying simulated server (for inspection in tests/benches).
+    pub fn server(&self) -> &SimServer {
+        &self.server
+    }
+
+    /// The manager tick (1 s in the paper): read the load trace, feed back
+    /// the observed slack, re-size the primary.
+    pub fn on_manager_tick(&mut self, now_s: f64) {
+        self.current_load_rps = self.trace.load_at(now_s) * self.lc_truth.peak_load_rps();
+        // Managers are resilient: a failed step leaves the previous
+        // allocation in place rather than killing the simulation.
+        let _ = self
+            .manager
+            .control_step(&mut self.server, self.current_load_rps, self.last_slack);
+        self.plan_secondary_frequency();
+    }
+
+    /// Model-guided secondary planning (see [`ServerSim::with_proactive_be`]).
+    fn plan_secondary_frequency(&mut self) {
+        self.freq_ceiling = None;
+        let Some(be_fit) = &self.be_fitted else {
+            return;
+        };
+        let Some(sec) = self.server.allocation(TenantRole::Secondary).copied() else {
+            return;
+        };
+        let Some((c, w)) = self.manager.last_counts() else {
+            return;
+        };
+        let lc_pred = self
+            .manager
+            .utility()
+            .power_model()
+            .power_of_amounts(&[c as f64, w as f64])
+            .unwrap_or(Watts::ZERO);
+        // Plan against a small guard band under the cap — the "reduces the
+        // need to throttle by design" behaviour of §V-D.
+        let headroom = (self.server.power_cap() - lc_pred) * 0.88;
+        let amounts = [sec.cores.count() as f64, sec.ways.count() as f64];
+        let p_static = be_fit.power_model().p_static();
+        let dynamic_at_fmax = match be_fit.power_model().power_of_amounts(&amounts) {
+            Ok(p) => p - p_static,
+            Err(_) => return,
+        };
+        // DVFS physics: dynamic power scales ~(f/f_max)^2.4.
+        let machine = self.lc_truth.machine();
+        let fmax = machine.freq_max();
+        let mut planned = machine.freq_min();
+        let mut f = fmax.0;
+        while f >= machine.freq_min().0 - 1e-9 {
+            let frac = (f / fmax.0).powf(2.4);
+            if p_static + dynamic_at_fmax * frac <= headroom {
+                planned = Frequency(f);
+                break;
+            }
+            f -= 0.1;
+        }
+        // The plan is a *ceiling*: lower the secondary if it is above, but
+        // never yank it up past what the reactive capper has settled on —
+        // the capper's recovery path raises it as headroom allows.
+        if sec.frequency > planned {
+            let _ = self.server.set_frequency(TenantRole::Secondary, planned);
+        }
+        self.freq_ceiling = Some(planned);
+    }
+
+    /// Instantaneous *true* server power from the ground-truth draws.
+    pub fn true_power(&self) -> Watts {
+        let mut draws = Vec::with_capacity(2);
+        if let Some(alloc) = self.server.allocation(TenantRole::Primary) {
+            draws.push(
+                self.lc_truth
+                    .power_draw(self.current_load_rps, alloc, &self.power_model),
+            );
+        }
+        if let (Some(be), Some(alloc)) = (
+            self.be_truth.as_ref(),
+            self.server.allocation(TenantRole::Secondary),
+        ) {
+            draws.push(be.power_draw(alloc, &self.power_model));
+        }
+        self.power_model.server_power(draws)
+    }
+
+    /// Instantaneous normalized BE throughput (zero while a migration
+    /// pause is in effect).
+    pub fn be_throughput(&self) -> f64 {
+        if self.pause_remaining_s > 0.0 {
+            return 0.0;
+        }
+        match (
+            self.be_truth.as_ref(),
+            self.server.allocation(TenantRole::Secondary),
+        ) {
+            (Some(be), Some(alloc)) => be.throughput(alloc),
+            _ => 0.0,
+        }
+    }
+
+    /// Observed p99 latency slack of the primary right now.
+    pub fn lc_slack(&self) -> f64 {
+        match self.server.allocation(TenantRole::Primary) {
+            Some(alloc) => self.lc_truth.latency_slack(self.current_load_rps, alloc),
+            None => 1.0,
+        }
+    }
+
+    /// The capper tick (100 ms in the paper): sample the meter, throttle or
+    /// recover the secondary, and record metrics over `dt` seconds.
+    pub fn on_capper_tick(&mut self, dt: f64) {
+        self.pause_remaining_s = (self.pause_remaining_s - dt).max(0.0);
+        let true_power = self.true_power();
+        let measured = self.meter.sample(true_power);
+        let action = self
+            .capper
+            .step(&mut self.server, measured)
+            .unwrap_or(CapAction::None);
+        // Under proactive planning the capper may not raise the secondary
+        // past the planned frequency ceiling.
+        if let (Some(ceiling), Some(sec)) = (
+            self.freq_ceiling,
+            self.server.allocation(TenantRole::Secondary).copied(),
+        ) {
+            if sec.frequency > ceiling {
+                let _ = self.server.set_frequency(TenantRole::Secondary, ceiling);
+            }
+        }
+        let throttled = matches!(
+            action,
+            CapAction::LoweredFrequency | CapAction::LoweredQuota | CapAction::Saturated
+        );
+        let slack = self.lc_slack();
+        self.last_slack = Some(slack);
+        // Metrics record the *pre-action* power: that is what the server
+        // actually drew over the elapsed interval (including any overshoot
+        // the capper is only now correcting).
+        self.metrics
+            .record(dt, true_power, self.be_throughput(), slack, throttled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_manager::LcPolicy;
+    use pocolo_simserver::MachineSpec;
+    use pocolo_workloads::profiler::{profile_lc, ProfilerConfig};
+    use pocolo_workloads::{BeApp, LcApp};
+
+    fn make_sim(lc: LcApp, be: Option<BeApp>, policy: LcPolicy, trace: LoadTrace) -> ServerSim {
+        let machine = MachineSpec::xeon_e5_2650();
+        let truth = LcModel::for_app(lc, machine.clone());
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+        let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default())
+            .unwrap()
+            .utility;
+        let cap = truth.provisioned_power();
+        let be_truth = be.map(|b| BeModel::for_app(b, machine.clone()));
+        ServerSim::new(truth, fitted, be_truth, policy, trace, cap, 0.01, 42)
+    }
+
+    fn run(sim: &mut ServerSim, seconds: usize) {
+        for s in 0..seconds {
+            sim.on_manager_tick(s as f64);
+            for _ in 0..10 {
+                sim.on_capper_tick(0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_load_keeps_slo_and_cap() {
+        let mut sim = make_sim(
+            LcApp::Xapian,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.5),
+        );
+        run(&mut sim, 30);
+        let m = sim.metrics();
+        assert!(
+            m.lc_violation_frac < 0.2,
+            "SLO violations {} should be transient",
+            m.lc_violation_frac
+        );
+        // After settling, power stays at/below cap (small overshoot spikes
+        // between capper reactions are expected).
+        assert!(
+            sim.true_power() <= m.power_cap * 1.02,
+            "settled power {} vs cap {}",
+            sim.true_power(),
+            m.power_cap
+        );
+        assert!(m.be_throughput_avg > 0.05, "BE should make progress");
+    }
+
+    #[test]
+    fn load_sweep_varies_be_throughput() {
+        let mut sim = make_sim(
+            LcApp::Xapian,
+            Some(BeApp::Rnn),
+            LcPolicy::PowerOptimized,
+            LoadTrace::paper_sweep(10.0),
+        );
+        // First level (10 % load).
+        run(&mut sim, 10);
+        let low_load_thpt = sim.be_throughput();
+        // Run into the high-load levels.
+        run(&mut sim, 70);
+        let high_load_thpt = sim.be_throughput();
+        assert!(
+            low_load_thpt > high_load_thpt,
+            "BE throughput at 10% LC load ({low_load_thpt}) should exceed at 80% ({high_load_thpt})"
+        );
+    }
+
+    #[test]
+    fn solo_primary_has_zero_be_throughput() {
+        let mut sim = make_sim(
+            LcApp::Sphinx,
+            None,
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.3),
+        );
+        run(&mut sim, 10);
+        assert_eq!(sim.metrics().be_throughput_avg, 0.0);
+        assert!(sim.true_power() > Watts(50.0));
+    }
+
+    #[test]
+    fn capper_reacts_to_overdraw() {
+        let mut sim = make_sim(
+            LcApp::ImgDnn, // tightest cap: 133 W
+            Some(BeApp::Pbzip),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.3),
+        );
+        run(&mut sim, 20);
+        let m = sim.metrics();
+        assert!(
+            m.capping_frac > 0.0,
+            "a power-hungry BE app beside img-dnn must get throttled"
+        );
+        // The secondary should have been slowed down.
+        let sec = sim.server().allocation(TenantRole::Secondary).unwrap();
+        assert!(sec.frequency < sim.lc_truth().machine().freq_max());
+    }
+
+    #[test]
+    fn power_never_exceeds_cap_after_settling() {
+        let mut sim = make_sim(
+            LcApp::TpcC,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.4),
+        );
+        run(&mut sim, 20);
+        // Post-settling, sampled power obeys the cap within meter noise.
+        for _ in 0..50 {
+            sim.on_capper_tick(0.1);
+            assert!(
+                sim.true_power() <= sim.metrics().power_cap * 1.03,
+                "{} exceeds cap {}",
+                sim.true_power(),
+                sim.metrics().power_cap
+            );
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! End-to-end simulation of **spatial sharing**: one primary plus several
+//! best-effort apps partitioned across the spare box (§V-G future work,
+//! built on [`pocolo_simserver::MultiTenantServer`]).
+
+use pocolo_core::units::Watts;
+use pocolo_core::utility::IndirectUtility;
+use pocolo_manager::spatial::split_spare;
+use pocolo_manager::{LcPolicy, ManagerConfig};
+use pocolo_simserver::power::{PowerDrawModel, PowerMeter};
+use pocolo_simserver::{MultiPowerCapper, MultiTenantServer, TenantAllocation};
+use pocolo_workloads::{BeModel, LcModel, LoadTrace};
+
+use crate::metrics::ServerMetrics;
+
+/// One best-effort participant in a spatial-sharing simulation.
+#[derive(Debug)]
+pub struct SpatialTenant {
+    /// Ground truth driving throughput and power.
+    pub truth: BeModel,
+    /// Fitted utility providing the preference vector for the split.
+    pub fitted: IndirectUtility,
+}
+
+/// A server hosting the primary plus `k` spatially-isolated secondaries.
+#[derive(Debug)]
+pub struct SpatialServerSim {
+    lc_truth: LcModel,
+    lc_fitted: IndirectUtility,
+    policy: LcPolicy,
+    config: ManagerConfig,
+    margin: f64,
+    tenants: Vec<SpatialTenant>,
+    server: MultiTenantServer,
+    capper: MultiPowerCapper,
+    meter: PowerMeter,
+    power_model: PowerDrawModel,
+    trace: LoadTrace,
+    metrics: ServerMetrics,
+    per_tenant_integral: Vec<f64>,
+    last_slack: Option<f64>,
+    current_load_rps: f64,
+}
+
+impl SpatialServerSim {
+    /// Assembles the simulation. The secondaries' split follows their
+    /// fitted preference vectors on every manager epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        lc_truth: LcModel,
+        lc_fitted: IndirectUtility,
+        tenants: Vec<SpatialTenant>,
+        policy: LcPolicy,
+        trace: LoadTrace,
+        power_cap: Watts,
+        meter_noise: f64,
+        seed: u64,
+    ) -> Self {
+        let machine = lc_truth.machine().clone();
+        let n = tenants.len();
+        SpatialServerSim {
+            power_model: PowerDrawModel::new(machine.clone()),
+            server: MultiTenantServer::new(machine, power_cap),
+            lc_truth,
+            lc_fitted,
+            policy,
+            config: ManagerConfig::default(),
+            margin: ManagerConfig::default().initial_margin,
+            tenants,
+            capper: MultiPowerCapper::default(),
+            meter: PowerMeter::new(meter_noise, seed),
+            trace,
+            metrics: ServerMetrics::new(power_cap),
+            per_tenant_integral: vec![0.0; n],
+            last_slack: None,
+            current_load_rps: 0.0,
+        }
+    }
+
+    /// Aggregate metrics (the `be_throughput` fields hold the *sum* over
+    /// all secondaries).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Time-average throughput of each secondary, in tenant order.
+    pub fn per_tenant_throughput(&self) -> Vec<f64> {
+        if self.metrics.duration_s > 0.0 {
+            self.per_tenant_integral
+                .iter()
+                .map(|v| v / self.metrics.duration_s)
+                .collect()
+        } else {
+            vec![0.0; self.per_tenant_integral.len()]
+        }
+    }
+
+    /// Observed primary latency slack right now.
+    pub fn lc_slack(&self) -> f64 {
+        match self.server.primary() {
+            Some(alloc) => self.lc_truth.latency_slack(self.current_load_rps, alloc),
+            None => 1.0,
+        }
+    }
+
+    /// The 1 s manager tick: size the primary by feedback, split the spare
+    /// box among the secondaries by preference, reinstall everyone
+    /// (carrying the capper's DVFS/quota state per tenant).
+    pub fn on_manager_tick(&mut self, now_s: f64) {
+        self.current_load_rps = self.trace.load_at(now_s) * self.lc_truth.peak_load_rps();
+        if let Some(slack) = self.last_slack {
+            if slack < self.config.min_slack {
+                self.margin *= self.config.margin_up;
+            } else if slack > self.config.high_slack {
+                self.margin *= self.config.margin_down;
+            }
+            let (lo, hi) = self.config.margin_bounds;
+            self.margin = self.margin.clamp(lo, hi);
+        }
+        let target = self.current_load_rps * self.margin;
+        let Ok((c, w)) = self.policy.allocate(&self.lc_fitted, target) else {
+            return;
+        };
+        let machine = self.lc_truth.machine().clone();
+
+        // Remember the capper state per tenant before re-partitioning.
+        let prior: Vec<Option<TenantAllocation>> = (0..self.tenants.len())
+            .map(|i| self.server.secondary(i as u64).copied())
+            .collect();
+        self.server.clear_secondaries();
+        let (primary, _) =
+            pocolo_manager::partition(&machine, c, w, machine.freq_max(), machine.freq_max());
+        if self.server.install_primary(primary).is_err() {
+            return;
+        }
+        let prefs: Vec<_> = self
+            .tenants
+            .iter()
+            .map(|t| t.fitted.preference_vector())
+            .collect();
+        let split = split_spare(&machine, c, w, machine.freq_max(), &prefs);
+        for (i, mut alloc) in split.into_iter().enumerate() {
+            if let Some(Some(old)) = prior.get(i) {
+                alloc.frequency = old.frequency;
+                alloc.cpu_quota = old.cpu_quota;
+            }
+            // A failed install (should not happen: split is disjoint) just
+            // skips that tenant for this epoch.
+            let _ = self.server.add_secondary(i as u64, alloc);
+        }
+    }
+
+    /// Instantaneous true server power.
+    pub fn true_power(&self) -> Watts {
+        let mut draws = Vec::with_capacity(1 + self.tenants.len());
+        if let Some(alloc) = self.server.primary() {
+            draws.push(
+                self.lc_truth
+                    .power_draw(self.current_load_rps, alloc, &self.power_model),
+            );
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if let Some(alloc) = self.server.secondary(i as u64) {
+                draws.push(t.truth.power_draw(alloc, &self.power_model));
+            }
+        }
+        self.power_model.server_power(draws)
+    }
+
+    /// The 100 ms capper tick: sample, throttle, record.
+    pub fn on_capper_tick(&mut self, dt: f64) {
+        let true_power = self.true_power();
+        let measured = self.meter.sample(true_power);
+        let throttled = self
+            .capper
+            .step(&mut self.server, measured)
+            .unwrap_or(false);
+        let slack = self.lc_slack();
+        self.last_slack = Some(slack);
+        let mut total_thpt = 0.0;
+        for (i, t) in self.tenants.iter().enumerate() {
+            let thpt = self
+                .server
+                .secondary(i as u64)
+                .map(|alloc| t.truth.throughput(alloc))
+                .unwrap_or(0.0);
+            self.per_tenant_integral[i] += thpt * dt;
+            total_thpt += thpt;
+        }
+        self.metrics
+            .record(dt, true_power, total_thpt, slack, throttled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_simserver::MachineSpec;
+    use pocolo_workloads::profiler::{profile_be, profile_lc, ProfilerConfig};
+    use pocolo_workloads::{BeApp, LcApp};
+
+    fn fitted_be(app: BeApp, machine: &MachineSpec) -> SpatialTenant {
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let truth = BeModel::for_app(app, machine.clone());
+        let samples = profile_be(&truth, &power, &space, &ProfilerConfig::default());
+        let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default())
+            .unwrap()
+            .utility;
+        SpatialTenant { truth, fitted }
+    }
+
+    fn make_sim(bes: Vec<BeApp>, load: f64) -> SpatialServerSim {
+        let machine = MachineSpec::xeon_e5_2650();
+        let power = PowerDrawModel::new(machine.clone());
+        let space = machine.resource_space();
+        let truth = LcModel::for_app(LcApp::Sphinx, machine.clone());
+        let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+        let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default())
+            .unwrap()
+            .utility;
+        let tenants = bes.into_iter().map(|b| fitted_be(b, &machine)).collect();
+        let cap = truth.provisioned_power();
+        SpatialServerSim::new(
+            truth,
+            fitted,
+            tenants,
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(load),
+            cap,
+            0.01,
+            21,
+        )
+    }
+
+    fn run(sim: &mut SpatialServerSim, seconds: usize) {
+        for s in 0..seconds {
+            sim.on_manager_tick(s as f64);
+            for _ in 0..10 {
+                sim.on_capper_tick(0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_tenants_share_spatially_without_slo_damage() {
+        let mut sim = make_sim(vec![BeApp::Graph, BeApp::Lstm], 0.4);
+        run(&mut sim, 25);
+        assert!(sim.lc_slack() >= 0.0, "SLO must hold: {}", sim.lc_slack());
+        let per = sim.per_tenant_throughput();
+        assert_eq!(per.len(), 2);
+        assert!(per[0] > 0.05, "graph makes progress: {per:?}");
+        assert!(per[1] > 0.05, "lstm makes progress: {per:?}");
+        // Power respected on average.
+        assert!(sim.metrics().power_utilization() < 1.03);
+    }
+
+    #[test]
+    fn adding_a_second_tenant_increases_total_throughput() {
+        let mut solo = make_sim(vec![BeApp::Graph], 0.4);
+        run(&mut solo, 25);
+        let mut pair = make_sim(vec![BeApp::Graph, BeApp::Lstm], 0.4);
+        run(&mut pair, 25);
+        assert!(
+            pair.metrics().be_throughput_avg > solo.metrics().be_throughput_avg,
+            "pair total {} should exceed solo graph {}",
+            pair.metrics().be_throughput_avg,
+            solo.metrics().be_throughput_avg
+        );
+    }
+
+    #[test]
+    fn preference_split_gives_graph_the_cores() {
+        let mut sim = make_sim(vec![BeApp::Graph, BeApp::Lstm], 0.3);
+        run(&mut sim, 10);
+        let graph = sim.server.secondary(0).copied().unwrap();
+        let lstm = sim.server.secondary(1).copied().unwrap();
+        assert!(
+            graph.cores.count() > lstm.cores.count(),
+            "graph {graph} should hold more cores than lstm {lstm}"
+        );
+        assert!(
+            lstm.ways.count() > graph.ways.count(),
+            "lstm {lstm} should hold more ways than graph {graph}"
+        );
+    }
+
+    #[test]
+    fn high_load_squeezes_everyone_out_gracefully() {
+        let mut sim = make_sim(vec![BeApp::Graph, BeApp::Lstm], 0.95);
+        run(&mut sim, 20);
+        // Primary healthy; secondaries may be evicted entirely.
+        assert!(sim.lc_slack() >= -0.05, "slack {}", sim.lc_slack());
+        assert!(sim.metrics().be_throughput_avg < 0.5);
+    }
+}

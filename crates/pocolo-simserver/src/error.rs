@@ -1,0 +1,57 @@
+//! Error types for the simulated server.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the simulated server substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A knob value referenced hardware the machine does not have
+    /// (e.g. core 14 on a 12-core machine).
+    OutOfRange(String),
+    /// Two tenants' core sets or way masks overlap — isolation would be
+    /// violated.
+    OverlappingAllocation(String),
+    /// A tenant-facing operation referenced a role with no tenant installed.
+    NoSuchTenant(&'static str),
+    /// A knob value was structurally invalid (empty core set, quota outside
+    /// `(0, 1]`, frequency outside the machine's range, …).
+    InvalidKnob(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfRange(msg) => write!(f, "out of hardware range: {msg}"),
+            SimError::OverlappingAllocation(msg) => {
+                write!(f, "overlapping tenant allocation: {msg}")
+            }
+            SimError::NoSuchTenant(role) => write!(f, "no tenant installed in role {role}"),
+            SimError::InvalidKnob(msg) => write!(f, "invalid knob setting: {msg}"),
+        }
+    }
+}
+
+impl StdError for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::OutOfRange("core 14".into())
+            .to_string()
+            .contains("core 14"));
+        assert!(SimError::NoSuchTenant("secondary")
+            .to_string()
+            .contains("secondary"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: StdError + Send + Sync + 'static>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,431 @@
+//! A multi-tenant server: one primary plus *several* best-effort
+//! secondaries sharing the spare box spatially (§V-G future work,
+//! simulated end to end).
+//!
+//! Unlike [`crate::SimServer`]'s fixed two slots, a [`MultiTenantServer`]
+//! hosts an ordered list of secondaries. Order encodes throttling
+//! priority: when the power capper must shed watts it throttles the
+//! *last* secondary first.
+
+use pocolo_core::units::{Frequency, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::knobs::{CoreSet, TenantAllocation, WayMask};
+use crate::machine::MachineSpec;
+
+/// Identifier of a secondary tenant on a multi-tenant server.
+pub type SecondaryId = u64;
+
+/// A server hosting one primary and any number of spatially-isolated
+/// secondaries.
+///
+/// ```
+/// use pocolo_simserver::{MultiTenantServer, MachineSpec, TenantAllocation,
+///                        CoreSet, WayMask};
+/// use pocolo_core::units::{Frequency, Watts};
+///
+/// # fn main() -> Result<(), pocolo_simserver::SimError> {
+/// let mut server = MultiTenantServer::new(MachineSpec::xeon_e5_2650(), Watts(154.0));
+/// server.install_primary(TenantAllocation::new(
+///     CoreSet::range(0, 4), WayMask::range(0, 8), Frequency(2.2)))?;
+/// server.add_secondary(1, TenantAllocation::new(
+///     CoreSet::range(4, 5), WayMask::range(8, 6), Frequency(2.2)))?;
+/// server.add_secondary(2, TenantAllocation::new(
+///     CoreSet::range(9, 3), WayMask::range(14, 6), Frequency(2.2)))?;
+/// let (spare_cores, _) = server.spare_capacity();
+/// assert_eq!(spare_cores.count(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantServer {
+    machine: MachineSpec,
+    power_cap: Watts,
+    primary: Option<TenantAllocation>,
+    secondaries: Vec<(SecondaryId, TenantAllocation)>,
+}
+
+impl MultiTenantServer {
+    /// Creates an empty server with a provisioned power cap.
+    pub fn new(machine: MachineSpec, power_cap: Watts) -> Self {
+        MultiTenantServer {
+            machine,
+            power_cap,
+            primary: None,
+            secondaries: Vec::new(),
+        }
+    }
+
+    /// The machine specification.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The provisioned power capacity.
+    pub fn power_cap(&self) -> Watts {
+        self.power_cap
+    }
+
+    /// The primary's allocation, if installed.
+    pub fn primary(&self) -> Option<&TenantAllocation> {
+        self.primary.as_ref()
+    }
+
+    /// The secondaries in priority order (first = throttled last).
+    pub fn secondaries(&self) -> &[(SecondaryId, TenantAllocation)] {
+        &self.secondaries
+    }
+
+    /// A secondary's allocation by id.
+    pub fn secondary(&self, id: SecondaryId) -> Option<&TenantAllocation> {
+        self.secondaries
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, a)| a)
+    }
+
+    fn disjoint_from_all(
+        &self,
+        alloc: &TenantAllocation,
+        skip_primary: bool,
+        skip_id: Option<SecondaryId>,
+    ) -> Result<(), SimError> {
+        if !skip_primary {
+            if let Some(p) = &self.primary {
+                if !alloc.is_disjoint_from(p) {
+                    return Err(SimError::OverlappingAllocation(format!(
+                        "{alloc} overlaps the primary's {p}"
+                    )));
+                }
+            }
+        }
+        for (id, other) in &self.secondaries {
+            if Some(*id) == skip_id {
+                continue;
+            }
+            if !alloc.is_disjoint_from(other) {
+                return Err(SimError::OverlappingAllocation(format!(
+                    "{alloc} overlaps secondary {id}'s {other}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs or replaces the primary.
+    ///
+    /// # Errors
+    ///
+    /// Knob validation errors, or overlap with any secondary.
+    pub fn install_primary(&mut self, alloc: TenantAllocation) -> Result<(), SimError> {
+        alloc.validate(&self.machine)?;
+        self.disjoint_from_all(&alloc, true, None)?;
+        self.primary = Some(alloc);
+        Ok(())
+    }
+
+    /// Appends a secondary with the given priority-ordered id.
+    ///
+    /// # Errors
+    ///
+    /// Validation/overlap errors, or [`SimError::InvalidKnob`] for a
+    /// duplicate id.
+    pub fn add_secondary(
+        &mut self,
+        id: SecondaryId,
+        alloc: TenantAllocation,
+    ) -> Result<(), SimError> {
+        if self.secondary(id).is_some() {
+            return Err(SimError::InvalidKnob(format!(
+                "secondary id {id} already installed"
+            )));
+        }
+        alloc.validate(&self.machine)?;
+        self.disjoint_from_all(&alloc, false, None)?;
+        self.secondaries.push((id, alloc));
+        Ok(())
+    }
+
+    /// Removes a secondary, returning its allocation.
+    pub fn remove_secondary(&mut self, id: SecondaryId) -> Option<TenantAllocation> {
+        let idx = self.secondaries.iter().position(|(i, _)| *i == id)?;
+        Some(self.secondaries.remove(idx).1)
+    }
+
+    /// Removes every secondary (e.g. before re-planning the split).
+    pub fn clear_secondaries(&mut self) {
+        self.secondaries.clear();
+    }
+
+    /// Cores and ways not reserved by anyone.
+    pub fn spare_capacity(&self) -> (CoreSet, WayMask) {
+        let mut used_c = 0u64;
+        let mut used_w = 0u32;
+        if let Some(p) = &self.primary {
+            used_c |= p.cores.bits();
+            used_w |= p.ways.bits();
+        }
+        for (_, s) in &self.secondaries {
+            used_c |= s.cores.bits();
+            used_w |= s.ways.bits();
+        }
+        let all_c = CoreSet::first_n(self.machine.cores()).bits();
+        let all_w = WayMask::first_n(self.machine.llc_ways()).bits();
+        (
+            CoreSet::from_bits(all_c & !used_c),
+            WayMask::from_bits(all_w & !used_w),
+        )
+    }
+
+    /// Sets a secondary's DVFS frequency (clamped into range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchTenant`] for an unknown id.
+    pub fn set_secondary_frequency(
+        &mut self,
+        id: SecondaryId,
+        freq: Frequency,
+    ) -> Result<(), SimError> {
+        let clamped = self.machine.clamp_frequency(freq);
+        match self.secondaries.iter_mut().find(|(i, _)| *i == id) {
+            Some((_, a)) => {
+                a.frequency = clamped;
+                Ok(())
+            }
+            None => Err(SimError::NoSuchTenant("secondary")),
+        }
+    }
+
+    /// Sets a secondary's CPU quota.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidKnob`] outside `(0, 1]`;
+    /// [`SimError::NoSuchTenant`] for an unknown id.
+    pub fn set_secondary_quota(&mut self, id: SecondaryId, quota: f64) -> Result<(), SimError> {
+        if !(quota > 0.0 && quota <= 1.0) {
+            return Err(SimError::InvalidKnob(format!(
+                "cpu quota {quota} outside (0, 1]"
+            )));
+        }
+        match self.secondaries.iter_mut().find(|(i, _)| *i == id) {
+            Some((_, a)) => {
+                a.cpu_quota = quota;
+                Ok(())
+            }
+            None => Err(SimError::NoSuchTenant("secondary")),
+        }
+    }
+}
+
+/// Hysteretic power capper for multi-tenant servers: sheds watts from the
+/// **lowest-priority** (last) secondary first, frequency before quota;
+/// recovers in the opposite order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPowerCapper {
+    /// Throttle above `cap × guard`.
+    pub guard: f64,
+    /// Recover below `cap × release`.
+    pub release: f64,
+    /// DVFS step in GHz.
+    pub freq_step: f64,
+    /// Quota step (additive).
+    pub quota_step: f64,
+    /// Quota floor.
+    pub quota_floor: f64,
+}
+
+impl Default for MultiPowerCapper {
+    fn default() -> Self {
+        MultiPowerCapper {
+            guard: 1.0,
+            release: 0.94,
+            freq_step: 0.1,
+            quota_step: 0.10,
+            quota_floor: 0.05,
+        }
+    }
+}
+
+impl MultiPowerCapper {
+    /// One control step against a measured power. Returns `true` if any
+    /// throttling action was taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates knob errors (not expected with in-range steps).
+    pub fn step(&self, server: &mut MultiTenantServer, measured: Watts) -> Result<bool, SimError> {
+        let cap = server.power_cap();
+        let fmin = server.machine().freq_min();
+        let fmax = server.machine().freq_max();
+        if measured > cap * self.guard {
+            // Shed from the lowest-priority (last) secondary that still has
+            // headroom to give.
+            let ids: Vec<SecondaryId> =
+                server.secondaries().iter().rev().map(|(i, _)| *i).collect();
+            for id in ids {
+                let alloc = *server.secondary(id).expect("listed above");
+                if alloc.frequency > fmin + Frequency(1e-9) {
+                    server.set_secondary_frequency(
+                        id,
+                        Frequency(alloc.frequency.0 - self.freq_step),
+                    )?;
+                    return Ok(true);
+                }
+                if alloc.cpu_quota > self.quota_floor + 1e-9 {
+                    server.set_secondary_quota(
+                        id,
+                        (alloc.cpu_quota - self.quota_step).max(self.quota_floor),
+                    )?;
+                    return Ok(true);
+                }
+            }
+            Ok(false) // everything already at the floor
+        } else if measured < cap * self.release {
+            // Recover the highest-priority throttled secondary first.
+            let ids: Vec<SecondaryId> = server.secondaries().iter().map(|(i, _)| *i).collect();
+            for id in ids {
+                let alloc = *server.secondary(id).expect("listed above");
+                if alloc.cpu_quota < 1.0 - 1e-9 {
+                    server.set_secondary_quota(id, (alloc.cpu_quota + self.quota_step).min(1.0))?;
+                    return Ok(false);
+                }
+                if alloc.frequency < fmax - Frequency(1e-9) {
+                    server.set_secondary_frequency(
+                        id,
+                        Frequency(alloc.frequency.0 + self.freq_step),
+                    )?;
+                    return Ok(false);
+                }
+            }
+            Ok(false)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> MultiTenantServer {
+        MultiTenantServer::new(MachineSpec::xeon_e5_2650(), Watts(154.0))
+    }
+
+    fn alloc(cs: u32, cn: u32, ws: u32, wn: u32) -> TenantAllocation {
+        TenantAllocation::new(
+            CoreSet::range(cs, cn),
+            WayMask::range(ws, wn),
+            Frequency(2.2),
+        )
+    }
+
+    #[test]
+    fn hosts_primary_and_two_secondaries() {
+        let mut s = server();
+        s.install_primary(alloc(0, 2, 0, 4)).unwrap();
+        s.add_secondary(1, alloc(2, 6, 4, 10)).unwrap();
+        s.add_secondary(2, alloc(8, 4, 14, 6)).unwrap();
+        assert_eq!(s.secondaries().len(), 2);
+        let (c, w) = s.spare_capacity();
+        assert_eq!(c.count(), 0);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn overlap_rejected_across_all_tenants() {
+        let mut s = server();
+        s.install_primary(alloc(0, 2, 0, 4)).unwrap();
+        s.add_secondary(1, alloc(2, 6, 4, 10)).unwrap();
+        // Overlaps the primary.
+        assert!(s.add_secondary(2, alloc(1, 2, 14, 4)).is_err());
+        // Overlaps secondary 1.
+        assert!(s.add_secondary(2, alloc(7, 2, 14, 4)).is_err());
+        // Primary cannot grow into a secondary.
+        assert!(s.install_primary(alloc(0, 3, 0, 4)).is_err());
+        // Duplicate id.
+        assert!(s.add_secondary(1, alloc(8, 2, 14, 4)).is_err());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = server();
+        s.add_secondary(7, alloc(0, 4, 0, 6)).unwrap();
+        s.add_secondary(8, alloc(4, 4, 6, 6)).unwrap();
+        let removed = s.remove_secondary(7).unwrap();
+        assert_eq!(removed.cores.count(), 4);
+        assert!(s.remove_secondary(7).is_none());
+        s.clear_secondaries();
+        assert!(s.secondaries().is_empty());
+    }
+
+    #[test]
+    fn capper_sheds_from_lowest_priority_first() {
+        let mut s = server();
+        s.add_secondary(1, alloc(0, 4, 0, 6)).unwrap(); // high priority
+        s.add_secondary(2, alloc(4, 4, 6, 6)).unwrap(); // low priority
+        let capper = MultiPowerCapper::default();
+        let acted = capper.step(&mut s, Watts(170.0)).unwrap();
+        assert!(acted);
+        // Secondary 2 throttled; secondary 1 untouched.
+        assert!(s.secondary(2).unwrap().frequency < Frequency(2.2));
+        assert_eq!(s.secondary(1).unwrap().frequency, Frequency(2.2));
+    }
+
+    #[test]
+    fn capper_moves_to_next_tenant_once_floored() {
+        let mut s = server();
+        s.add_secondary(1, alloc(0, 4, 0, 6)).unwrap();
+        s.add_secondary(2, alloc(4, 4, 6, 6)).unwrap();
+        let capper = MultiPowerCapper::default();
+        // Drive secondary 2 to both floors (10 freq steps + 10 quota steps).
+        for _ in 0..25 {
+            capper.step(&mut s, Watts(200.0)).unwrap();
+        }
+        assert!((s.secondary(2).unwrap().cpu_quota - capper.quota_floor).abs() < 1e-9);
+        // Next shed hits secondary 1.
+        capper.step(&mut s, Watts(200.0)).unwrap();
+        assert!(s.secondary(1).unwrap().frequency < Frequency(2.2));
+    }
+
+    #[test]
+    fn capper_recovers_high_priority_first() {
+        let mut s = server();
+        s.add_secondary(1, alloc(0, 4, 0, 6)).unwrap();
+        s.add_secondary(2, alloc(4, 4, 6, 6)).unwrap();
+        let capper = MultiPowerCapper::default();
+        for _ in 0..40 {
+            capper.step(&mut s, Watts(200.0)).unwrap();
+        }
+        // Both are floored; recovery raises secondary 1's quota first.
+        let q2_before = s.secondary(2).unwrap().cpu_quota;
+        capper.step(&mut s, Watts(100.0)).unwrap();
+        assert!(s.secondary(1).unwrap().cpu_quota > capper.quota_floor);
+        assert!((s.secondary(2).unwrap().cpu_quota - q2_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_returns_false() {
+        let mut s = server();
+        s.add_secondary(1, alloc(0, 4, 0, 6)).unwrap();
+        let capper = MultiPowerCapper::default();
+        for _ in 0..30 {
+            capper.step(&mut s, Watts(250.0)).unwrap();
+        }
+        assert!(!capper.step(&mut s, Watts(250.0)).unwrap());
+    }
+
+    #[test]
+    fn quota_and_frequency_validation() {
+        let mut s = server();
+        s.add_secondary(1, alloc(0, 4, 0, 6)).unwrap();
+        assert!(s.set_secondary_quota(1, 0.0).is_err());
+        assert!(s.set_secondary_quota(99, 0.5).is_err());
+        assert!(s.set_secondary_frequency(99, Frequency(2.0)).is_err());
+        s.set_secondary_frequency(1, Frequency(99.0)).unwrap();
+        assert_eq!(s.secondary(1).unwrap().frequency, Frequency(2.2));
+    }
+}

@@ -1,0 +1,282 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator
+//! (Jain & Chlamtac, CACM 1985).
+//!
+//! Production telemetry systems track p95/p99 tail latency over unbounded
+//! streams without storing samples. The P² algorithm maintains five markers
+//! whose positions are nudged toward the ideal quantile positions with
+//! parabolic interpolation — O(1) memory, O(1) per sample.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming estimator for a single quantile `q ∈ (0, 1)`.
+///
+/// ```
+/// use pocolo_simserver::p2::P2Quantile;
+/// let mut est = P2Quantile::new(0.5);
+/// for i in 1..=1000 {
+///     est.observe(i as f64);
+/// }
+/// let median = est.estimate().unwrap();
+/// assert!((median - 500.0).abs() < 25.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values).
+    heights: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Samples seen so far.
+    count: usize,
+    /// Initial buffer until five samples arrive.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return; // telemetry is best-effort; skip garbage
+        }
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate, or `None` before any sample arrives. With fewer
+    /// than five samples the exact small-sample quantile is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return Some(crate::telemetry::percentile_of_sorted(&sorted, self.q));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn exact_quantile(samples: &mut [f64], q: f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        crate::telemetry::percentile_of_sorted(samples, q)
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut est = P2Quantile::new(0.5);
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            est.observe(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(&mut all, 0.5);
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - exact).abs() < 2.0,
+            "p50 estimate {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p99_of_skewed_stream() {
+        // Latency-like: lognormal-ish via exp of normal approximated by sum
+        // of uniforms.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut est = P2Quantile::new(0.99);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let z: f64 = (0..6).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 2.0;
+            let x = z.exp() * 10.0;
+            est.observe(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(&mut all, 0.99);
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - exact).abs() / exact < 0.15,
+            "p99 estimate {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn small_sample_is_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert!(est.estimate().is_none());
+        est.observe(3.0);
+        assert_eq!(est.estimate(), Some(3.0));
+        est.observe(1.0);
+        est.observe(2.0);
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn monotone_stream_tracks_quantile() {
+        let mut est = P2Quantile::new(0.9);
+        for i in 1..=10_000 {
+            est.observe(i as f64);
+        }
+        let got = est.estimate().unwrap();
+        assert!(
+            (got - 9000.0).abs() < 300.0,
+            "p90 of 1..10000 should be ~9000, got {got}"
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..100 {
+            est.observe(i as f64);
+            est.observe(f64::NAN);
+            est.observe(f64::INFINITY);
+        }
+        let got = est.estimate().unwrap();
+        assert!(got.is_finite());
+        assert!((got - 49.5).abs() < 10.0);
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut est = P2Quantile::new(0.95);
+        for _ in 0..1000 {
+            est.observe(42.0);
+        }
+        assert!((est.estimate().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn invalid_quantile_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn accuracy_across_quantiles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for q in [0.1, 0.25, 0.75, 0.95] {
+            let mut est = P2Quantile::new(q);
+            let mut all = Vec::new();
+            for _ in 0..20_000 {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let x = x * x; // skew
+                est.observe(x);
+                all.push(x);
+            }
+            let exact = exact_quantile(&mut all, q);
+            let got = est.estimate().unwrap();
+            assert!(
+                (got - exact).abs() < 0.05,
+                "q={q}: estimate {got} vs exact {exact}"
+            );
+        }
+    }
+}

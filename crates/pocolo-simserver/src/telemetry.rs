@@ -1,0 +1,264 @@
+//! Telemetry: bounded time series and windowed statistics.
+//!
+//! The paper's server manager watches load and the p99 tail-latency slack
+//! over one-second windows, and the power capper samples the meter every
+//! 100 ms (§IV-C). This module provides the ring-buffer time series and
+//! percentile machinery those loops need.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a telemetry window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Number of samples in the window.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl WindowStats {
+    /// Computes stats from raw samples. Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<WindowStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("telemetry samples are finite"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        Some(WindowStats {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_of_sorted(&sorted, 0.50),
+            p95: percentile_of_sorted(&sorted, 0.95),
+            p99: percentile_of_sorted(&sorted, 0.99),
+        })
+    }
+}
+
+/// Nearest-rank percentile with linear interpolation on a sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A bounded time series of `(timestamp_seconds, value)` samples.
+///
+/// Old samples are evicted once capacity is reached, so memory stays
+/// constant over long simulations.
+///
+/// ```
+/// use pocolo_simserver::TimeSeries;
+/// let mut ts = TimeSeries::with_capacity(128);
+/// for i in 0..10 {
+///     ts.push(i as f64 * 0.1, 100.0 + i as f64);
+/// }
+/// let stats = ts.window_stats(0.45).unwrap(); // last 0.45 s
+/// assert_eq!(stats.count, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    capacity: usize,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "time series capacity must be positive");
+        TimeSeries {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample. Timestamps must be non-decreasing; out-of-order
+    /// samples are silently dropped (telemetry is best-effort).
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some(&(last_t, _)) = self.samples.back() {
+            if t < last_t {
+                return;
+            }
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((t, value));
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Iterates over `(t, value)` pairs oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Values within the trailing window of `duration` seconds (relative to
+    /// the newest timestamp), oldest-first.
+    pub fn window_values(&self, duration: f64) -> Vec<f64> {
+        match self.samples.back() {
+            None => Vec::new(),
+            Some(&(now, _)) => self
+                .samples
+                .iter()
+                .filter(|&&(t, _)| t >= now - duration)
+                .map(|&(_, v)| v)
+                .collect(),
+        }
+    }
+
+    /// Stats over the trailing `duration` seconds, or `None` if empty.
+    pub fn window_stats(&self, duration: f64) -> Option<WindowStats> {
+        WindowStats::from_samples(&self.window_values(duration))
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_stats_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = WindowStats::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_stats_empty_and_single() {
+        assert!(WindowStats::from_samples(&[]).is_none());
+        let s = WindowStats::from_samples(&[42.0]).unwrap();
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_of_sorted(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_of_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        let _ = percentile_of_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut ts = TimeSeries::with_capacity(3);
+        for i in 0..5 {
+            ts.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(ts.len(), 3);
+        let vals: Vec<f64> = ts.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![20.0, 30.0, 40.0]);
+        assert_eq!(ts.last(), Some((4.0, 40.0)));
+    }
+
+    #[test]
+    fn out_of_order_samples_dropped() {
+        let mut ts = TimeSeries::with_capacity(10);
+        ts.push(1.0, 1.0);
+        ts.push(0.5, 99.0);
+        ts.push(2.0, 2.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn trailing_window_selects_by_time() {
+        let mut ts = TimeSeries::with_capacity(100);
+        for i in 0..20 {
+            ts.push(i as f64 * 0.1, i as f64);
+        }
+        // Newest t = 1.9; window of 0.5 s keeps t >= 1.4 -> samples 14..=19.
+        let vals = ts.window_values(0.5);
+        assert_eq!(vals.len(), 6);
+        assert_eq!(vals[0], 14.0);
+        let stats = ts.window_stats(0.5).unwrap();
+        assert_eq!(stats.max, 19.0);
+    }
+
+    #[test]
+    fn window_on_empty_series() {
+        let ts = TimeSeries::with_capacity(4);
+        assert!(ts.window_values(1.0).is_empty());
+        assert!(ts.window_stats(1.0).is_none());
+        assert!(ts.is_empty());
+        assert_eq!(ts.last(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ts = TimeSeries::with_capacity(4);
+        ts.push(0.0, 1.0);
+        ts.clear();
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TimeSeries::with_capacity(0);
+    }
+}

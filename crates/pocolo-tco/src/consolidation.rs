@@ -1,0 +1,214 @@
+//! Consolidation vs. colocation — the paper's §II-B economic argument made
+//! quantitative.
+//!
+//! At low diurnal load an operator can (a) leave servers idle, (b)
+//! **consolidate** — pack the load onto few servers and power the rest off,
+//! saving energy but stranding the *capital* already paid for servers and
+//! power infrastructure — or (c) **colocate** best-effort work, converting
+//! the stranded capital into throughput. The paper argues (c); this module
+//! computes the monthly cost per unit of useful work for all three.
+
+use pocolo_core::units::Watts;
+use serde::{Deserialize, Serialize};
+
+use crate::{Scenario, TcoModel};
+
+/// One strategy's cost/benefit outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyCost {
+    /// Strategy name.
+    pub name: String,
+    /// Total monthly cost, dollars.
+    pub monthly_usd: f64,
+    /// Useful work per server (normalized throughput units; LC work = its
+    /// mean load fraction, BE work adds on top).
+    pub work_per_server: f64,
+    /// Dollars per unit of work — the cluster-utility metric the paper
+    /// optimizes ("performance per unit cost", §II-B).
+    pub usd_per_work: f64,
+}
+
+/// Cluster operating parameters for the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCluster {
+    /// Mean diurnal load fraction of the primary (0, 1].
+    pub mean_load: f64,
+    /// Provisioned (right-sized) power per server.
+    pub provisioned: Watts,
+    /// Idle server power.
+    pub idle: Watts,
+    /// Server power at full primary load.
+    pub busy: Watts,
+    /// Average best-effort throughput a colocated server achieves
+    /// (normalized units; zero disables colocation's benefit).
+    pub colocated_be_throughput: f64,
+    /// Average server power when colocated (typically near `provisioned`).
+    pub colocated_power: Watts,
+    /// Consolidation headroom: consolidated servers run at
+    /// `mean_load × (1 + margin)` worth of load per active server.
+    pub consolidation_margin: f64,
+}
+
+impl DiurnalCluster {
+    /// Average power of an un-consolidated server serving load fraction
+    /// `l`: linear between idle and busy.
+    fn lc_power(&self, l: f64) -> Watts {
+        self.idle + (self.busy - self.idle) * l.clamp(0.0, 1.0)
+    }
+}
+
+/// Compares always-on, consolidation and colocation per-work costs.
+///
+/// # Panics
+///
+/// Panics unless `0 < mean_load <= 1` and the power fields are valid.
+pub fn compare_strategies(model: &TcoModel, cluster: &DiurnalCluster) -> Vec<StrategyCost> {
+    assert!(
+        cluster.mean_load > 0.0 && cluster.mean_load <= 1.0,
+        "mean load must be in (0, 1]"
+    );
+    assert!(
+        cluster.idle.is_valid() && cluster.busy.is_valid() && cluster.idle <= cluster.busy,
+        "power range invalid"
+    );
+    let mut out = Vec::with_capacity(3);
+
+    // (a) Always-on: every server serves its own diurnal load.
+    let always_on = model.monthly_cost(&Scenario {
+        name: "always-on".into(),
+        provisioned_per_server: cluster.provisioned,
+        avg_power_per_server: cluster.lc_power(cluster.mean_load),
+        relative_throughput: 1.0,
+    });
+    let work_a = cluster.mean_load;
+    out.push(StrategyCost {
+        name: "always-on".into(),
+        monthly_usd: always_on.total(),
+        work_per_server: work_a,
+        usd_per_work: always_on.total() / (work_a * model.servers),
+    });
+
+    // (b) Consolidation: a fraction of servers runs hot, the rest are off.
+    // Energy shrinks; capital (servers + power infra) is unchanged.
+    let active_frac = (cluster.mean_load * (1.0 + cluster.consolidation_margin)).min(1.0);
+    let per_active_load = (cluster.mean_load / active_frac).min(1.0);
+    let avg_power = cluster.lc_power(per_active_load) * active_frac; // off servers ~0 W
+    let consolidation = model.monthly_cost(&Scenario {
+        name: "consolidation".into(),
+        provisioned_per_server: cluster.provisioned,
+        avg_power_per_server: avg_power,
+        relative_throughput: 1.0,
+    });
+    out.push(StrategyCost {
+        name: "consolidation".into(),
+        monthly_usd: consolidation.total(),
+        work_per_server: work_a,
+        usd_per_work: consolidation.total() / (work_a * model.servers),
+    });
+
+    // (c) Colocation: every server also hosts best-effort work.
+    let colocation = model.monthly_cost(&Scenario {
+        name: "colocation".into(),
+        provisioned_per_server: cluster.provisioned,
+        avg_power_per_server: cluster.colocated_power,
+        relative_throughput: 1.0,
+    });
+    let work_c = cluster.mean_load + cluster.colocated_be_throughput;
+    out.push(StrategyCost {
+        name: "colocation".into(),
+        monthly_usd: colocation.total(),
+        work_per_server: work_c,
+        usd_per_work: colocation.total() / (work_c * model.servers),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> DiurnalCluster {
+        DiurnalCluster {
+            mean_load: 0.5,
+            provisioned: Watts(154.0),
+            idle: Watts(50.0),
+            busy: Watts(154.0),
+            colocated_be_throughput: 0.66,
+            colocated_power: Watts(145.0),
+            consolidation_margin: 0.25,
+        }
+    }
+
+    #[test]
+    fn consolidation_saves_energy_but_not_capital() {
+        let model = TcoModel::default();
+        let costs = compare_strategies(&model, &cluster());
+        let by = |n: &str| costs.iter().find(|c| c.name == n).unwrap().clone();
+        let always = by("always-on");
+        let consolidated = by("consolidation");
+        assert!(
+            consolidated.monthly_usd < always.monthly_usd,
+            "consolidation must cut the bill"
+        );
+        // Same work, so its $/work also improves — but only by the energy
+        // share, since capital dominates.
+        assert!(consolidated.usd_per_work < always.usd_per_work);
+        let saving = 1.0 - consolidated.monthly_usd / always.monthly_usd;
+        assert!(
+            saving < 0.20,
+            "energy is a minority of TCO; saving was {saving}"
+        );
+    }
+
+    #[test]
+    fn colocation_wins_on_cost_per_work() {
+        let model = TcoModel::default();
+        let costs = compare_strategies(&model, &cluster());
+        let by = |n: &str| costs.iter().find(|c| c.name == n).unwrap().clone();
+        let colocated = by("colocation");
+        let consolidated = by("consolidation");
+        assert!(
+            colocated.monthly_usd > consolidated.monthly_usd,
+            "colocation draws more power"
+        );
+        assert!(
+            colocated.usd_per_work < consolidated.usd_per_work * 0.75,
+            "but its cost per unit of work must be far lower: {} vs {}",
+            colocated.usd_per_work,
+            consolidated.usd_per_work
+        );
+    }
+
+    #[test]
+    fn zero_be_throughput_makes_colocation_pointless() {
+        let model = TcoModel::default();
+        let mut c = cluster();
+        c.colocated_be_throughput = 0.0;
+        let costs = compare_strategies(&model, &c);
+        let by = |n: &str| costs.iter().find(|x| x.name == n).unwrap().clone();
+        assert!(by("colocation").usd_per_work > by("consolidation").usd_per_work);
+    }
+
+    #[test]
+    fn consolidation_fraction_clamps_at_full_fleet() {
+        let model = TcoModel::default();
+        let mut c = cluster();
+        c.mean_load = 0.9; // 0.9 * 1.25 > 1 -> everything stays on
+        let costs = compare_strategies(&model, &c);
+        let by = |n: &str| costs.iter().find(|x| x.name == n).unwrap().clone();
+        // With the full fleet active, consolidation degenerates to always-on.
+        assert!(
+            (by("consolidation").monthly_usd - by("always-on").monthly_usd).abs()
+                / by("always-on").monthly_usd
+                < 0.01
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mean load")]
+    fn invalid_load_panics() {
+        let mut c = cluster();
+        c.mean_load = 0.0;
+        let _ = compare_strategies(&TcoModel::default(), &c);
+    }
+}

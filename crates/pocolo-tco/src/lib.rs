@@ -1,0 +1,222 @@
+//! # pocolo-tco
+//!
+//! Amortized datacenter total-cost-of-ownership model, after Hamilton's
+//! public cost model (the paper's ref \[13\]), used for the Fig. 15
+//! analysis.
+//!
+//! Three cost components are amortized to monthly figures:
+//!
+//! - **Servers**: purchase price amortized over the server lifetime;
+//! - **Power infrastructure**: $/W of provisioned capacity amortized over
+//!   the facility lifetime;
+//! - **Energy**: average draw × PUE × $/kWh.
+//!
+//! The paper's scenario: 100 000 servers at $1450, $9/W provisioned, 7 ¢
+//! per kWh, PUE 1.1. Policies are compared at **iso-throughput**: a policy
+//! with higher per-server throughput needs proportionally fewer servers
+//! (and watts) to serve the same aggregate work.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod consolidation;
+
+use pocolo_core::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Cost-model constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcoModel {
+    /// Number of servers in the reference deployment.
+    pub servers: f64,
+    /// Purchase price per server, dollars.
+    pub server_cost_usd: f64,
+    /// Server amortization period, months.
+    pub server_lifetime_months: f64,
+    /// Provisioned power infrastructure cost, dollars per watt.
+    pub power_infra_usd_per_watt: f64,
+    /// Power-infrastructure amortization period, months.
+    pub power_infra_lifetime_months: f64,
+    /// Energy price, dollars per kWh.
+    pub energy_usd_per_kwh: f64,
+    /// Power usage effectiveness (facility overhead multiplier).
+    pub pue: f64,
+}
+
+impl Default for TcoModel {
+    /// The paper's §V-F constants. Amortization follows Hamilton's usual
+    /// assumptions: 36-month servers, 120-month facility.
+    fn default() -> Self {
+        TcoModel {
+            servers: 100_000.0,
+            server_cost_usd: 1450.0,
+            server_lifetime_months: 36.0,
+            power_infra_usd_per_watt: 9.0,
+            power_infra_lifetime_months: 120.0,
+            energy_usd_per_kwh: 0.07,
+            pue: 1.1,
+        }
+    }
+}
+
+/// One deployment scenario to be costed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name (policy).
+    pub name: String,
+    /// Provisioned power capacity per server.
+    pub provisioned_per_server: Watts,
+    /// Average power draw per server while serving.
+    pub avg_power_per_server: Watts,
+    /// Relative throughput per server (1.0 = baseline). Higher throughput
+    /// means fewer servers for the same aggregate work.
+    pub relative_throughput: f64,
+}
+
+/// Amortized monthly cost breakdown, dollars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlyCost {
+    /// Scenario name.
+    pub name: String,
+    /// Number of servers needed at iso-throughput.
+    pub servers_needed: f64,
+    /// Amortized server capital cost.
+    pub server_usd: f64,
+    /// Amortized power-infrastructure capital cost.
+    pub power_infra_usd: f64,
+    /// Monthly energy bill.
+    pub energy_usd: f64,
+}
+
+impl MonthlyCost {
+    /// Total monthly cost.
+    pub fn total(&self) -> f64 {
+        self.server_usd + self.power_infra_usd + self.energy_usd
+    }
+}
+
+impl TcoModel {
+    /// Costs a scenario at iso-throughput against the reference deployment.
+    ///
+    /// ```
+    /// use pocolo_tco::{TcoModel, Scenario};
+    /// use pocolo_core::Watts;
+    ///
+    /// let model = TcoModel::default();
+    /// let cost = model.monthly_cost(&Scenario {
+    ///     name: "POColo".into(),
+    ///     provisioned_per_server: Watts(150.0),
+    ///     avg_power_per_server: Watts(140.0),
+    ///     relative_throughput: 1.18,
+    /// });
+    /// assert!(cost.servers_needed < 100_000.0); // fewer servers at iso-work
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_throughput` is not positive or powers are
+    /// invalid.
+    pub fn monthly_cost(&self, scenario: &Scenario) -> MonthlyCost {
+        assert!(
+            scenario.relative_throughput > 0.0,
+            "relative throughput must be positive"
+        );
+        assert!(
+            scenario.provisioned_per_server.is_valid() && scenario.avg_power_per_server.is_valid(),
+            "powers must be valid"
+        );
+        let servers_needed = self.servers / scenario.relative_throughput;
+        let server_usd = servers_needed * self.server_cost_usd / self.server_lifetime_months;
+        let power_infra_usd =
+            servers_needed * scenario.provisioned_per_server.0 * self.power_infra_usd_per_watt
+                / self.power_infra_lifetime_months;
+        let hours_per_month = 730.0;
+        let kwh =
+            servers_needed * scenario.avg_power_per_server.0 / 1000.0 * hours_per_month * self.pue;
+        let energy_usd = kwh * self.energy_usd_per_kwh;
+        MonthlyCost {
+            name: scenario.name.clone(),
+            servers_needed,
+            server_usd,
+            power_infra_usd,
+            energy_usd,
+        }
+    }
+
+    /// Costs several scenarios.
+    pub fn compare(&self, scenarios: &[Scenario]) -> Vec<MonthlyCost> {
+        scenarios.iter().map(|s| self.monthly_cost(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Scenario {
+        Scenario {
+            name: "Random".into(),
+            provisioned_per_server: Watts(150.0),
+            avg_power_per_server: Watts(144.0),
+            relative_throughput: 1.0,
+        }
+    }
+
+    #[test]
+    fn cost_components_are_positive_and_sane() {
+        let model = TcoModel::default();
+        let c = model.monthly_cost(&baseline());
+        assert_eq!(c.servers_needed, 100_000.0);
+        // 100k × 1450 / 36 ≈ $4.03 M.
+        assert!((c.server_usd - 100_000.0 * 1450.0 / 36.0).abs() < 1.0);
+        // 100k × 150 W × $9/W / 120 ≈ $1.125 M.
+        assert!((c.power_infra_usd - 100_000.0 * 150.0 * 9.0 / 120.0).abs() < 1.0);
+        // 100k × 0.144 kW × 730 h × 1.1 × $0.07 ≈ $0.81 M.
+        let expected_energy = 100_000.0 * 0.144 * 730.0 * 1.1 * 0.07;
+        assert!((c.energy_usd - expected_energy).abs() < 1.0);
+        assert!(c.total() > 0.0);
+    }
+
+    #[test]
+    fn higher_throughput_needs_fewer_servers() {
+        let model = TcoModel::default();
+        let mut better = baseline();
+        better.name = "POColo".into();
+        better.relative_throughput = 1.18;
+        better.avg_power_per_server = Watts(132.0);
+        let base = model.monthly_cost(&baseline());
+        let opt = model.monthly_cost(&better);
+        assert!(opt.servers_needed < base.servers_needed);
+        assert!(opt.total() < base.total());
+        let saving = 1.0 - opt.total() / base.total();
+        // Throughput +18 % and power −8 % should save well over 10 %.
+        assert!(saving > 0.10, "saving {saving}");
+    }
+
+    #[test]
+    fn overprovisioned_power_costs_more_infra() {
+        let model = TcoModel::default();
+        let mut nocap = baseline();
+        nocap.name = "Random(NoCap)".into();
+        nocap.provisioned_per_server = Watts(185.0);
+        let base = model.monthly_cost(&baseline());
+        let no = model.monthly_cost(&nocap);
+        assert!(no.power_infra_usd > base.power_infra_usd);
+        assert_eq!(no.server_usd, base.server_usd);
+    }
+
+    #[test]
+    fn compare_returns_all() {
+        let model = TcoModel::default();
+        let out = model.compare(&[baseline(), baseline()]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_panics() {
+        let mut s = baseline();
+        s.relative_throughput = 0.0;
+        let _ = TcoModel::default().monthly_cost(&s);
+    }
+}

@@ -1,0 +1,192 @@
+//! The CES (constant elasticity of substitution) production function used
+//! as ground truth for all workload performance surfaces.
+//!
+//! `CES(x, y) = [θ·x^ρ + (1−θ)·y^ρ]^(η/ρ)` for ρ ≠ 0; the ρ → 0 limit is
+//! the Cobb-Douglas `x^(θη)·y^((1−θ)η)`. Using CES ground truth (ρ < 0,
+//! mild complementarity) means the paper's Cobb-Douglas fit is a good but
+//! imperfect approximation — matching the reported R² band of Fig. 8.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a two-input CES production function with optional
+/// saturation (diminishing parallel returns) on each input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CesSurface {
+    /// Input share of the first resource (cores), in `(0, 1)`.
+    pub theta: f64,
+    /// Substitution parameter ρ. `0` selects the Cobb-Douglas limit;
+    /// negative values make inputs complements.
+    pub rho: f64,
+    /// Returns to scale η > 0.
+    pub eta: f64,
+    /// Saturation strength on the first input (0 disables).
+    pub sat_x: f64,
+    /// Saturation strength on the second input (0 disables).
+    pub sat_y: f64,
+}
+
+/// Saturating transform `(1 − e^{−k·x}) / (1 − e^{−k})`: identity-like at
+/// `k → 0`, increasingly concave as `k` grows, fixed at `f(1) = 1`.
+///
+/// Models parallel-scaling limits (synchronization, memory-bandwidth
+/// ceilings) that make real applications deviate from clean power-law
+/// scaling — the misspecification that keeps Cobb-Douglas fits in the
+/// paper's R² band instead of at 1.0.
+pub fn saturate(x: f64, k: f64) -> f64 {
+    if k <= 1e-9 {
+        x
+    } else {
+        (1.0 - (-k * x).exp()) / (1.0 - (-k).exp())
+    }
+}
+
+impl CesSurface {
+    /// Creates a surface without saturation, validating parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta ∉ (0, 1)`, `eta ≤ 0`, or any parameter is
+    /// non-finite. (These are programmer-supplied calibration constants,
+    /// not user input.)
+    pub fn new(theta: f64, rho: f64, eta: f64) -> Self {
+        Self::with_saturation(theta, rho, eta, 0.0, 0.0)
+    }
+
+    /// Creates a surface with saturation strengths `sat_x`, `sat_y` on the
+    /// two inputs.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CesSurface::new`], plus negative saturation.
+    pub fn with_saturation(theta: f64, rho: f64, eta: f64, sat_x: f64, sat_y: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        assert!(rho.is_finite(), "rho must be finite");
+        assert!(
+            eta.is_finite() && eta > 0.0,
+            "eta must be positive, got {eta}"
+        );
+        assert!(
+            sat_x >= 0.0 && sat_y >= 0.0,
+            "saturation strengths must be non-negative"
+        );
+        CesSurface {
+            theta,
+            rho,
+            eta,
+            sat_x,
+            sat_y,
+        }
+    }
+
+    /// Evaluates the surface at normalized inputs `x, y ∈ (0, 1]`.
+    ///
+    /// Inputs are clamped below at a small epsilon to keep the function
+    /// defined at zero allocations.
+    pub fn evaluate(&self, x: f64, y: f64) -> f64 {
+        const EPS: f64 = 1e-6;
+        let x = saturate(x.max(EPS), self.sat_x);
+        let y = saturate(y.max(EPS), self.sat_y);
+        if self.rho.abs() < 1e-9 {
+            // Cobb-Douglas limit.
+            (x.powf(self.theta) * y.powf(1.0 - self.theta)).powf(self.eta)
+        } else {
+            let inner = self.theta * x.powf(self.rho) + (1.0 - self.theta) * y.powf(self.rho);
+            inner.powf(self.eta / self.rho)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_inputs_give_unit_output() {
+        for rho in [-0.8, -0.4, 0.0, 0.4] {
+            let s = CesSurface::new(0.6, rho, 0.8);
+            assert!((s.evaluate(1.0, 1.0) - 1.0).abs() < 1e-9, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_each_input() {
+        let s = CesSurface::new(0.7, -0.4, 0.8);
+        assert!(s.evaluate(0.6, 0.5) > s.evaluate(0.5, 0.5));
+        assert!(s.evaluate(0.5, 0.6) > s.evaluate(0.5, 0.5));
+    }
+
+    #[test]
+    fn rho_zero_matches_cobb_douglas() {
+        let s = CesSurface::new(0.6, 0.0, 0.9);
+        let x: f64 = 0.4;
+        let y: f64 = 0.7;
+        let expected = (x.powf(0.6) * y.powf(0.4)).powf(0.9);
+        assert!((s.evaluate(x, y) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_rho_approaches_cobb_douglas() {
+        let cd = CesSurface::new(0.6, 0.0, 0.9);
+        let near = CesSurface::new(0.6, 1e-12, 0.9);
+        // |rho| < 1e-9 takes the limit branch.
+        assert!((cd.evaluate(0.3, 0.8) - near.evaluate(0.3, 0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rho_penalizes_imbalance() {
+        // Complements: an unbalanced mix yields less than Cobb-Douglas.
+        let ces = CesSurface::new(0.5, -1.0, 1.0);
+        let cd = CesSurface::new(0.5, 0.0, 1.0);
+        assert!(ces.evaluate(0.9, 0.1) < cd.evaluate(0.9, 0.1));
+        // Balanced inputs are unaffected.
+        assert!((ces.evaluate(0.5, 0.5) - cd.evaluate(0.5, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_input_is_safe() {
+        let s = CesSurface::new(0.6, -0.4, 0.8);
+        let v = s.evaluate(0.0, 0.5);
+        assert!(v.is_finite());
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn saturation_preserves_normalization_and_concavity() {
+        assert!((saturate(1.0, 2.0) - 1.0).abs() < 1e-12);
+        assert!((saturate(0.4, 0.0) - 0.4).abs() < 1e-12);
+        // Concave: low inputs boosted, mid-range compressed relative gains.
+        assert!(saturate(0.1, 2.0) > 0.1);
+        assert!(saturate(0.5, 2.0) > 0.5);
+        let gain_low = saturate(0.2, 2.0) - saturate(0.1, 2.0);
+        let gain_high = saturate(1.0, 2.0) - saturate(0.9, 2.0);
+        assert!(gain_low > gain_high, "marginal returns must diminish");
+    }
+
+    #[test]
+    fn saturated_surface_still_normalized() {
+        let s = CesSurface::with_saturation(0.7, -0.4, 0.8, 1.5, 0.8);
+        assert!((s.evaluate(1.0, 1.0) - 1.0).abs() < 1e-9);
+        assert!(s.evaluate(0.5, 0.5) > CesSurface::new(0.7, -0.4, 0.8).evaluate(0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn invalid_theta_panics() {
+        let _ = CesSurface::new(1.5, -0.4, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_saturation_panics() {
+        let _ = CesSurface::with_saturation(0.5, 0.0, 1.0, -1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be positive")]
+    fn invalid_eta_panics() {
+        let _ = CesSurface::new(0.5, -0.4, 0.0);
+    }
+}

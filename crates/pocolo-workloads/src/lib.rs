@@ -1,0 +1,55 @@
+//! # pocolo-workloads
+//!
+//! Ground-truth workload models standing in for the paper's evaluation
+//! applications:
+//!
+//! - **Latency-critical (LC)** primaries from TailBench and TPC-C:
+//!   `img-dnn`, `sphinx`, `xapian`, `tpcc` ([`lc::LcModel`], Table II).
+//! - **Best-effort (BE)** secondaries: Keras `LSTM`/`RNN` training,
+//!   `graph` analytics (PageRank) and `pbzip2` compression
+//!   ([`be::BeModel`]).
+//!
+//! # Modelling approach
+//!
+//! Each application's ground-truth performance surface is a **CES
+//! (constant-elasticity-of-substitution) production function** over
+//! normalized cores and LLC ways, scaled by a DVFS term and (for BE apps)
+//! the CPU quota:
+//!
+//! ```text
+//! perf(c, w, f) = peak · [θ·(c/C)^ρ + (1−θ)·(w/W)^ρ]^(η/ρ) · (f/f_max)^γp · quota
+//! ```
+//!
+//! CES is deliberately *not* Cobb-Douglas (Cobb-Douglas is its ρ→0 limit),
+//! so fitting the paper's Cobb-Douglas model to profiled samples yields the
+//! good-but-imperfect R² ∈ [0.8, 0.98] the paper reports (Fig. 8), rather
+//! than a trivially perfect fit.
+//!
+//! Tail latency follows an M/M/1-style blow-up
+//! `p99(ρ) = L₀ / (1 − ρ)` with `L₀` chosen so the SLO is hit at
+//! ρ = 90 % utilization; "maximum load within SLO" is therefore 0.9× the
+//! capacity surface, which reproduces the Table II peak loads at full
+//! allocation.
+//!
+//! Power intensities per app are calibrated so full-allocation peak server
+//! power matches Table II (133–182 W), and so the *indirect preference
+//! vectors* `(α/p)` land where the paper reports them (§III, §V-C):
+//! sphinx ≈ 0.2:0.8 cores:ways, Graph ≈ 0.8:0.2, LSTM ≈ 0.13:0.87.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod be;
+pub mod ces;
+pub mod lc;
+pub mod membw;
+pub mod profiler;
+pub mod reqsim;
+pub mod traces;
+
+pub use app::{AppId, BeApp, LcApp};
+pub use be::BeModel;
+pub use lc::LcModel;
+pub use profiler::{profile_be, profile_lc, ProfilerConfig};
+pub use traces::LoadTrace;

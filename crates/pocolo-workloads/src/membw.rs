@@ -1,0 +1,226 @@
+//! Three-resource workloads: cores, LLC ways **and memory bandwidth**.
+//!
+//! The paper's prototype manages two direct resources but the framework is
+//! k-dimensional, and §V-G explicitly lists memory bandwidth as the next
+//! substitutable resource ("our solution can be applied for resources that
+//! can be substituted within an application (e.g. memory bandwidth...)").
+//! This module provides a ground-truth three-resource application (an
+//! analytics mix whose performance responds to compute, cache *and* memory
+//! bandwidth, as under Intel MBA throttling) plus a profiler, so the
+//! economics layer can be exercised end-to-end at k = 3.
+
+use pocolo_core::fit::ProfileSample;
+use pocolo_core::resources::{ResourceDescriptor, ResourceSpace};
+use pocolo_core::units::Watts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ces::saturate;
+
+/// A synthetic three-resource application: normalized throughput over
+/// (cores, llc_ways, membw_gbps) with per-axis saturation, and an additive
+/// power model.
+///
+/// ```
+/// use pocolo_workloads::membw::ThreeResourceApp;
+/// let app = ThreeResourceApp::analytics_mix();
+/// assert_eq!(app.space().len(), 3);
+/// let full: Vec<f64> = app.space().iter().map(|d| d.max()).collect();
+/// assert!((app.throughput(&full) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreeResourceApp {
+    space: ResourceSpace,
+    /// Per-axis exponents.
+    alphas: [f64; 3],
+    /// Per-axis saturation strengths.
+    sats: [f64; 3],
+    /// Static power.
+    p_static: Watts,
+    /// Per-unit marginal power (W per core, per way, per GB/s).
+    p_dyn: [f64; 3],
+}
+
+impl ThreeResourceApp {
+    /// The reference three-resource workload: an analytics mix that wants
+    /// bandwidth about as much as cores, with caches third.
+    pub fn analytics_mix() -> Self {
+        ThreeResourceApp {
+            space: three_resource_space(),
+            alphas: [0.45, 0.15, 0.40],
+            sats: [1.2, 0.8, 1.0],
+            p_static: Watts(8.0),
+            p_dyn: [6.0, 1.2, 0.9],
+        }
+    }
+
+    /// A bandwidth-insensitive compute kernel, for contrast.
+    pub fn compute_kernel() -> Self {
+        ThreeResourceApp {
+            space: three_resource_space(),
+            alphas: [0.80, 0.12, 0.08],
+            sats: [1.0, 0.6, 0.5],
+            p_static: Watts(5.0),
+            p_dyn: [7.0, 1.0, 0.5],
+        }
+    }
+
+    /// The resource space: cores 1–12, ways 1–20, membw 1–40 GB/s.
+    pub fn space(&self) -> &ResourceSpace {
+        &self.space
+    }
+
+    /// Ground-truth normalized throughput at raw amounts
+    /// `(cores, ways, membw)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly three amounts are supplied.
+    pub fn throughput(&self, amounts: &[f64]) -> f64 {
+        assert_eq!(amounts.len(), 3, "three resources expected");
+        let mut perf = 1.0;
+        for ((&r, d), (&a, &k)) in amounts
+            .iter()
+            .zip(self.space.iter())
+            .zip(self.alphas.iter().zip(&self.sats))
+        {
+            let x = saturate((r / d.max()).clamp(0.0, 1.0), k);
+            perf *= x.powf(a);
+        }
+        perf
+    }
+
+    /// Ground-truth power draw at raw amounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly three amounts are supplied.
+    pub fn power(&self, amounts: &[f64]) -> Watts {
+        assert_eq!(amounts.len(), 3, "three resources expected");
+        self.p_static + Watts(amounts.iter().zip(&self.p_dyn).map(|(&r, &p)| r * p).sum())
+    }
+
+    /// Profiles the app over a coarse 3-D grid with multiplicative noise.
+    pub fn profile(&self, noise: f64, seed: u64) -> Vec<ProfileSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        for c in [1.0f64, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
+            for w in [2.0f64, 6.0, 10.0, 14.0, 18.0] {
+                for m in [2.0f64, 8.0, 16.0, 24.0, 32.0, 40.0] {
+                    let amounts = vec![c, w, m];
+                    let eps = |rng: &mut StdRng| {
+                        if noise > 0.0 {
+                            rng.gen_range(-noise..=noise)
+                        } else {
+                            0.0
+                        }
+                    };
+                    let perf = self.throughput(&amounts) * (1.0 + eps(&mut rng));
+                    let power = self.power(&amounts) * (1.0 + eps(&mut rng));
+                    samples.push(ProfileSample::best_effort(
+                        self.space.allocation(amounts).expect("grid within space"),
+                        perf.max(1e-9),
+                        power,
+                    ));
+                }
+            }
+        }
+        samples
+    }
+}
+
+/// The three-dimensional resource space used by [`ThreeResourceApp`].
+pub fn three_resource_space() -> ResourceSpace {
+    ResourceSpace::builder()
+        .resource(ResourceDescriptor::integral("cores", 1.0, 12.0))
+        .resource(ResourceDescriptor::integral("llc_ways", 1.0, 20.0))
+        .resource(ResourceDescriptor::continuous("membw_gbps", 1.0, 40.0))
+        .build()
+        .expect("static descriptors are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocolo_core::fit::{fit_indirect_utility, FitOptions};
+    use pocolo_core::units::Watts;
+
+    #[test]
+    fn normalized_at_full_allocation() {
+        for app in [
+            ThreeResourceApp::analytics_mix(),
+            ThreeResourceApp::compute_kernel(),
+        ] {
+            let full: Vec<f64> = app.space().iter().map(|d| d.max()).collect();
+            assert!((app.throughput(&full) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_in_every_resource() {
+        let app = ThreeResourceApp::analytics_mix();
+        let base = app.throughput(&[6.0, 10.0, 20.0]);
+        assert!(app.throughput(&[7.0, 10.0, 20.0]) > base);
+        assert!(app.throughput(&[6.0, 11.0, 20.0]) > base);
+        assert!(app.throughput(&[6.0, 10.0, 24.0]) > base);
+    }
+
+    #[test]
+    fn fit_and_demand_at_k3() {
+        let app = ThreeResourceApp::analytics_mix();
+        let samples = app.profile(0.03, 7);
+        let fitted = fit_indirect_utility(app.space(), &samples, &FitOptions::default()).unwrap();
+        assert!(fitted.performance_r2 > 0.9, "{}", fitted.performance_r2);
+        assert!(fitted.power_r2 > 0.99);
+        // Demand splits the budget across three dimensions.
+        let demand = fitted.utility.demand(Watts(80.0)).unwrap();
+        assert_eq!(demand.len(), 3);
+        let power = fitted.utility.power_model().power_of(&demand);
+        assert!(power <= Watts(80.0 + 1e-6));
+        // Analytics mix values bandwidth: it should buy a non-trivial share.
+        assert!(
+            demand.amount(2) > 8.0,
+            "bandwidth demand {} too small",
+            demand.amount(2)
+        );
+    }
+
+    #[test]
+    fn preference_vectors_distinguish_apps() {
+        let analytics = ThreeResourceApp::analytics_mix();
+        let kernel = ThreeResourceApp::compute_kernel();
+        let fit = |app: &ThreeResourceApp| {
+            fit_indirect_utility(app.space(), &app.profile(0.02, 11), &FitOptions::default())
+                .unwrap()
+                .utility
+                .preference_vector()
+        };
+        let pa = fit(&analytics);
+        let pk = fit(&kernel);
+        assert_eq!(pa.len(), 3);
+        assert!(
+            pa.weight(2) > pk.weight(2) + 0.1,
+            "analytics ({}) should want bandwidth more than the kernel ({})",
+            pa.weight(2),
+            pk.weight(2)
+        );
+        assert!(pk.weight(0) > pa.weight(0), "kernel wants cores more");
+        assert!(pa.complementarity(&pk) > 0.15);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let app = ThreeResourceApp::analytics_mix();
+        assert_eq!(app.profile(0.03, 1), app.profile(0.03, 1));
+        assert_ne!(app.profile(0.03, 1), app.profile(0.03, 2));
+        assert_eq!(app.profile(0.0, 1).len(), 7 * 5 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "three resources")]
+    fn wrong_arity_panics() {
+        let app = ThreeResourceApp::analytics_mix();
+        let _ = app.throughput(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Request-level queueing simulation — validation substrate for the
+//! analytic tail-latency model.
+//!
+//! [`LcModel`] uses the M/M/1 closed form `p99(ρ) = p99(0)/(1−ρ)`. This
+//! module simulates an actual FIFO queue at the request level (Poisson
+//! arrivals, exponential service, Lindley's recursion) and measures tail
+//! latency with the streaming P² estimator, so tests can confirm the
+//! analytic blow-up shape instead of assuming it.
+
+use pocolo_simserver::p2::P2Quantile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Measured latency statistics from a simulation run, in the same time
+/// unit as the service rate's inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of simulated requests.
+    pub requests: usize,
+    /// Mean response time.
+    pub mean: f64,
+    /// Median response time.
+    pub p50: f64,
+    /// 95th percentile response time.
+    pub p95: f64,
+    /// 99th percentile response time.
+    pub p99: f64,
+    /// Measured server utilization (busy fraction).
+    pub utilization: f64,
+}
+
+/// An M/M/1 FIFO queue simulated at the request level.
+///
+/// ```
+/// use pocolo_workloads::reqsim::Mm1Sim;
+/// let sim = Mm1Sim::new(1000.0, 7); // 1000 req/s service rate
+/// let stats = sim.run(500.0, 50_000); // offered load 500 req/s (ρ = 0.5)
+/// // M/M/1: mean response = 1/(μ−λ) = 2 ms.
+/// assert!((stats.mean - 0.002).abs() < 0.0004);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mm1Sim {
+    service_rate: f64,
+    seed: u64,
+}
+
+impl Mm1Sim {
+    /// A queue with exponential service at `service_rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `service_rate` is positive and finite.
+    pub fn new(service_rate: f64, seed: u64) -> Self {
+        assert!(
+            service_rate.is_finite() && service_rate > 0.0,
+            "service rate must be positive"
+        );
+        Mm1Sim { service_rate, seed }
+    }
+
+    /// The configured service rate.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Simulates `n` requests arriving as a Poisson process at
+    /// `arrival_rate` and returns response-time statistics (seconds).
+    ///
+    /// The first 10 % of requests are treated as warm-up and excluded from
+    /// the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_rate` is not positive or `n == 0`.
+    pub fn run(&self, arrival_rate: f64, n: usize) -> LatencyStats {
+        assert!(
+            arrival_rate.is_finite() && arrival_rate > 0.0,
+            "arrival rate must be positive"
+        );
+        assert!(n > 0, "need at least one request");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut exp = |rate: f64| -> f64 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            -u.ln() / rate
+        };
+
+        let warmup = n / 10;
+        let mut wait = 0.0f64; // Lindley: waiting time of current request
+        let mut busy_time = 0.0f64;
+        let mut clock = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        let mut q50 = P2Quantile::new(0.50);
+        let mut q95 = P2Quantile::new(0.95);
+        let mut q99 = P2Quantile::new(0.99);
+
+        for i in 0..n {
+            let interarrival = exp(arrival_rate);
+            let service = exp(self.service_rate);
+            clock += interarrival;
+            busy_time += service;
+            // Lindley's recursion: W_{k+1} = max(0, W_k + S_k − A_{k+1}).
+            let response = wait + service;
+            wait = (wait + service - interarrival).max(0.0);
+            if i >= warmup {
+                sum += response;
+                count += 1;
+                q50.observe(response);
+                q95.observe(response);
+                q99.observe(response);
+            }
+        }
+        LatencyStats {
+            requests: count,
+            mean: sum / count as f64,
+            p50: q50.estimate().unwrap_or(0.0),
+            p95: q95.estimate().unwrap_or(0.0),
+            p99: q99.estimate().unwrap_or(0.0),
+            utilization: (busy_time / clock).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LcApp, LcModel};
+    use pocolo_core::units::Frequency;
+    use pocolo_simserver::{CoreSet, MachineSpec, TenantAllocation, WayMask};
+
+    #[test]
+    fn mm1_mean_matches_closed_form() {
+        // E[T] = 1/(μ − λ).
+        let sim = Mm1Sim::new(100.0, 1);
+        for rho in [0.3, 0.5, 0.7] {
+            let stats = sim.run(100.0 * rho, 200_000);
+            let expected = 1.0 / (100.0 * (1.0 - rho));
+            assert!(
+                (stats.mean - expected).abs() / expected < 0.05,
+                "rho={rho}: mean {} vs {expected}",
+                stats.mean
+            );
+        }
+    }
+
+    #[test]
+    fn mm1_p99_matches_closed_form() {
+        // Response time is exponential(μ−λ): p99 = ln(100)/(μ−λ).
+        let sim = Mm1Sim::new(100.0, 2);
+        for rho in [0.4, 0.6, 0.8] {
+            let stats = sim.run(100.0 * rho, 300_000);
+            let expected = (100.0f64).ln() / (100.0 * (1.0 - rho));
+            assert!(
+                (stats.p99 - expected).abs() / expected < 0.10,
+                "rho={rho}: p99 {} vs {expected}",
+                stats.p99
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let sim = Mm1Sim::new(50.0, 3);
+        let stats = sim.run(30.0, 100_000);
+        assert!((stats.utilization - 0.6).abs() < 0.03, "{stats:?}");
+    }
+
+    #[test]
+    fn tail_blowup_shape_matches_the_analytic_model() {
+        // The LcModel claims p99(ρ)/p99(ρ₀) = (1−ρ₀)/(1−ρ). Verify the
+        // request-level simulation reproduces that ratio curve.
+        let sim = Mm1Sim::new(200.0, 4);
+        let base = sim.run(200.0 * 0.3, 300_000).p99;
+        for rho in [0.5, 0.7, 0.85] {
+            let measured = sim.run(200.0 * rho, 300_000).p99;
+            let predicted_ratio = (1.0 - 0.3) / (1.0 - rho);
+            let measured_ratio = measured / base;
+            assert!(
+                (measured_ratio - predicted_ratio).abs() / predicted_ratio < 0.12,
+                "rho={rho}: measured ratio {measured_ratio} vs analytic {predicted_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn lc_model_p99_curve_is_mm1_consistent() {
+        // Normalized against the 50%-utilization point, the LcModel's p99
+        // curve must coincide with a simulated M/M/1's.
+        let machine = MachineSpec::xeon_e5_2650();
+        let model = LcModel::for_app(LcApp::Xapian, machine.clone());
+        let alloc =
+            TenantAllocation::new(CoreSet::first_n(6), WayMask::first_n(10), Frequency(2.2));
+        let capacity = model.capacity_rps(&alloc);
+        let sim = Mm1Sim::new(capacity, 5);
+        let model_base = model.p99_latency_ms(0.5 * capacity, &alloc);
+        let sim_base = sim.run(0.5 * capacity, 200_000).p99;
+        for rho in [0.7, 0.8, 0.9] {
+            let model_ratio = model.p99_latency_ms(rho * capacity, &alloc) / model_base;
+            let sim_ratio = sim.run(rho * capacity, 200_000).p99 / sim_base;
+            assert!(
+                (model_ratio - sim_ratio).abs() / model_ratio < 0.15,
+                "rho={rho}: model ratio {model_ratio} vs simulated {sim_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Mm1Sim::new(100.0, 9).run(50.0, 10_000);
+        let b = Mm1Sim::new(100.0, 9).run(50.0, 10_000);
+        assert_eq!(a, b);
+        let c = Mm1Sim::new(100.0, 10).run(50.0, 10_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "service rate must be positive")]
+    fn invalid_service_rate_panics() {
+        let _ = Mm1Sim::new(0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn invalid_arrival_rate_panics() {
+        let _ = Mm1Sim::new(10.0, 0).run(0.0, 10);
+    }
+}

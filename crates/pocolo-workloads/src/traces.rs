@@ -1,0 +1,393 @@
+//! Load traces for latency-critical applications: diurnal curves, steps,
+//! constant loads and the paper's uniform 10–90 % evaluation sweep.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic load trace: load fraction of peak (`0..=1`) as a function
+/// of time.
+///
+/// ```
+/// use pocolo_workloads::LoadTrace;
+/// let trace = LoadTrace::diurnal(0.1, 0.9, 86_400.0);
+/// let noon = trace.load_at(43_200.0);
+/// let midnight = trace.load_at(0.0);
+/// assert!(noon > midnight);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadTrace {
+    /// Constant load fraction.
+    Constant(f64),
+    /// Sinusoidal day/night curve between `min` and `max` with the trough at
+    /// `t = 0`.
+    Diurnal {
+        /// Minimum (night-time) load fraction.
+        min: f64,
+        /// Maximum (peak-hour) load fraction.
+        max: f64,
+        /// Period of one day in seconds.
+        period_s: f64,
+    },
+    /// Piecewise-constant steps of `(duration_s, load)`; cycles after the
+    /// last step.
+    Steps(Vec<(f64, f64)>),
+    /// The paper's evaluation distribution: uniform steps through
+    /// `levels` load fractions, `dwell_s` seconds each (§V-D uses
+    /// 10 %–90 % in steps of 10).
+    UniformSweep {
+        /// The load levels visited in order.
+        levels: Vec<f64>,
+        /// Time spent at each level, seconds.
+        dwell_s: f64,
+    },
+    /// Replays recorded `(timestamp_s, load)` samples with step
+    /// interpolation, cycling after the last sample — production traces
+    /// exported from telemetry.
+    Replay(Vec<(f64, f64)>),
+    /// Bursty traffic: a square wave spending `duty` of each period at
+    /// `peak` and the rest at `base` — flash crowds, cron fan-outs.
+    Burst {
+        /// Baseline load fraction.
+        base: f64,
+        /// Burst load fraction.
+        peak: f64,
+        /// Period of one burst cycle, seconds.
+        period_s: f64,
+        /// Fraction of the period spent at `peak`, in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl LoadTrace {
+    /// A diurnal trace from `min` to `max` over `period_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min ≤ max ≤ 1` and `period_s > 0`.
+    pub fn diurnal(min: f64, max: f64, period_s: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&min) && (0.0..=1.0).contains(&max) && min <= max,
+            "diurnal bounds must satisfy 0 <= min <= max <= 1"
+        );
+        assert!(period_s > 0.0, "period must be positive");
+        LoadTrace::Diurnal { min, max, period_s }
+    }
+
+    /// A bursty square wave: `duty` of each period at `peak`, else `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ base ≤ peak ≤ 1`, `period_s > 0` and
+    /// `0 < duty < 1`.
+    pub fn burst(base: f64, peak: f64, period_s: f64, duty: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&base) && (0.0..=1.0).contains(&peak) && base <= peak,
+            "burst bounds must satisfy 0 <= base <= peak <= 1"
+        );
+        assert!(period_s > 0.0, "period must be positive");
+        assert!(duty > 0.0 && duty < 1.0, "duty must be in (0, 1)");
+        LoadTrace::Burst {
+            base,
+            peak,
+            period_s,
+            duty,
+        }
+    }
+
+    /// A replay trace from recorded `(timestamp_s, load)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or timestamps are not strictly
+    /// increasing from a non-negative start.
+    pub fn replay(samples: Vec<(f64, f64)>) -> Self {
+        assert!(!samples.is_empty(), "replay trace needs samples");
+        assert!(samples[0].0 >= 0.0, "timestamps start at or after zero");
+        assert!(
+            samples.windows(2).all(|w| w[1].0 > w[0].0),
+            "timestamps must be strictly increasing"
+        );
+        LoadTrace::Replay(samples)
+    }
+
+    /// The paper's 10–90 % uniform sweep in steps of 10 %, one step per
+    /// `dwell_s` seconds.
+    pub fn paper_sweep(dwell_s: f64) -> Self {
+        LoadTrace::UniformSweep {
+            levels: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            dwell_s,
+        }
+    }
+
+    /// Load fraction of peak at time `t` seconds, always clamped to `[0, 1]`.
+    pub fn load_at(&self, t: f64) -> f64 {
+        let v = match self {
+            LoadTrace::Constant(l) => *l,
+            LoadTrace::Diurnal { min, max, period_s } => {
+                // Trough at t = 0, peak at half period.
+                let phase = (t / period_s) * std::f64::consts::TAU;
+                let s = 0.5 - 0.5 * phase.cos();
+                min + (max - min) * s
+            }
+            LoadTrace::Steps(steps) => {
+                if steps.is_empty() {
+                    return 0.0;
+                }
+                let total: f64 = steps.iter().map(|(d, _)| d).sum();
+                if total <= 0.0 {
+                    return steps[0].1.clamp(0.0, 1.0);
+                }
+                let mut rem = t.rem_euclid(total);
+                for &(d, l) in steps {
+                    if rem < d {
+                        return l.clamp(0.0, 1.0);
+                    }
+                    rem -= d;
+                }
+                steps.last().map(|&(_, l)| l).unwrap_or(0.0)
+            }
+            LoadTrace::UniformSweep { levels, dwell_s } => {
+                if levels.is_empty() || *dwell_s <= 0.0 {
+                    return 0.0;
+                }
+                let idx =
+                    ((t / dwell_s).floor() as usize).rem_euclid(levels.len().max(1)) % levels.len();
+                levels[idx]
+            }
+            LoadTrace::Burst {
+                base,
+                peak,
+                period_s,
+                duty,
+            } => {
+                let phase = (t / period_s).rem_euclid(1.0);
+                if phase < *duty {
+                    *peak
+                } else {
+                    *base
+                }
+            }
+            LoadTrace::Replay(samples) => {
+                let last_t = samples.last().expect("validated non-empty").0;
+                let span = if last_t > 0.0 { last_t } else { 1.0 };
+                let t = t.rem_euclid(span + f64::EPSILON);
+                // Step interpolation: the most recent sample at or before t.
+                match samples.iter().rev().find(|&&(ts, _)| ts <= t) {
+                    Some(&(_, l)) => l,
+                    None => samples[0].1,
+                }
+            }
+        };
+        v.clamp(0.0, 1.0)
+    }
+
+    /// Samples the trace at `interval_s` spacing for `duration_s`, with
+    /// optional multiplicative noise (seeded, deterministic).
+    pub fn sample(
+        &self,
+        duration_s: f64,
+        interval_s: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Vec<(f64, f64)> {
+        assert!(interval_s > 0.0, "sample interval must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < duration_s {
+            let base = self.load_at(t);
+            let eps = if noise > 0.0 {
+                rng.gen_range(-noise..=noise)
+            } else {
+                0.0
+            };
+            out.push((t, (base * (1.0 + eps)).clamp(0.0, 1.0)));
+            t += interval_s;
+        }
+        out
+    }
+
+    /// The average load fraction over one full cycle (closed form where
+    /// available, otherwise numeric).
+    pub fn mean_load(&self) -> f64 {
+        match self {
+            LoadTrace::Constant(l) => l.clamp(0.0, 1.0),
+            LoadTrace::Diurnal { min, max, .. } => (min + max) / 2.0,
+            LoadTrace::Steps(steps) => {
+                let total: f64 = steps.iter().map(|(d, _)| d).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                steps
+                    .iter()
+                    .map(|&(d, l)| d * l.clamp(0.0, 1.0))
+                    .sum::<f64>()
+                    / total
+            }
+            LoadTrace::UniformSweep { levels, .. } => {
+                if levels.is_empty() {
+                    0.0
+                } else {
+                    levels.iter().map(|l| l.clamp(0.0, 1.0)).sum::<f64>() / levels.len() as f64
+                }
+            }
+            LoadTrace::Burst {
+                base, peak, duty, ..
+            } => duty * peak.clamp(0.0, 1.0) + (1.0 - duty) * base.clamp(0.0, 1.0),
+            LoadTrace::Replay(samples) => {
+                // Time-weighted mean with step interpolation over one cycle.
+                let last_t = samples.last().expect("validated non-empty").0;
+                if last_t <= 0.0 || samples.len() == 1 {
+                    return samples[0].1.clamp(0.0, 1.0);
+                }
+                let mut acc = 0.0;
+                for w in samples.windows(2) {
+                    acc += w[0].1.clamp(0.0, 1.0) * (w[1].0 - w[0].0);
+                }
+                acc / last_t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace() {
+        let t = LoadTrace::Constant(0.4);
+        assert_eq!(t.load_at(0.0), 0.4);
+        assert_eq!(t.load_at(1e6), 0.4);
+        assert_eq!(t.mean_load(), 0.4);
+    }
+
+    #[test]
+    fn constant_clamps() {
+        assert_eq!(LoadTrace::Constant(1.5).load_at(0.0), 1.0);
+        assert_eq!(LoadTrace::Constant(-0.5).load_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        let t = LoadTrace::diurnal(0.1, 0.9, 86_400.0);
+        assert!((t.load_at(0.0) - 0.1).abs() < 1e-9);
+        assert!((t.load_at(43_200.0) - 0.9).abs() < 1e-9);
+        assert!((t.load_at(86_400.0) - 0.1).abs() < 1e-9);
+        // Quarter period: midpoint.
+        assert!((t.load_at(21_600.0) - 0.5).abs() < 1e-9);
+        assert!((t.mean_load() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "diurnal bounds")]
+    fn diurnal_validates_bounds() {
+        let _ = LoadTrace::diurnal(0.9, 0.1, 86_400.0);
+    }
+
+    #[test]
+    fn steps_cycle() {
+        let t = LoadTrace::Steps(vec![(10.0, 0.2), (5.0, 0.8)]);
+        assert_eq!(t.load_at(0.0), 0.2);
+        assert_eq!(t.load_at(9.9), 0.2);
+        assert_eq!(t.load_at(10.0), 0.8);
+        assert_eq!(t.load_at(14.9), 0.8);
+        assert_eq!(t.load_at(15.0), 0.2); // cycled
+        assert!((t.mean_load() - (10.0 * 0.2 + 5.0 * 0.8) / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_steps_are_zero() {
+        let t = LoadTrace::Steps(vec![]);
+        assert_eq!(t.load_at(3.0), 0.0);
+        assert_eq!(t.mean_load(), 0.0);
+    }
+
+    #[test]
+    fn paper_sweep_levels() {
+        let t = LoadTrace::paper_sweep(100.0);
+        assert!((t.load_at(0.0) - 0.1).abs() < 1e-9);
+        assert!((t.load_at(150.0) - 0.2).abs() < 1e-9);
+        assert!((t.load_at(850.0) - 0.9).abs() < 1e-9);
+        assert!((t.load_at(900.0) - 0.1).abs() < 1e-9); // wraps
+        assert!((t.mean_load() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_steps_and_cycles() {
+        let t = LoadTrace::replay(vec![(0.0, 0.2), (10.0, 0.8), (20.0, 0.4)]);
+        assert_eq!(t.load_at(0.0), 0.2);
+        assert_eq!(t.load_at(9.9), 0.2);
+        assert_eq!(t.load_at(10.0), 0.8);
+        assert_eq!(t.load_at(19.9), 0.8);
+        // Cycles after the last timestamp.
+        assert_eq!(t.load_at(25.0), 0.2);
+        // Time-weighted mean: (0.2*10 + 0.8*10)/20 = 0.5.
+        assert!((t.mean_load() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_single_sample_is_constant() {
+        let t = LoadTrace::replay(vec![(0.0, 0.7)]);
+        assert_eq!(t.load_at(123.0), 0.7);
+        assert_eq!(t.mean_load(), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn replay_validates_order() {
+        let _ = LoadTrace::replay(vec![(0.0, 0.1), (0.0, 0.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn replay_validates_nonempty() {
+        let _ = LoadTrace::replay(vec![]);
+    }
+
+    #[test]
+    fn burst_square_wave() {
+        let t = LoadTrace::burst(0.2, 0.9, 100.0, 0.3);
+        assert_eq!(t.load_at(0.0), 0.9);
+        assert_eq!(t.load_at(29.9), 0.9);
+        assert_eq!(t.load_at(30.0), 0.2);
+        assert_eq!(t.load_at(99.9), 0.2);
+        assert_eq!(t.load_at(100.0), 0.9); // next cycle
+        assert!((t.mean_load() - (0.3 * 0.9 + 0.7 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn burst_validates_duty() {
+        let _ = LoadTrace::burst(0.2, 0.9, 100.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst bounds")]
+    fn burst_validates_bounds() {
+        let _ = LoadTrace::burst(0.9, 0.2, 100.0, 0.5);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let t = LoadTrace::diurnal(0.2, 0.8, 1000.0);
+        let a = t.sample(500.0, 10.0, 0.05, 7);
+        let b = t.sample(500.0, 10.0, 0.05, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for &(_, l) in &a {
+            assert!((0.0..=1.0).contains(&l));
+        }
+        let c = t.sample(500.0, 10.0, 0.05, 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn noiseless_sampling_matches_load_at() {
+        let t = LoadTrace::paper_sweep(50.0);
+        for (ts, l) in t.sample(400.0, 25.0, 0.0, 0) {
+            assert_eq!(l, t.load_at(ts));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # Pocolo — Power Optimized Colocation
+//!
+//! Facade crate re-exporting the full Pocolo stack, a reproduction of
+//! *"Pocolo: Power Optimized Colocation in Power Constrained Environments"*
+//! (IISWC 2020).
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | Economics framework | [`core`] | Cobb-Douglas indirect utility, demand solver, preference vectors, model fitting, indifference curves, Edgeworth box |
+//! | Server substrate | [`simserver`] | Simulated Xeon E5-2650: core/way/DVFS/quota knobs, power model, noisy meter, telemetry |
+//! | Workload models | [`workloads`] | Ground-truth LC apps (img-dnn, sphinx, xapian, tpcc) and BE apps (lstm, rnn, graph, pbzip), load traces, profiler |
+//! | Server management | [`manager`] | POM power-optimized controller, Heracles-style baseline, 100 ms power capper |
+//! | Cluster placement | [`cluster`] | Performance matrix, Hungarian / simplex-LP / exhaustive / random solvers |
+//! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments |
+//! | Cost analysis | [`tco`] | Hamilton-style amortized monthly TCO |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pocolo::prelude::*;
+//!
+//! // Profile and fit every application, then ask the cluster manager for
+//! // the power-optimized placement.
+//! let fitted = FittedCluster::fit(&ProfilerConfig::default());
+//! let placement = fitted.placement(Policy::Pocolo { solver: Solver::Hungarian });
+//! assert_eq!(placement.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pocolo_cluster as cluster;
+pub use pocolo_core as core;
+pub use pocolo_manager as manager;
+pub use pocolo_sim as sim;
+pub use pocolo_simserver as simserver;
+pub use pocolo_tco as tco;
+pub use pocolo_workloads as workloads;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use pocolo_cluster::{
+        Assignment, ClusterManager, PerfMatrix, PerfMatrixBuilder, ServerProfile, Solver,
+    };
+    pub use pocolo_core::fit::{check_convexity, ConvexityReport, OnlineFitter};
+    pub use pocolo_core::{
+        Allocation, CobbDouglas, CoreError, Frequency, IndirectUtility, Joules, PowerModel,
+        PreferenceVector, ResourceDescriptor, ResourceSpace, Watts,
+    };
+    pub use pocolo_manager::{
+        BeJob, BeQueue, CapAction, LcPolicy, ManagerConfig, PowerCapper, QueueDiscipline,
+        ServerManager,
+    };
+    pub use pocolo_sim::experiment::{
+        run_experiment, run_experiment_with, run_level_sweep, ExperimentConfig,
+        ExperimentResult, FittedCluster, Policy,
+    };
+    pub use pocolo_sim::rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};
+    pub use pocolo_sim::{
+        ClusterSim, ClusterSummary, ServerMetrics, ServerSim, SpatialServerSim, SpatialTenant,
+    };
+    pub use pocolo_simserver::{
+        CoreSet, MachineSpec, P2Quantile, SimServer, TenantAllocation, TenantRole, WayMask,
+    };
+    pub use pocolo_tco::{MonthlyCost, Scenario, TcoModel};
+    pub use pocolo_workloads::profiler::{profile_be, profile_lc, ProfilerConfig};
+    pub use pocolo_workloads::{AppId, BeApp, BeModel, LcApp, LcModel, LoadTrace};
+}

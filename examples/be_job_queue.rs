@@ -1,0 +1,61 @@
+//! Time-sharing the best-effort slot among a queue of jobs (the §V-G
+//! extension): FCFS vs shortest-job-first on a simulated server whose BE
+//! throughput varies with the primary's diurnal load.
+//!
+//! ```text
+//! cargo run --release -p pocolo --example be_job_queue
+//! ```
+
+use pocolo::prelude::*;
+use pocolo_manager::queue::{BeJob, BeQueue, QueueDiscipline};
+use pocolo_sim::ServerSim;
+
+fn run(discipline: QueueDiscipline) -> (usize, f64) {
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let (_, truth, fit) = &fitted.lc()[2]; // xapian
+    let be_truth = fitted.be()[2].1.clone(); // graph ground truth drives power
+    let mut sim = ServerSim::new(
+        truth.clone(),
+        fit.clone(),
+        Some(be_truth),
+        LcPolicy::PowerOptimized,
+        LoadTrace::diurnal(0.1, 0.9, 240.0),
+        truth.provisioned_power(),
+        0.01,
+        5,
+    );
+
+    // A burst of BE jobs arrives at t=0 with mixed sizes (work =
+    // throughput-seconds).
+    let mut queue = BeQueue::new(discipline);
+    let sizes = [12.0, 3.0, 25.0, 6.0, 1.5, 9.0, 4.0, 18.0];
+    for (i, &work) in sizes.iter().enumerate() {
+        queue.submit(BeJob::new(i as u64, format!("job{i}"), work, 0.0));
+    }
+
+    let mut t = 0.0;
+    while !queue.is_empty() && t < 600.0 {
+        sim.on_manager_tick(t);
+        for k in 0..10 {
+            sim.on_capper_tick(0.1);
+            let now = t + 0.1 * (k + 1) as f64;
+            queue.advance(sim.be_throughput(), 0.1, now);
+        }
+        t += 1.0;
+    }
+    (
+        queue.completed().len(),
+        queue.mean_turnaround().unwrap_or(f64::NAN),
+    )
+}
+
+fn main() {
+    println!("8 best-effort jobs time-sharing xapian's secondary slot");
+    println!("(throughput varies with the primary's diurnal load)\n");
+    for d in [QueueDiscipline::Fcfs, QueueDiscipline::Sjf] {
+        let (done, turnaround) = run(d);
+        println!("{d:?}: {done}/8 completed, mean turnaround {turnaround:.1} s");
+    }
+    println!("\nSJF cuts mean turnaround; both finish the same total work —");
+    println!("the server's spare capacity is the binding resource either way.");
+}

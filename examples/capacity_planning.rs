@@ -1,0 +1,78 @@
+//! Capacity planning with the TCO model: how aggressive power
+//! under-provisioning and power-aware colocation translate into monthly
+//! dollars at warehouse scale (the paper's §V-F analysis, interactive).
+//!
+//! ```text
+//! cargo run --release -p pocolo --example capacity_planning
+//! ```
+
+use pocolo::prelude::*;
+
+fn main() {
+    let model = TcoModel::default();
+    println!(
+        "reference deployment: {:.0} servers, ${}/server, ${}/W, {:.1}¢/kWh, PUE {}",
+        model.servers,
+        model.server_cost_usd,
+        model.power_infra_usd_per_watt,
+        model.energy_usd_per_kwh * 100.0,
+        model.pue
+    );
+
+    // Sweep the provisioning question: what does each watt of provisioned
+    // capacity cost per month, and when does right-sizing pay off?
+    println!("\nprovisioning sweep (throughput and draw held at baseline):");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12}",
+        "provisioned", "servers $M", "infra $M", "energy $M", "total $M"
+    );
+    for watts in [135.0, 150.0, 165.0, 185.0, 210.0] {
+        let cost = model.monthly_cost(&Scenario {
+            name: format!("{watts} W"),
+            provisioned_per_server: Watts(watts),
+            avg_power_per_server: Watts(130.0),
+            relative_throughput: 1.0,
+        });
+        println!(
+            "{:>12} W {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            watts,
+            cost.server_usd / 1e6,
+            cost.power_infra_usd / 1e6,
+            cost.energy_usd / 1e6,
+            cost.total() / 1e6
+        );
+    }
+
+    // The colocation question: every percent of extra throughput per server
+    // removes servers (and their watts) at iso-work.
+    println!("\ncolocation benefit sweep (relative cluster throughput):");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "throughput", "total $M", "saving vs 1.0"
+    );
+    let base = model
+        .monthly_cost(&Scenario {
+            name: "base".into(),
+            provisioned_per_server: Watts(150.0),
+            avg_power_per_server: Watts(140.0),
+            relative_throughput: 1.0,
+        })
+        .total();
+    for rel in [1.0, 1.05, 1.10, 1.18, 1.30] {
+        let cost = model
+            .monthly_cost(&Scenario {
+                name: format!("{rel:.2}x"),
+                provisioned_per_server: Watts(150.0),
+                avg_power_per_server: Watts(140.0),
+                relative_throughput: rel,
+            })
+            .total();
+        println!(
+            "{:>11.2}x {:>12.2} {:>13.1}%",
+            rel,
+            cost / 1e6,
+            100.0 * (1.0 - cost / base)
+        );
+    }
+    println!("\n(the paper's POColo lands at ~1.18x throughput with right-sized power)");
+}

@@ -1,0 +1,97 @@
+//! A simulated day in a power-constrained datacenter: the four-server
+//! cluster rides a diurnal load curve under each of the three policies,
+//! reporting throughput, power and SLO compliance.
+//!
+//! ```text
+//! cargo run --release -p pocolo --example datacenter_day
+//! ```
+
+use pocolo::prelude::*;
+use pocolo_sim::{ClusterSim, ServerSim};
+
+fn build_cluster(fitted: &FittedCluster, policy: Policy, trace: &LoadTrace) -> ClusterSim {
+    let placement = fitted.placement(policy);
+    let servers: Vec<ServerSim> = fitted
+        .lc()
+        .iter()
+        .enumerate()
+        .map(|(i, (_, truth, fit))| {
+            let be_app = placement[i];
+            let be_truth = fitted
+                .be()
+                .iter()
+                .find(|(a, _, _)| *a == be_app)
+                .map(|(_, t, _)| t.clone());
+            let be_fitted = fitted
+                .be()
+                .iter()
+                .find(|(a, _, _)| *a == be_app)
+                .map(|(_, _, f)| f.clone());
+            let lc_policy = match policy {
+                Policy::Random { seed } => LcPolicy::heracles_random(seed + i as u64),
+                _ => LcPolicy::PowerOptimized,
+            };
+            let sim = ServerSim::new(
+                truth.clone(),
+                fit.clone(),
+                be_truth,
+                lc_policy,
+                trace.clone(),
+                truth.provisioned_power(),
+                0.01,
+                77 + i as u64,
+            );
+            match (policy, be_fitted) {
+                (Policy::Pom { .. } | Policy::Pocolo { .. }, Some(bf)) => sim.with_proactive_be(bf),
+                _ => sim,
+            }
+        })
+        .collect();
+    ClusterSim::new(servers, 1.0, 0.1)
+}
+
+fn main() {
+    // One compressed "day": the diurnal curve squeezed into 6 simulated
+    // minutes so the example finishes quickly. Control periods stay at the
+    // paper's 1 s / 100 ms.
+    let day_s = 360.0;
+    let trace = LoadTrace::diurnal(0.1, 0.9, day_s);
+    println!("fitting models for all eight applications...");
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "policy", "BE thpt", "power", "energy (kJ)", "SLO viol"
+    );
+    for policy in [
+        Policy::Random { seed: 42 },
+        Policy::Pom { seed: 42 },
+        Policy::Pocolo { solver: Solver::Lp },
+    ] {
+        let mut cluster = build_cluster(&fitted, policy, &trace);
+        cluster.run(day_s);
+        let s = cluster.summary();
+        println!(
+            "{:>8} {:>10.3} {:>9.1}% {:>12.1} {:>9.1}%",
+            policy.name(),
+            s.avg_be_throughput,
+            100.0 * s.avg_power_utilization,
+            s.total_energy.0 / 1000.0,
+            100.0 * s.worst_violation_frac,
+        );
+    }
+    println!("\nPlacements chosen:");
+    for policy in [
+        Policy::Random { seed: 42 },
+        Policy::Pocolo { solver: Solver::Lp },
+    ] {
+        let placement = fitted.placement(policy);
+        let pairs: Vec<String> = fitted
+            .lc()
+            .iter()
+            .zip(&placement)
+            .map(|((lc, _, _), be)| format!("{}+{}", lc.name(), be.name()))
+            .collect();
+        println!("  {:>8}: {}", policy.name(), pairs.join("  "));
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: profile an application, fit its indirect utility, and ask
+//! the economics framework the paper's three questions — *what* does this
+//! app want per watt, *where* should it be placed, and *how much* of the
+//! server does the primary need right now?
+//!
+//! ```text
+//! cargo run --release -p pocolo --example quickstart
+//! ```
+
+use pocolo::prelude::*;
+use pocolo_simserver::power::PowerDrawModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The simulated testbed: a Xeon E5-2650 (Table I of the paper).
+    let machine = MachineSpec::xeon_e5_2650();
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+
+    // 1. Profile the sphinx speech-recognition service across allocations
+    //    of cores and LLC ways, as the paper's telemetry pipeline would.
+    let sphinx = LcModel::for_app(LcApp::Sphinx, machine.clone());
+    let samples = profile_lc(&sphinx, &power, &space, &ProfilerConfig::default());
+    println!("profiled {} samples of {}", samples.len(), LcApp::Sphinx);
+
+    // 2. Fit the Cobb-Douglas indirect utility model (log-space least
+    //    squares, guarded by the 10% latency-slack filter).
+    let fitted = pocolo_core::fit::fit_indirect_utility(
+        &space,
+        &samples,
+        &pocolo_core::fit::FitOptions::default(),
+    )?;
+    println!(
+        "fit quality: perf R² = {:.3}, power R² = {:.3}",
+        fitted.performance_r2, fitted.power_r2
+    );
+
+    // 3. The scaled preference vector: how sphinx ranks resources by
+    //    performance-per-watt (the paper reports ~0.2 : 0.8).
+    let pref = fitted.utility.preference_vector();
+    println!(
+        "sphinx prefers cores:ways = {:.2}:{:.2} per watt",
+        pref.weight(0),
+        pref.weight(1)
+    );
+
+    // 4. The analytic demand: the least-power allocation sustaining 40% of
+    //    peak load — the allocation-A/B transition of Fig. 5.
+    let target = 0.4 * sphinx.peak_load_rps();
+    let budget = fitted.utility.min_power_for(target)?;
+    let allocation = fitted.utility.demand_integral(budget)?;
+    println!(
+        "40% load needs {} at {budget:.1} ({} headroom under the {} cap)",
+        allocation,
+        sphinx.provisioned_power() - budget,
+        sphinx.provisioned_power(),
+    );
+
+    // 5. Which best-effort app should run alongside? Complementarity of
+    //    preference vectors answers the paper's "what" question.
+    println!("\nco-runner complementarity with sphinx:");
+    for app in BeApp::ALL {
+        let be = BeModel::for_app(app, machine.clone());
+        let be_samples = profile_be(&be, &power, &space, &ProfilerConfig::default());
+        let be_fit = pocolo_core::fit::fit_indirect_utility(
+            &space,
+            &be_samples,
+            &pocolo_core::fit::FitOptions::default(),
+        )?;
+        let be_pref = be_fit.utility.preference_vector();
+        println!(
+            "  {:6} preference {} -> complementarity {:.2}",
+            app.name(),
+            be_pref,
+            pref.complementarity(&be_pref)
+        );
+    }
+    println!("\n(higher complementarity = better co-runner under a power cap)");
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! Failure injection: the control loops must protect the SLO even when the
+//! models they plan with are wrong, the meter is noisy, or the load
+//! misbehaves.
+
+use pocolo::prelude::*;
+use pocolo_core::{CobbDouglas, IndirectUtility, PowerModel};
+use pocolo_sim::ServerSim;
+use pocolo_simserver::power::PowerDrawModel;
+use pocolo_simserver::MachineSpec;
+
+/// Builds a deliberately corrupted fitted model: performance overestimated
+/// by `perf_scale` (the manager will think the app needs fewer resources
+/// than it does).
+fn corrupted_fit(app: LcApp, perf_scale: f64) -> (LcModel, IndirectUtility) {
+    let machine = MachineSpec::xeon_e5_2650();
+    let truth = LcModel::for_app(app, machine.clone());
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+    let fit = pocolo_core::fit::fit_indirect_utility(
+        &space,
+        &samples,
+        &pocolo_core::fit::FitOptions::default(),
+    )
+    .unwrap();
+    let perf = fit.utility.performance_model();
+    let corrupted = CobbDouglas::new(perf.alpha0() * perf_scale, perf.alphas().to_vec()).unwrap();
+    let power_model: PowerModel = fit.utility.power_model().clone();
+    (
+        truth,
+        IndirectUtility::new(space, corrupted, power_model).unwrap(),
+    )
+}
+
+fn run_server(
+    truth: LcModel,
+    fitted: IndirectUtility,
+    load_frac: f64,
+    seconds: usize,
+) -> ServerSim {
+    let cap = truth.provisioned_power();
+    let mut sim = ServerSim::new(
+        truth,
+        fitted,
+        None,
+        LcPolicy::PowerOptimized,
+        LoadTrace::Constant(load_frac),
+        cap,
+        0.02,
+        99,
+    );
+    for s in 0..seconds {
+        sim.on_manager_tick(s as f64);
+        for _ in 0..10 {
+            sim.on_capper_tick(0.1);
+        }
+    }
+    sim
+}
+
+#[test]
+fn feedback_rescues_slo_from_an_optimistic_model() {
+    // The fitted model claims the app is 40% faster than it is: the pure
+    // analytic allocation would violate the SLO, but the latency-slack
+    // feedback grows the margin until the SLO holds.
+    let (truth, fitted) = corrupted_fit(LcApp::Xapian, 1.4);
+    let sim = run_server(truth, fitted, 0.6, 25);
+    let slack = sim.lc_slack();
+    assert!(
+        slack >= 0.0,
+        "feedback should have rescued the SLO, slack = {slack}"
+    );
+    // And it converged: violations were transient.
+    assert!(sim.metrics().lc_violation_frac < 0.5);
+}
+
+#[test]
+fn pessimistic_model_wastes_resources_but_never_slo() {
+    let (truth, fitted) = corrupted_fit(LcApp::Sphinx, 0.6);
+    let sim = run_server(truth, fitted, 0.5, 20);
+    assert!(sim.lc_slack() >= 0.0);
+    assert_eq!(sim.metrics().lc_violation_frac, 0.0);
+}
+
+#[test]
+fn extreme_meter_noise_still_respects_cap_on_average() {
+    let machine = MachineSpec::xeon_e5_2650();
+    let truth = LcModel::for_app(LcApp::ImgDnn, machine.clone());
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
+    let fitted = pocolo_core::fit::fit_indirect_utility(
+        &space,
+        &samples,
+        &pocolo_core::fit::FitOptions::default(),
+    )
+    .unwrap()
+    .utility;
+    let cap = truth.provisioned_power();
+    let be = BeModel::for_app(BeApp::Pbzip, machine);
+    let mut sim = ServerSim::new(
+        truth,
+        fitted,
+        Some(be),
+        LcPolicy::PowerOptimized,
+        LoadTrace::Constant(0.3),
+        cap,
+        0.10, // ±10% meter error
+        7,
+    );
+    for s in 0..40 {
+        sim.on_manager_tick(s as f64);
+        for _ in 0..10 {
+            sim.on_capper_tick(0.1);
+        }
+    }
+    let util = sim.metrics().power_utilization();
+    assert!(
+        util < 1.05,
+        "average power {util} should stay near the cap despite meter noise"
+    );
+    assert!(sim.metrics().be_throughput_avg > 0.0);
+}
+
+#[test]
+fn load_spike_recovers_within_seconds() {
+    let machine = MachineSpec::xeon_e5_2650();
+    let truth = LcModel::for_app(LcApp::TpcC, machine.clone());
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let fitted = pocolo_core::fit::fit_indirect_utility(
+        &space,
+        &profile_lc(&truth, &power, &space, &ProfilerConfig::default()),
+        &pocolo_core::fit::FitOptions::default(),
+    )
+    .unwrap()
+    .utility;
+    let cap = truth.provisioned_power();
+    // 0.2 load for 20 s, instant spike to 0.85 for 20 s.
+    let trace = LoadTrace::Steps(vec![(20.0, 0.2), (20.0, 0.85)]);
+    let mut sim = ServerSim::new(
+        truth,
+        fitted,
+        Some(BeModel::for_app(BeApp::Rnn, machine)),
+        LcPolicy::PowerOptimized,
+        trace,
+        cap,
+        0.01,
+        3,
+    );
+    let mut first_ok_after_spike = None;
+    for s in 0..40 {
+        sim.on_manager_tick(s as f64);
+        for _ in 0..10 {
+            sim.on_capper_tick(0.1);
+        }
+        if s >= 20 && first_ok_after_spike.is_none() && sim.lc_slack() >= 0.0 {
+            first_ok_after_spike = Some(s - 20);
+        }
+    }
+    let recovery = first_ok_after_spike.expect("SLO must recover after the spike");
+    assert!(
+        recovery <= 5,
+        "recovery took {recovery} s; the 1 s control loop should fix a spike within a few epochs"
+    );
+    assert!(sim.lc_slack() >= 0.0);
+}
+
+#[test]
+fn convexity_screen_accepts_all_paper_workloads() {
+    // §V-G: the framework requires convex preferences. All eight ground
+    // truths (CES with saturation) must pass the screen.
+    let machine = MachineSpec::xeon_e5_2650();
+    let power = PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let cfg = ProfilerConfig {
+        perf_noise: 0.0,
+        power_noise: 0.0,
+        ..ProfilerConfig::default()
+    };
+    for app in LcApp::ALL {
+        let truth = LcModel::for_app(app, machine.clone());
+        let samples = profile_lc(&truth, &power, &space, &cfg);
+        let report = pocolo_core::fit::check_convexity(&space, &samples, 0.02).unwrap();
+        assert!(report.is_suitable(0.05), "{app}: {report:?}");
+    }
+    for app in BeApp::ALL {
+        let truth = BeModel::for_app(app, machine.clone());
+        let samples = profile_be(&truth, &power, &space, &cfg);
+        let report = pocolo_core::fit::check_convexity(&space, &samples, 0.02).unwrap();
+        assert!(report.is_suitable(0.05), "{app}: {report:?}");
+    }
+}
+
+#[test]
+fn workload_drift_triggers_a_better_replacement() {
+    use pocolo_core::fit::{FitOptions, OnlineFitter};
+    use pocolo_cluster::PerfMatrixBuilder;
+
+    // Day 0: fit everything and place.
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let servers = fitted.server_profiles();
+    let mut bes = fitted.be_profiles();
+    let builder = PerfMatrixBuilder::new();
+    let matrix0 = builder.build(&bes, &servers).unwrap();
+    let placement0 = pocolo_cluster::assign::solve(&matrix0, Solver::Hungarian).unwrap();
+    let graph_row = bes.iter().position(|(n, _)| n == "graph").unwrap();
+    let sphinx_col = matrix0
+        .col_labels()
+        .iter()
+        .position(|l| l == "sphinx")
+        .unwrap();
+    assert_eq!(placement0.server_for(graph_row), Some(sphinx_col));
+
+    // The "graph" job finishes and its slot is reused by a cache-hungry
+    // phase (lstm-like behaviour). Telemetry keeps flowing into an online
+    // fitter...
+    let machine = MachineSpec::xeon_e5_2650();
+    let power = pocolo_simserver::power::PowerDrawModel::new(machine.clone());
+    let space = machine.resource_space();
+    let mut fitter = OnlineFitter::new(space.clone(), FitOptions::default(), 240, 40);
+    // Old-phase samples first.
+    let old_truth = BeModel::for_app(BeApp::Graph, machine.clone());
+    for s in profile_be(&old_truth, &power, &space, &ProfilerConfig::default()) {
+        fitter.ingest(s);
+    }
+    let drift_before = fitter.max_drift().unwrap_or(0.0);
+    // New-phase samples flood the window.
+    let new_truth = BeModel::for_app(BeApp::Lstm, machine.clone());
+    let cfg = ProfilerConfig {
+        seed: 0xD21F7,
+        ..ProfilerConfig::default()
+    };
+    for s in profile_be(&new_truth, &power, &space, &cfg) {
+        fitter.ingest(s);
+    }
+    // ...and the drift signal fires.
+    let drift_after = fitter.max_drift().unwrap();
+    assert!(
+        drift_after > drift_before + 0.2,
+        "phase change must register as preference drift: {drift_before} -> {drift_after}"
+    );
+
+    // Re-place with the refreshed model: the drifted app no longer belongs
+    // on sphinx, and the refreshed placement beats keeping the stale one.
+    bes[graph_row].1 = fitter.model().unwrap().utility.clone();
+    let matrix1 = builder.build(&bes, &servers).unwrap();
+    let placement1 = pocolo_cluster::assign::solve(&matrix1, Solver::Hungarian).unwrap();
+    assert_ne!(
+        placement1.server_for(graph_row),
+        Some(sphinx_col),
+        "a cache-hungry app should leave the ways-starved sphinx server"
+    );
+    let stale_total = matrix1.assignment_value(&placement0.pairs);
+    assert!(
+        placement1.total > stale_total,
+        "re-placement {} must beat the stale placement {}",
+        placement1.total,
+        stale_total
+    );
+}
