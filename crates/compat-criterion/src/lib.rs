@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot download crates, so this crate provides the
+//! subset of criterion's API that Pocolo's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_with_setup`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! adaptive wall-clock timer.
+//!
+//! Output format is one line per benchmark:
+//!
+//! ```text
+//! demand_solver/analytic  time: [1.21 µs 1.23 µs 1.30 µs]  (min median max)
+//! ```
+//!
+//! Environment knobs:
+//!
+//! - `BENCH_TARGET_MS` — measurement time per benchmark in milliseconds
+//!   (default 250).
+//! - `BENCH_FILTER` — substring filter; benchmarks not matching are skipped.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: runs and reports individual benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let target_ms = std::env::var("BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(250u64);
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // `--bench`/`--test` style flags are ignored.
+        let filter = std::env::var("BENCH_FILTER")
+            .ok()
+            .or_else(|| std::env::args().skip(1).find(|a| !a.starts_with('-')));
+        Criterion {
+            target: Duration::from_millis(target_ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility hook; configuration comes from the environment.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            let mut b = Bencher::new(self.target);
+            f(&mut b);
+            b.report(id);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/bench_id` naming).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.enabled(&full) {
+            let mut b = Bencher::new(self.criterion.target);
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.enabled(&full) {
+            let mut b = Bencher::new(self.criterion.target);
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Times the closure handed to it by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    target: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            target,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `routine`, calling it repeatedly in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1/20 of the target?
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((self.target.as_secs_f64() / 20.0 / once).ceil() as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.target;
+        while Instant::now() < deadline || self.samples.len() < 5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(per_iter);
+            if self.samples.len() >= 500 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmarks `routine` with untimed per-iteration `setup`.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let deadline = Instant::now() + self.target;
+        while Instant::now() < deadline || self.samples.len() < 5 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+            if self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} time: [no samples]");
+            return;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let max = *self.samples.last().expect("non-empty");
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            filter: None,
+        };
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

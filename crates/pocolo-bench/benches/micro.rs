@@ -6,6 +6,10 @@
 //! - §IV-B: assignment solving (LP vs Hungarian vs exhaustive) —
 //!   `assignment`.
 //! - §IV-C: the 100 ms capper actuation loop — `capper_step`.
+//! - §IV-B: matrix construction with the shared expansion-path cache vs
+//!   per-pair recomputation — `perfmatrix_build`.
+//! - §V-D: the three-policy load sweep, serial vs thread-scope fan-out —
+//!   `policy_sweep`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pocolo::prelude::*;
@@ -91,6 +95,80 @@ fn assignment(c: &mut Criterion) {
     group.finish();
 }
 
+fn perfmatrix_build(c: &mut Criterion) {
+    use pocolo_cluster::{estimate_on_path, estimate_pair_throughput, ExpansionPath};
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let bes = fitted.be_profiles();
+    let servers = fitted.server_profiles();
+    let levels: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let mut group = c.benchmark_group("perfmatrix_build");
+    // Uncached reference: every (BE, server) pair re-walks the server's
+    // expansion path, i.e. O(B·S·L) min_power_for bisections.
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for (_, be) in &bes {
+                for server in &servers {
+                    total += estimate_pair_throughput(be, server, &levels).unwrap();
+                }
+            }
+            total
+        })
+    });
+    // Cached: one ExpansionPath per server, shared across all BE rows —
+    // what PerfMatrixBuilder::build does internally.
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let paths: Vec<ExpansionPath> = servers
+                .iter()
+                .map(|s| ExpansionPath::compute(s, &levels).unwrap())
+                .collect();
+            let mut total = 0.0;
+            for (_, be) in &bes {
+                for path in &paths {
+                    total += estimate_on_path(be, path).unwrap();
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("builder", |b| {
+        b.iter(|| {
+            PerfMatrixBuilder::new()
+                .build(black_box(&bes), black_box(&servers))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn policy_sweep(c: &mut Criterion) {
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let policies = [
+        Policy::Random { seed: 7 },
+        Policy::Pom { seed: 7 },
+        Policy::Pocolo {
+            solver: Solver::Hungarian,
+        },
+    ];
+    let levels = [0.2, 0.5, 0.8];
+    let config = |parallelism| ExperimentConfig {
+        dwell_s: 4.0,
+        parallelism,
+        ..ExperimentConfig::default()
+    };
+    let mut group = c.benchmark_group("policy_sweep");
+    group.bench_function("serial", |b| {
+        let cfg = config(Parallelism::Serial);
+        b.iter(|| run_policy_sweeps(black_box(&policies), &cfg, &fitted, &levels))
+    });
+    group.bench_function("auto", |b| {
+        let cfg = config(Parallelism::Auto);
+        b.iter(|| run_policy_sweeps(black_box(&policies), &cfg, &fitted, &levels))
+    });
+    group.finish();
+}
+
 fn capper_step(c: &mut Criterion) {
     let machine = MachineSpec::xeon_e5_2650();
     let mut server = SimServer::new(machine.clone(), Watts(154.0));
@@ -142,6 +220,8 @@ criterion_group!(
     demand_solver,
     model_fitting,
     assignment,
+    perfmatrix_build,
+    policy_sweep,
     capper_step,
     streaming_percentile,
     be_queue

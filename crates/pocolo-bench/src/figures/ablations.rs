@@ -334,10 +334,7 @@ pub fn rebalance(bench: &Bench) -> RebalanceAblation {
         );
         row(
             label,
-            &[
-                f3(r.summary.avg_be_throughput),
-                r.migrations.to_string(),
-            ],
+            &[f3(r.summary.avg_be_throughput), r.migrations.to_string()],
         );
         rows.push((label.to_string(), r.summary.avg_be_throughput, r.migrations));
     }

@@ -6,16 +6,17 @@ use pocolo_core::fit::{fit_indirect_utility, FitOptions};
 use pocolo_workloads::profiler::{profile_be, profile_lc};
 
 use crate::common::{f1, f3, row, save_json, section, Bench};
-use serde::Serialize;
 
 /// Fig. 5 data: sphinx indifference curves plus the least-power path.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig05 {
     /// Per load level: `(load_frac, Vec<(cores, ways)>)` iso-load curves.
     pub curves: Vec<(f64, Vec<(f64, f64)>)>,
     /// The least-power allocation per load: `(load_frac, cores, ways, watts)`.
     pub path: Vec<(f64, f64, f64, f64)>,
 }
+
+pocolo_json::impl_to_json!(Fig05 { curves, path });
 
 /// Fig. 5: indifference curves and the power-efficient expansion path.
 pub fn fig05(bench: &Bench) -> Fig05 {
@@ -68,11 +69,13 @@ pub fn fig05(bench: &Bench) -> Fig05 {
 }
 
 /// Fig. 6 data: spare capacity along sphinx's expansion path.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig06 {
     /// `(load_frac, spare_cores, spare_ways, headroom_watts)`.
     pub spare: Vec<(f64, f64, f64, f64)>,
 }
+
+pocolo_json::impl_to_json!(Fig06 { spare });
 
 /// Fig. 6: the Edgeworth box — what the co-runner gets at each load.
 pub fn fig06(bench: &Bench) -> Fig06 {
@@ -113,11 +116,13 @@ pub fn fig06(bench: &Bench) -> Fig06 {
 }
 
 /// Fig. 8 data: goodness of fit per app.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig08 {
     /// `(app, perf_r2, power_r2)` for all eight applications.
     pub rows: Vec<(String, f64, f64)>,
 }
+
+pocolo_json::impl_to_json!(Fig08 { rows });
 
 /// Fig. 8: R² of the Cobb-Douglas fits (paper band: 0.8–0.95 perf,
 /// 0.8–0.98 power).
@@ -145,11 +150,13 @@ pub fn fig08(bench: &Bench) -> Fig08 {
 }
 
 /// Figs. 9–11 data: direct utilities, power needs and indirect utilities.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig0911 {
     /// `(app, direct_cores_share, p_cores, p_ways, indirect_cores_share)`.
     pub rows: Vec<(String, f64, f64, f64, f64)>,
 }
+
+pocolo_json::impl_to_json!(Fig0911 { rows });
 
 /// Figs. 9–11: why placement changes once power is taken into account.
 pub fn fig09_11(bench: &Bench) -> Fig0911 {

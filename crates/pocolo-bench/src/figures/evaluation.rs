@@ -5,10 +5,9 @@ use pocolo::prelude::*;
 use pocolo_cluster::assign::search::enumerate_all;
 
 use crate::common::{f3, pct, row, save_json, section, Bench};
-use serde::Serialize;
 
 /// The three policies' full experiment results, shared by Figs. 12/13/15.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyRuns {
     /// Result under random placement + power-oblivious management.
     pub random: ExperimentResult,
@@ -17,6 +16,12 @@ pub struct PolicyRuns {
     /// Result under full Pocolo.
     pub pocolo: ExperimentResult,
 }
+
+pocolo_json::impl_to_json!(PolicyRuns {
+    random,
+    pom,
+    pocolo
+});
 
 /// Runs all three policies over the uniform 10–90 % sweep with shared fits.
 pub fn run_policies() -> PolicyRuns {
@@ -132,7 +137,7 @@ pub fn fig13(runs: &PolicyRuns) {
 }
 
 /// Fig. 14 data: total server throughput for every placement combination.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14 {
     /// `(be, lc, total_normalized_throughput)` for all 16 pairs.
     pub pairs: Vec<(String, String, f64)>,
@@ -143,6 +148,13 @@ pub struct Fig14 {
     /// The exhaustive optimum total.
     pub best_total: f64,
 }
+
+pocolo_json::impl_to_json!(Fig14 {
+    pairs,
+    chosen,
+    pocolo_total,
+    best_total
+});
 
 /// Fig. 14: POColo's choice against the exhaustive 4×4 placement search,
 /// evaluated by *simulating* every pair through the load sweep.

@@ -5,12 +5,11 @@ use pocolo_manager::PowerCapper;
 use pocolo_simserver::SimServer;
 
 use crate::common::{f3, pct, row, save_json, section, Bench};
-use serde::Serialize;
 
 /// Fig. 1 data: one diurnal day of a web-search server with a naive
 /// co-runner — resource utilization stays under the solo peak while power
 /// overshoots the provisioned capacity.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig01 {
     /// `(hour, lc_load_frac, cpu_util_frac, power_watts)` samples.
     pub hourly: Vec<(u32, f64, f64, f64)>,
@@ -19,6 +18,12 @@ pub struct Fig01 {
     /// Hours in which colocated power exceeded the provisioned capacity.
     pub overshoot_hours: usize,
 }
+
+pocolo_json::impl_to_json!(Fig01 {
+    hourly,
+    provisioned,
+    overshoot_hours
+});
 
 /// Fig. 1: harvesting spare resources naively overshoots the power budget.
 pub fn fig01(bench: &Bench) -> Fig01 {
@@ -90,7 +95,7 @@ pub fn fig01(bench: &Bench) -> Fig01 {
 }
 
 /// Fig. 2 data: server power with each BE app beside 10 %-load xapian.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig02 {
     /// `(be_app, server_power_watts)`.
     pub rows: Vec<(String, f64)>,
@@ -99,6 +104,12 @@ pub struct Fig02 {
     /// The solo (no co-runner) baseline power.
     pub solo: f64,
 }
+
+pocolo_json::impl_to_json!(Fig02 {
+    rows,
+    provisioned,
+    solo
+});
 
 /// Fig. 2: uncapped colocation pushes the server past its provisioned power.
 pub fn fig02(bench: &Bench) -> Fig02 {
@@ -137,11 +148,13 @@ pub fn fig02(bench: &Bench) -> Fig02 {
 }
 
 /// Fig. 3 data: BE throughput with and without the 70 W budget.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig03 {
     /// `(be_app, uncapped_throughput, capped_throughput, drop_frac)`.
     pub rows: Vec<(String, f64, f64, f64)>,
 }
+
+pocolo_json::impl_to_json!(Fig03 { rows });
 
 /// Fig. 3: identical resources, different throughput once power is capped.
 pub fn fig03(bench: &Bench) -> Fig03 {
@@ -187,11 +200,13 @@ pub fn fig03(bench: &Bench) -> Fig03 {
 }
 
 /// Fig. 4 data: throughput of two BE candidates across the LC load range.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig04 {
     /// `(load_frac, lstm_throughput, rnn_throughput)`.
     pub levels: Vec<(f64, f64, f64)>,
 }
+
+pocolo_json::impl_to_json!(Fig04 { levels });
 
 /// Fig. 4: the whole load spectrum matters — RNN beats LSTM beside xapian
 /// at every load even though both look fine at 10 %.

@@ -27,6 +27,7 @@ OPTIONS:
     --solver <s>       lp | hungarian | exhaustive | fair   (default: lp)
     --dwell <seconds>  seconds per load level          (default: 20)
     --seed <n>         RNG seed                        (default: 1)
+    --parallelism <p>  serial | auto | <threads>       (default: auto)
     --json             machine-readable output";
 
 /// Parsed command line.
@@ -44,6 +45,8 @@ pub struct Options {
     pub dwell: f64,
     /// `--seed`.
     pub seed: u64,
+    /// `--parallelism`.
+    pub parallelism: Parallelism,
     /// `--json`.
     pub json: bool,
 }
@@ -64,6 +67,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         solver: "lp".into(),
         dwell: 20.0,
         seed: 1,
+        parallelism: Parallelism::default(),
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -100,6 +104,12 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--seed needs a value".to_string())?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--parallelism" => {
+                opts.parallelism = it
+                    .next()
+                    .ok_or_else(|| "--parallelism needs a value".to_string())?
+                    .parse()?
             }
             "--json" => opts.json = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -139,11 +149,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 fn cmd_table2(opts: &Options) -> Result<String, String> {
     let machine = MachineSpec::xeon_e5_2650();
-    let rows: Vec<serde_json::Value> = LcApp::ALL
+    let rows: Vec<pocolo_json::Value> = LcApp::ALL
         .iter()
         .map(|&app| {
             let m = LcModel::for_app(app, machine.clone());
-            serde_json::json!({
+            pocolo_json::json!({
                 "app": app.name(),
                 "peak_load_rps": m.peak_load_rps(),
                 "p99_slo_ms": m.slo_p99_ms(),
@@ -152,7 +162,7 @@ fn cmd_table2(opts: &Options) -> Result<String, String> {
         })
         .collect();
     if opts.json {
-        return serde_json::to_string_pretty(&rows).map_err(|e| e.to_string());
+        return Ok(pocolo_json::to_string_pretty(&rows));
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -192,7 +202,7 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
     let pref = utility.preference_vector();
     let direct = utility.direct_preference_vector();
     if opts.json {
-        return serde_json::to_string_pretty(&serde_json::json!({
+        return Ok(pocolo_json::to_string_pretty(&pocolo_json::json!({
             "app": name,
             "kind": kind,
             "alphas": utility.performance_model().alphas(),
@@ -201,8 +211,7 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
             "p_dynamic": utility.power_model().p_dynamic(),
             "direct_preference": direct.weights(),
             "indirect_preference": pref.weights(),
-        }))
-        .map_err(|e| e.to_string());
+        })));
     }
     Ok(format!(
         "{name} ({kind})\n  performance: {}\n  power:       {}\n  direct preference (cores:ways):   {direct}\n  indirect preference (per watt):   {pref}",
@@ -213,21 +222,34 @@ fn cmd_fit(opts: &Options) -> Result<String, String> {
 
 fn cmd_convexity(opts: &Options) -> Result<String, String> {
     use pocolo_simserver::power::PowerDrawModel;
-    let name = opts.app.as_deref().ok_or("convexity requires --app <name>")?;
+    let name = opts
+        .app
+        .as_deref()
+        .ok_or("convexity requires --app <name>")?;
     let machine = MachineSpec::xeon_e5_2650();
     let power = PowerDrawModel::new(machine.clone());
     let space = machine.resource_space();
     let cfg = ProfilerConfig::default();
     let samples = if let Some(&app) = LcApp::ALL.iter().find(|a| a.name() == name) {
-        profile_lc(&LcModel::for_app(app, machine.clone()), &power, &space, &cfg)
+        profile_lc(
+            &LcModel::for_app(app, machine.clone()),
+            &power,
+            &space,
+            &cfg,
+        )
     } else if let Some(&app) = BeApp::ALL.iter().find(|a| a.name() == name) {
-        profile_be(&BeModel::for_app(app, machine.clone()), &power, &space, &cfg)
+        profile_be(
+            &BeModel::for_app(app, machine.clone()),
+            &power,
+            &space,
+            &cfg,
+        )
     } else {
         return Err(format!("unknown app {name:?} (see `pocolo help`)"));
     };
     let report = check_convexity(&space, &samples, 0.10).map_err(|e| e.to_string())?;
     if opts.json {
-        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+        return Ok(pocolo_json::to_string_pretty(&report));
     }
     let mut out = format!(
         "{name}: {}
@@ -268,12 +290,11 @@ fn cmd_place(opts: &Options) -> Result<String, String> {
         })
         .collect();
     if opts.json {
-        return serde_json::to_string_pretty(&serde_json::json!({
+        return Ok(pocolo_json::to_string_pretty(&pocolo_json::json!({
             "solver": opts.solver,
             "pairs": pairs,
             "total": assignment.total,
-        }))
-        .map_err(|e| e.to_string());
+        })));
     }
     let mut out = format!("{matrix}\nplacement ({}):\n", opts.solver);
     for (be, lc) in &pairs {
@@ -298,11 +319,12 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
     let config = ExperimentConfig {
         dwell_s: opts.dwell,
         seed: opts.seed,
+        parallelism: opts.parallelism,
         ..ExperimentConfig::default()
     };
     let result = run_experiment(policy, &config);
     if opts.json {
-        return serde_json::to_string_pretty(&result).map_err(|e| e.to_string());
+        return Ok(pocolo_json::to_string_pretty(&result));
     }
     let mut out = format!(
         "{}: BE throughput {:.4}, power utilization {:.1}%, capping {:.1}%, worst SLO violation {:.1}%\n",
@@ -345,7 +367,7 @@ fn cmd_tco(opts: &Options) -> Result<String, String> {
         })
         .collect();
     if opts.json {
-        return serde_json::to_string_pretty(&costs).map_err(|e| e.to_string());
+        return Ok(pocolo_json::to_string_pretty(&costs));
     }
     let mut out = format!(
         "{:>14} {:>12} {:>12} {:>12} {:>12}\n",
@@ -400,6 +422,29 @@ mod tests {
     }
 
     #[test]
+    fn parse_parallelism() {
+        assert_eq!(
+            parse(&argv("simulate")).unwrap().parallelism,
+            Parallelism::Auto
+        );
+        assert_eq!(
+            parse(&argv("simulate --parallelism serial"))
+                .unwrap()
+                .parallelism,
+            Parallelism::Serial
+        );
+        assert_eq!(
+            parse(&argv("simulate --parallelism 4"))
+                .unwrap()
+                .parallelism,
+            Parallelism::Fixed(4)
+        );
+        assert!(parse(&argv("simulate --parallelism 0")).is_err());
+        assert!(parse(&argv("simulate --parallelism warp")).is_err());
+        assert!(parse(&argv("simulate --parallelism")).is_err());
+    }
+
+    #[test]
     fn empty_args_is_help() {
         let out = run(&[]).unwrap();
         assert!(out.contains("USAGE"));
@@ -415,7 +460,7 @@ mod tests {
         let text = run(&argv("table2")).unwrap();
         assert!(text.contains("sphinx") && text.contains("182"));
         let json = run(&argv("table2 --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
         assert_eq!(v.as_array().unwrap().len(), 4);
     }
 
@@ -430,7 +475,7 @@ mod tests {
         let out = run(&argv("fit --app graph")).unwrap();
         assert!(out.contains("indirect preference"));
         let json = run(&argv("fit --app sphinx --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
         let pref = v["indirect_preference"][0].as_f64().unwrap();
         assert!(pref < 0.35, "sphinx cores preference {pref}");
     }
@@ -438,7 +483,7 @@ mod tests {
     #[test]
     fn place_reports_paper_pairings() {
         let json = run(&argv("place --solver hungarian --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
         let pairs = v["pairs"].as_array().unwrap();
         assert_eq!(pairs.len(), 4);
         let has = |be: &str, lc: &str| {
@@ -457,7 +502,7 @@ mod tests {
         assert!(run(&argv("convexity")).is_err());
         assert!(run(&argv("convexity --app nosuch")).is_err());
         let json = run(&argv("convexity --app graph --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
         assert_eq!(v["axes"].as_array().unwrap().len(), 2);
     }
 
@@ -480,7 +525,7 @@ mod tests {
         let out = run(&argv("tco")).unwrap();
         assert!(out.contains("POColo") && out.contains("Random(NoCap)"));
         let json = run(&argv("tco --json")).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
         assert_eq!(v.as_array().unwrap().len(), 4);
     }
 }

@@ -14,13 +14,12 @@ pub mod simplex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
 use crate::matrix::PerfMatrix;
 
 /// Which algorithm to use for placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Solver {
     /// Exact O(n³) Kuhn-Munkres.
     Hungarian,
@@ -39,7 +38,7 @@ pub enum Solver {
 }
 
 /// A placement: `pairs[(be_row, server_col)]` plus its total value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// `(row, col)` pairs, sorted by row.
     pub pairs: Vec<(usize, usize)>,

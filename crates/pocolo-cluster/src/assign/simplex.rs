@@ -11,14 +11,12 @@
 //! (its constraint matrix is totally unimodular), so the simplex optimum is
 //! a permutation and rounding is exact.
 
-use serde::{Deserialize, Serialize};
-
 use crate::assign::Assignment;
 use crate::error::ClusterError;
 use crate::matrix::PerfMatrix;
 
 /// Relation of one linear constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Relation {
     /// `A·x ≤ b`
     Le,
@@ -29,7 +27,7 @@ pub enum Relation {
 }
 
 /// One linear constraint `coeffs·x {≤,=,≥} rhs`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     /// Coefficients over the decision variables.
     pub coeffs: Vec<f64>,
@@ -40,7 +38,7 @@ pub struct Constraint {
 }
 
 /// A linear program in decision variables `x ≥ 0`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearProgram {
     /// Objective coefficients (always maximized).
     pub objective: Vec<f64>,
@@ -49,7 +47,7 @@ pub struct LinearProgram {
 }
 
 /// An optimal LP solution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LpSolution {
     /// Optimal decision-variable values.
     pub x: Vec<f64>,
@@ -527,9 +525,7 @@ mod brute_force_tests {
             }
         }
         let feasible = |x: f64, y: f64| {
-            x >= -1e-9
-                && y >= -1e-9
-                && lines.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-9)
+            x >= -1e-9 && y >= -1e-9 && lines.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-9)
         };
         candidates
             .into_iter()

@@ -31,5 +31,8 @@ pub use admission::{admit_and_place, AdmissionDecision};
 pub use assign::{Assignment, Solver};
 pub use error::ClusterError;
 pub use matrix::PerfMatrix;
-pub use perfmatrix::{estimate_pair_throughput, PerfMatrixBuilder, ServerProfile};
+pub use perfmatrix::{
+    estimate_on_path, estimate_pair_throughput, ExpansionPath, ExpansionStep, PerfMatrixBuilder,
+    ServerProfile,
+};
 pub use placement::ClusterManager;

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ClusterError;
 
 /// A labelled rows×cols matrix of estimated throughputs: entry `(i, j)` is
 /// the predicted average throughput of best-effort app `i` when placed on
 /// latency-critical server `j`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfMatrix {
     row_labels: Vec<String>,
     col_labels: Vec<String>,

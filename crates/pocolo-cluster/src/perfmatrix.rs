@@ -9,10 +9,9 @@
 //! load spectrum**, not one operating point (the Fig. 4 insight).
 
 use pocolo_core::error::CoreError;
-use pocolo_core::resources::{ResourceDescriptor, ResourceSpace};
+use pocolo_core::resources::{Allocation, ResourceDescriptor, ResourceSpace};
 use pocolo_core::units::Watts;
 use pocolo_core::utility::IndirectUtility;
-use serde::{Deserialize, Serialize};
 
 use crate::error::ClusterError;
 use crate::matrix::PerfMatrix;
@@ -20,7 +19,7 @@ use crate::matrix::PerfMatrix;
 /// A latency-critical server as the cluster manager sees it: the fitted
 /// model of its primary app, its provisioned power cap, and the primary's
 /// peak load.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerProfile {
     /// Label (the primary app's name).
     pub label: String,
@@ -33,83 +32,168 @@ pub struct ServerProfile {
     pub peak_load: f64,
 }
 
-/// Estimated average throughput of a BE app (fitted utility `be`) placed on
-/// `server`, averaged over `load_levels` (fractions of the primary's peak).
+/// One BE-independent slice of a server's least-power expansion path: what
+/// the primary takes at one load level, and what that leaves behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionStep {
+    /// Load level as a fraction of the primary's peak.
+    pub level: f64,
+    /// Least power at which the primary can serve this level.
+    pub budget: Watts,
+    /// The primary's hardware (integral) demand at that budget.
+    pub lc_alloc: Allocation,
+    /// Power headroom left under the server's provisioned cap.
+    pub headroom: Watts,
+    /// The spare-resource box a colocated BE app may occupy.
+    pub sub_space: ResourceSpace,
+}
+
+/// A server's least-power expansion path over a set of load levels, with
+/// everything that does **not** depend on the BE app computed once.
 ///
-/// Loads the primary cannot serve even with the full machine contribute a
-/// zero (the BE app would be evicted); so do levels with no spare capacity
-/// or headroom.
+/// Building the path performs one `min_power_for` inversion (the expensive
+/// bisection) plus one integral demand solve per load level; evaluating a
+/// BE candidate against it only costs cheap demand solves inside the cached
+/// spare boxes. The matrix builder computes one path per server and reuses
+/// it across every BE row, turning O(B·S·L) inversions into O(S·L).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionPath {
+    /// Number of load levels the path was computed over, including
+    /// infeasible ones (the averaging divisor).
+    levels: usize,
+    /// The feasible steps only; levels where the primary needs the whole
+    /// machine — or leaves no spare box — are dropped and contribute zero.
+    steps: Vec<ExpansionStep>,
+}
+
+impl ExpansionPath {
+    /// Walks `server`'s expansion path over `load_levels` (fractions of the
+    /// primary's peak).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty level list; propagates unexpected model errors.
+    /// Infeasibility at individual levels is folded into dropped steps, not
+    /// errors.
+    pub fn compute(server: &ServerProfile, load_levels: &[f64]) -> Result<Self, ClusterError> {
+        if load_levels.is_empty() {
+            return Err(ClusterError::InvalidMatrix("no load levels".into()));
+        }
+        let space = server.utility.space();
+        let k = space.len();
+        let mut steps = Vec::with_capacity(load_levels.len());
+        for &level in load_levels {
+            let target = level * server.peak_load;
+            let budget = match server.utility.min_power_for(target) {
+                Ok(p) => p,
+                Err(CoreError::UnreachableTarget { .. }) => {
+                    // Primary needs everything; BE gets nothing at this load.
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let lc_alloc = server.utility.demand_integral(budget)?;
+            let lc_power = server.utility.power_model().power_of(&lc_alloc);
+            let headroom = server.power_cap - lc_power;
+            // Spare per dimension; whole units for integral resources.
+            let spare: Vec<f64> = (0..k)
+                .map(|j| {
+                    let d = space.descriptor(j);
+                    let raw = d.max() - lc_alloc.amount(j);
+                    if d.is_integral() {
+                        raw.floor()
+                    } else {
+                        raw
+                    }
+                })
+                .collect();
+            if spare.iter().any(|&v| v < 1.0) || headroom <= Watts::ZERO {
+                continue;
+            }
+            let mut builder = ResourceSpace::builder();
+            for (j, &v) in spare.iter().enumerate() {
+                let d = space.descriptor(j);
+                builder = builder.resource(if d.is_integral() {
+                    ResourceDescriptor::integral(d.name(), 1.0, v)
+                } else {
+                    ResourceDescriptor::continuous(d.name(), 1.0, v)
+                });
+            }
+            steps.push(ExpansionStep {
+                level,
+                budget,
+                lc_alloc,
+                headroom,
+                sub_space: builder.build()?,
+            });
+        }
+        Ok(ExpansionPath {
+            levels: load_levels.len(),
+            steps,
+        })
+    }
+
+    /// The feasible steps of the path, in load-level order.
+    pub fn steps(&self) -> &[ExpansionStep] {
+        &self.steps
+    }
+
+    /// The number of load levels the path covers (feasible or not).
+    pub fn level_count(&self) -> usize {
+        self.levels
+    }
+}
+
+/// Estimated average throughput of a BE app (fitted utility `be`) along a
+/// precomputed expansion path.
+///
+/// Levels the path dropped as infeasible contribute a zero (the BE app
+/// would be evicted); so do steps whose headroom cannot cover the BE's
+/// minimum allocation.
 ///
 /// # Errors
 ///
 /// Propagates unexpected model errors (dimension mismatches etc.);
 /// infeasibility is folded into zeros, not errors.
-pub fn estimate_pair_throughput(
-    be: &IndirectUtility,
-    server: &ServerProfile,
-    load_levels: &[f64],
-) -> Result<f64, ClusterError> {
-    if load_levels.is_empty() {
-        return Err(ClusterError::InvalidMatrix("no load levels".into()));
-    }
-    let space = server.utility.space();
-    let k = space.len();
+pub fn estimate_on_path(be: &IndirectUtility, path: &ExpansionPath) -> Result<f64, ClusterError> {
     let mut total = 0.0;
-    for &level in load_levels {
-        let target = level * server.peak_load;
-        let budget = match server.utility.min_power_for(target) {
-            Ok(p) => p,
-            Err(CoreError::UnreachableTarget { .. }) => {
-                // Primary needs everything; BE gets nothing at this load.
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        };
-        let lc_alloc = server.utility.demand_integral(budget)?;
-        let lc_power = server.utility.power_model().power_of(&lc_alloc);
-        let headroom = server.power_cap - lc_power;
-        // Spare per dimension; whole units for integral resources.
-        let spare: Vec<f64> = (0..k)
-            .map(|j| {
-                let d = space.descriptor(j);
-                let raw = d.max() - lc_alloc.amount(j);
-                if d.is_integral() {
-                    raw.floor()
-                } else {
-                    raw
-                }
-            })
-            .collect();
-        if spare.iter().any(|&v| v < 1.0) || headroom <= Watts::ZERO {
-            continue;
-        }
-        let mut builder = ResourceSpace::builder();
-        for (j, &v) in spare.iter().enumerate() {
-            let d = space.descriptor(j);
-            builder = builder.resource(if d.is_integral() {
-                ResourceDescriptor::integral(d.name(), 1.0, v)
-            } else {
-                ResourceDescriptor::continuous(d.name(), 1.0, v)
-            });
-        }
-        let sub_space = builder.build()?;
+    for step in &path.steps {
         let be_sub = IndirectUtility::new(
-            sub_space,
+            step.sub_space.clone(),
             be.performance_model().clone(),
             be.power_model().clone(),
         )?;
-        match be_sub.demand_solution(headroom) {
+        match be_sub.demand_solution(step.headroom) {
             Ok(sol) => total += sol.utility,
             Err(CoreError::InfeasibleBudget { .. }) => continue,
             Err(e) => return Err(e.into()),
         }
     }
-    Ok(total / load_levels.len() as f64)
+    Ok(total / path.levels as f64)
+}
+
+/// Estimated average throughput of a BE app placed on `server`, averaged
+/// over `load_levels` (fractions of the primary's peak).
+///
+/// One-shot convenience over [`ExpansionPath::compute`] +
+/// [`estimate_on_path`]; callers scoring several BE apps against the same
+/// server should compute the path once and reuse it, as
+/// [`PerfMatrixBuilder::build`] does.
+///
+/// # Errors
+///
+/// Same conditions as [`ExpansionPath::compute`] and [`estimate_on_path`].
+pub fn estimate_pair_throughput(
+    be: &IndirectUtility,
+    server: &ServerProfile,
+    load_levels: &[f64],
+) -> Result<f64, ClusterError> {
+    estimate_on_path(be, &ExpansionPath::compute(server, load_levels)?)
 }
 
 /// Builds [`PerfMatrix`]es from fitted models over a configurable load
 /// range.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfMatrixBuilder {
     load_levels: Vec<f64>,
 }
@@ -161,11 +245,18 @@ impl PerfMatrixBuilder {
                 "need at least one app and one server".into(),
             ));
         }
+        // Each server's expansion path — the min_power_for bisections and
+        // integral demand solves — is BE-independent, so compute it exactly
+        // once and share it across every BE row.
+        let paths: Vec<ExpansionPath> = servers
+            .iter()
+            .map(|server| ExpansionPath::compute(server, &self.load_levels))
+            .collect::<Result<_, _>>()?;
         let mut values = Vec::with_capacity(be_apps.len());
         for (_, be) in be_apps {
             let mut row = Vec::with_capacity(servers.len());
-            for server in servers {
-                row.push(estimate_pair_throughput(be, server, &self.load_levels)?);
+            for path in &paths {
+                row.push(estimate_on_path(be, path)?);
             }
             values.push(row);
         }
@@ -255,6 +346,38 @@ mod tests {
         let low = estimate_pair_throughput(be, &servers[2], &[0.1]).unwrap();
         let high = estimate_pair_throughput(be, &servers[2], &[0.9]).unwrap();
         assert!(high < low);
+    }
+
+    #[test]
+    fn build_computes_each_expansion_path_exactly_once() {
+        use pocolo_core::utility::min_power_solves_on_thread;
+        let (bes, servers) = fitted_cluster();
+        let levels = PerfMatrixBuilder::new().load_levels().len();
+        let before = min_power_solves_on_thread();
+        PerfMatrixBuilder::new().build(&bes, &servers).unwrap();
+        let solves = min_power_solves_on_thread() - before;
+        // One inversion per (server, level) — NOT per (BE, server, level):
+        // the B BE rows ride on the cached paths.
+        assert_eq!(solves, (servers.len() * levels) as u64);
+    }
+
+    #[test]
+    fn cached_path_matches_one_shot_estimate() {
+        let (bes, servers) = fitted_cluster();
+        let levels = [0.2, 0.5, 0.8];
+        let path = ExpansionPath::compute(&servers[1], &levels).unwrap();
+        assert_eq!(path.level_count(), 3);
+        for (_, be) in &bes {
+            let cached = estimate_on_path(be, &path).unwrap();
+            let one_shot = estimate_pair_throughput(be, &servers[1], &levels).unwrap();
+            assert_eq!(cached, one_shot);
+        }
+        for step in path.steps() {
+            assert!(step.headroom > Watts::ZERO);
+            assert!(step.budget <= servers[1].power_cap);
+            assert!(step.sub_space.len() == servers[1].utility.space().len());
+            assert!(step.lc_alloc.amounts().iter().all(|&a| a > 0.0));
+        }
     }
 
     #[test]

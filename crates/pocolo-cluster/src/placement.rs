@@ -1,8 +1,6 @@
 //! The cluster manager: performance matrix + assignment solver (Fig. 7,
 //! stages II–III).
 
-use serde::{Deserialize, Serialize};
-
 use pocolo_core::utility::IndirectUtility;
 
 use crate::assign::{self, Assignment, Solver};
@@ -15,7 +13,7 @@ use crate::perfmatrix::{PerfMatrixBuilder, ServerProfile};
 /// Owns the fitted models of every best-effort candidate and every
 /// latency-critical server; produces the performance matrix and solves the
 /// placement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterManager {
     be_apps: Vec<(String, IndirectUtility)>,
     servers: Vec<ServerProfile>,

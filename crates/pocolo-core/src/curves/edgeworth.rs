@@ -6,8 +6,6 @@
 //! *complement* (server capacity minus the allocation, in every dimension,
 //! plus the remaining power headroom) for the secondary.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::resources::{Allocation, ResourceSpace};
 use crate::units::Watts;
@@ -15,7 +13,7 @@ use crate::utility::IndirectUtility;
 
 /// Spare capacity left for a secondary application once the primary's
 /// allocation is reserved.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpareCapacity {
     /// Load/performance level of the primary that produced this point.
     pub primary_target: f64,
@@ -45,7 +43,7 @@ impl SpareCapacity {
 
 /// Edgeworth-box analysis over a server's resource space with a provisioned
 /// power cap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeworthBox {
     space: ResourceSpace,
     power_cap: Watts,

@@ -6,15 +6,13 @@
 //! the one drawing the **least power**; connecting those across load levels
 //! yields the expansion path the server manager walks as load changes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::resources::Allocation;
 use crate::units::Watts;
 use crate::utility::{CobbDouglas, IndirectUtility};
 
 /// One point on a least-power expansion path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathPoint {
     /// The performance (load) level this point sustains.
     pub target: f64,

@@ -14,14 +14,12 @@
 //! with working-set cliffs, where performance jumps discontinuously once
 //! the cache allocation crosses the working-set size).
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::fit::ProfileSample;
 use crate::resources::ResourceSpace;
 
 /// Outcome of the convexity screen for one resource dimension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AxisDiagnostics {
     /// Resource name.
     pub resource: String,
@@ -36,7 +34,7 @@ pub struct AxisDiagnostics {
 }
 
 /// Aggregate report across all dimensions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConvexityReport {
     /// Per-dimension diagnostics, in space order.
     pub axes: Vec<AxisDiagnostics>,

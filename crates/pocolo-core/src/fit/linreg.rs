@@ -4,12 +4,10 @@
 //! model and a linear power model) over at most a handful of predictors, so
 //! a normal-equations solver with Gaussian elimination is exact and fast.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 
 /// Result of an ordinary-least-squares fit `y ≈ β₀ + Σⱼ βⱼ·xⱼ`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OlsFit {
     /// Intercept `β₀`.
     pub intercept: f64,

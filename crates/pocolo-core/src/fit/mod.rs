@@ -12,8 +12,6 @@ pub mod diagnostics;
 pub mod linreg;
 pub mod online;
 
-use serde::{Deserialize, Serialize};
-
 pub use diagnostics::{check_convexity, ConvexityReport};
 pub use linreg::{ols, OlsFit};
 pub use online::OnlineFitter;
@@ -25,7 +23,7 @@ use crate::utility::{CobbDouglas, IndirectUtility, PowerModel};
 
 /// One profiling observation: an allocation plus the measured performance,
 /// power and (for latency-critical apps) SLO latency slack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileSample {
     /// The allocation under which the measurement was taken.
     pub allocation: Allocation,
@@ -67,7 +65,7 @@ impl ProfileSample {
 }
 
 /// Options controlling model fitting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitOptions {
     /// Samples from latency-critical apps whose slack is below this fraction
     /// are discarded as a guard against measurements taken near SLO
@@ -88,7 +86,7 @@ impl Default for FitOptions {
 }
 
 /// A fully fitted indirect utility with goodness-of-fit diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedModel {
     /// The fitted indirect utility (performance + power models).
     pub utility: IndirectUtility,

@@ -10,8 +10,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::fit::{fit_indirect_utility, FitOptions, FittedModel, ProfileSample};
 use crate::resources::ResourceSpace;
@@ -38,7 +36,7 @@ use crate::resources::ResourceSpace;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OnlineFitter {
     space: ResourceSpace,
     options: FitOptions,

@@ -59,6 +59,7 @@
 pub mod curves;
 pub mod error;
 pub mod fit;
+mod json;
 pub mod preference;
 pub mod resources;
 pub mod units;

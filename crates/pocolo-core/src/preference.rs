@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A normalized resource-preference vector: non-negative weights summing
 /// to 1, one per direct resource.
 ///
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// // Graph complements sphinx better than LSTM does.
 /// assert!(sphinx.complementarity(&graph) > sphinx.complementarity(&lstm));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreferenceVector {
     weights: Vec<f64>,
 }

@@ -8,8 +8,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 
 /// Description of one direct resource dimension.
@@ -20,7 +18,7 @@ use crate::error::CoreError;
 /// assert_eq!(cores.name(), "cores");
 /// assert!(cores.is_integral());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceDescriptor {
     name: String,
     min: f64,
@@ -112,7 +110,7 @@ impl ResourceDescriptor {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceSpace {
     descriptors: Arc<Vec<ResourceDescriptor>>,
 }
@@ -353,7 +351,7 @@ impl ResourceSpaceBuilder {
 
 /// A point in a [`ResourceSpace`]: how much of each direct resource an
 /// application holds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {
     space: ResourceSpace,
     amounts: Vec<f64>,

@@ -7,8 +7,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Electrical power in watts.
 ///
 /// ```
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let headroom = Watts(132.0) - Watts(64.0);
 /// assert_eq!(headroom, Watts(68.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Watts(pub f64);
 
 /// Energy in joules.
@@ -28,11 +26,11 @@ pub struct Watts(pub f64);
 /// let energy = Watts(100.0) * 3.5; // 3.5 seconds at 100 W
 /// assert_eq!(energy.0, 350.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Joules(pub f64);
 
 /// CPU core frequency in gigahertz.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Frequency(pub f64);
 
 impl Watts {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::resources::Allocation;
 
@@ -26,10 +24,15 @@ use crate::resources::Allocation;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CobbDouglas {
     alpha0: f64,
     alphas: Vec<f64>,
+    // Hoisted out of the evaluation hot path: `ln α₀` shows up in every
+    // log-space evaluation and `Σα` in every returns-to-scale query, so both
+    // are computed once here instead of per call.
+    ln_alpha0: f64,
+    alpha_sum: f64,
 }
 
 impl CobbDouglas {
@@ -63,7 +66,14 @@ impl CobbDouglas {
                 "all exponents are zero; performance would not depend on any resource".into(),
             ));
         }
-        Ok(CobbDouglas { alpha0, alphas })
+        let ln_alpha0 = alpha0.ln();
+        let alpha_sum = alphas.iter().sum();
+        Ok(CobbDouglas {
+            alpha0,
+            alphas,
+            ln_alpha0,
+            alpha_sum,
+        })
     }
 
     /// The scale constant `α₀`.
@@ -89,7 +99,7 @@ impl CobbDouglas {
 
     /// Sum of the exponents, `Σαⱼ` — the model's returns-to-scale.
     pub fn returns_to_scale(&self) -> f64 {
-        self.alphas.iter().sum()
+        self.alpha_sum
     }
 
     /// Evaluates performance at an allocation.
@@ -125,7 +135,7 @@ impl CobbDouglas {
                 actual: amounts.len(),
             });
         }
-        let mut log_u = self.alpha0.ln();
+        let mut log_u = self.ln_alpha0;
         for (j, (&a, &r)) in self.alphas.iter().zip(amounts).enumerate() {
             if a == 0.0 {
                 continue;
@@ -189,7 +199,7 @@ impl CobbDouglas {
                 "target performance must be positive, got {target}"
             )));
         }
-        let mut log_rest = self.alpha0.ln();
+        let mut log_rest = self.ln_alpha0;
         for (i, (&a, &r)) in self.alphas.iter().zip(amounts).enumerate() {
             if i == j || a == 0.0 {
                 continue;

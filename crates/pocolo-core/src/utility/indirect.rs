@@ -15,9 +15,8 @@
 //! the "constant time, less than a millisecond" allocation decision of
 //! §IV-C.
 
+use std::cell::Cell;
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::preference::PreferenceVector;
@@ -25,8 +24,23 @@ use crate::resources::{Allocation, ResourceSpace};
 use crate::units::Watts;
 use crate::utility::{CobbDouglas, PowerModel};
 
+thread_local! {
+    static MIN_POWER_SOLVES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`IndirectUtility::min_power_for`] inversions the current
+/// thread has performed since it started.
+///
+/// Each inversion bisects on dozens of demand solves, making it the single
+/// most expensive primitive in the stack; callers that are supposed to
+/// amortize it (e.g. the cluster matrix builder's expansion-path cache) can
+/// snapshot this counter before and after to assert their solve budget.
+pub fn min_power_solves_on_thread() -> u64 {
+    MIN_POWER_SOLVES.with(Cell::get)
+}
+
 /// Result of a demand solve: the power-optimal allocation plus diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandSolution {
     /// The (continuous) optimal allocation.
     pub allocation: Allocation,
@@ -42,11 +56,25 @@ pub struct DemandSolution {
 /// combined under a power budget.
 ///
 /// See the [crate-level documentation](crate) for a full example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndirectUtility {
     space: ResourceSpace,
     perf: CobbDouglas,
     power: PowerModel,
+    // Everything below is derived from the three models above at
+    // construction time. `demand_solution` sits inside bisection loops
+    // (`min_power_for` calls it ~64×), so the per-solve Vec allocations and
+    // the λ-bracket scan are hoisted here and reused on every solve.
+    lows: Vec<f64>,
+    highs: Vec<f64>,
+    /// `α_j / p_j` for resources with positive exponent and cost; the KKT
+    /// stationarity demand is `r_j(λ) = (α_j/p_j) / λ`.
+    ratios: Vec<f64>,
+    min_power: Watts,
+    max_power: Watts,
+    /// λ range over which some resource is unclamped, or `None` when no
+    /// resource responds to the multiplier at all.
+    lam_bracket: Option<(f64, f64)>,
 }
 
 impl IndirectUtility {
@@ -73,7 +101,41 @@ impl IndirectUtility {
                 actual: power.len(),
             });
         }
-        Ok(IndirectUtility { space, perf, power })
+        let lows: Vec<f64> = space.iter().map(|d| d.min()).collect();
+        let highs: Vec<f64> = space.iter().map(|d| d.max()).collect();
+        let min_power = power
+            .power_of_amounts(&lows)
+            .expect("space and power model dimensions agree");
+        let max_power = power
+            .power_of_amounts(&highs)
+            .expect("space and power model dimensions agree");
+        let alphas = perf.alphas();
+        let costs = power.p_dynamic();
+        let ratios: Vec<f64> = alphas
+            .iter()
+            .zip(costs)
+            .map(|(&a, &p)| if p > 0.0 { a / p } else { 0.0 })
+            .collect();
+        let mut lam_lo = f64::MAX;
+        let mut lam_hi = f64::MIN_POSITIVE;
+        for j in 0..space.len() {
+            if alphas[j] > 0.0 && costs[j] > 0.0 {
+                lam_lo = lam_lo.min(ratios[j] / highs[j]);
+                lam_hi = lam_hi.max(ratios[j] / lows[j]);
+            }
+        }
+        let lam_bracket = (lam_lo <= lam_hi).then_some((lam_lo, lam_hi));
+        Ok(IndirectUtility {
+            space,
+            perf,
+            power,
+            lows,
+            highs,
+            ratios,
+            min_power,
+            max_power,
+            lam_bracket,
+        })
     }
 
     /// The resource space the models are defined over.
@@ -94,18 +156,12 @@ impl IndirectUtility {
     /// The minimum power at which *any* allocation is feasible
     /// (`P_static + Σ pⱼ lⱼ`).
     pub fn min_feasible_power(&self) -> Watts {
-        let mins: Vec<f64> = self.space.iter().map(|d| d.min()).collect();
-        self.power
-            .power_of_amounts(&mins)
-            .expect("space and power model dimensions agree")
+        self.min_power
     }
 
     /// Power drawn with every resource at its maximum.
     pub fn max_power(&self) -> Watts {
-        let maxs: Vec<f64> = self.space.iter().map(|d| d.max()).collect();
-        self.power
-            .power_of_amounts(&maxs)
-            .expect("space and power model dimensions agree")
+        self.max_power
     }
 
     /// The scaled preference vector `(αⱼ/pⱼ) / Σᵢ(αᵢ/pᵢ)` — relative
@@ -150,52 +206,41 @@ impl IndirectUtility {
     /// Same as [`IndirectUtility::demand`].
     pub fn demand_solution(&self, budget: Watts) -> Result<DemandSolution, CoreError> {
         let k = self.space.len();
-        let min_power = self.min_feasible_power();
-        if budget < min_power {
+        if budget < self.min_power {
             return Err(CoreError::InfeasibleBudget {
                 budget_watts: budget.0,
-                required_watts: min_power.0,
+                required_watts: self.min_power.0,
             });
         }
 
-        let lows: Vec<f64> = self.space.iter().map(|d| d.min()).collect();
-        let highs: Vec<f64> = self.space.iter().map(|d| d.max()).collect();
+        let lows = &self.lows;
+        let highs = &self.highs;
         let alphas = self.perf.alphas();
         let costs = self.power.p_dynamic();
+        let ratios = &self.ratios;
 
-        // KKT stationarity gives r_j(λ) = α_j/(λ·p_j), clamped into the box;
+        // KKT stationarity gives r_j(λ) = (α_j/p_j)/λ, clamped into the box;
         // the spend Σ p_j·r_j(λ) is continuous and non-increasing in λ, so
         // the budget-binding multiplier is found by bisection. Resources
         // with α_j = 0 sit at their minimum; free resources (p_j = 0) at
-        // their maximum.
+        // their maximum. The ratios and the λ bracket are precomputed by the
+        // constructor.
         let r_at = |lambda: f64, j: usize| -> f64 {
             if alphas[j] == 0.0 {
                 lows[j]
             } else if costs[j] == 0.0 {
                 highs[j]
             } else {
-                (alphas[j] / (lambda * costs[j])).clamp(lows[j], highs[j])
+                (ratios[j] / lambda).clamp(lows[j], highs[j])
             }
         };
         let spend = |lambda: f64| -> f64 {
             self.power.p_static().0 + (0..k).map(|j| costs[j] * r_at(lambda, j)).sum::<f64>()
         };
 
-        // Bracket λ so every responsive resource is clamped at the extremes.
-        let mut lam_lo = f64::MAX;
-        let mut lam_hi = f64::MIN_POSITIVE;
-        for j in 0..k {
-            if alphas[j] > 0.0 && costs[j] > 0.0 {
-                lam_lo = lam_lo.min(alphas[j] / (highs[j] * costs[j]));
-                lam_hi = lam_hi.max(alphas[j] / (lows[j] * costs[j]));
-            }
-        }
-        let amounts: Vec<f64> = if lam_lo > lam_hi {
-            // No resource responds to λ (all fixed by zero-α / zero-cost).
-            (0..k).map(|j| r_at(1.0, j)).collect()
-        } else {
-            lam_lo *= 0.5;
-            lam_hi *= 2.0;
+        let amounts: Vec<f64> = if let Some((bracket_lo, bracket_hi)) = self.lam_bracket {
+            let mut lam_lo = bracket_lo * 0.5;
+            let mut lam_hi = bracket_hi * 2.0;
             if spend(lam_lo) <= budget.0 {
                 // Budget covers everything the model wants: all at max.
                 (0..k).map(|j| r_at(lam_lo, j)).collect()
@@ -215,6 +260,9 @@ impl IndirectUtility {
                 }
                 (0..k).map(|j| r_at(lam_hi, j)).collect()
             }
+        } else {
+            // No resource responds to λ (all fixed by zero-α / zero-cost).
+            (0..k).map(|j| r_at(1.0, j)).collect()
         };
         debug_assert!(
             self.power
@@ -309,6 +357,7 @@ impl IndirectUtility {
     /// cannot reach `target`, or [`CoreError::InvalidParameter`] if `target`
     /// is not positive.
     pub fn min_power_for(&self, target: f64) -> Result<Watts, CoreError> {
+        MIN_POWER_SOLVES.with(|c| c.set(c.get() + 1));
         if !target.is_finite() || target <= 0.0 {
             return Err(CoreError::InvalidParameter(format!(
                 "performance target must be positive and finite, got {target}"
@@ -564,6 +613,16 @@ mod tests {
         let total: f64 = spend.iter().sum();
         assert!((spend[0] / total - 0.5).abs() < 1e-6);
         assert!((spend[2] / total - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_counter_counts_inversions_on_this_thread() {
+        let u = utility();
+        let before = min_power_solves_on_thread();
+        u.min_power_for(50.0).unwrap();
+        let best = u.value(u.max_power()).unwrap();
+        u.min_power_for(best * 2.0).unwrap_err(); // failures are solves too
+        assert_eq!(min_power_solves_on_thread() - before, 2);
     }
 
     #[test]

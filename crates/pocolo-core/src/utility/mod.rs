@@ -7,6 +7,6 @@ mod power;
 pub mod substitution;
 
 pub use cobb_douglas::CobbDouglas;
-pub use indirect::{DemandSolution, IndirectUtility};
+pub use indirect::{min_power_solves_on_thread, DemandSolution, IndirectUtility};
 pub use power::PowerModel;
 pub use substitution::{mrs, tangency_gap};

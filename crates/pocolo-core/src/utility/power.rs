@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::CoreError;
 use crate::resources::Allocation;
 use crate::units::Watts;
@@ -26,7 +24,7 @@ use crate::units::Watts;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     p_static: Watts,
     p_dynamic: Vec<f64>,

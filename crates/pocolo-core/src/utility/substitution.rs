@@ -59,10 +59,7 @@ pub fn mrs(
 /// # Errors
 ///
 /// Propagates evaluation errors from the underlying models.
-pub fn tangency_gap(
-    utility: &IndirectUtility,
-    allocation: &Allocation,
-) -> Result<f64, CoreError> {
+pub fn tangency_gap(utility: &IndirectUtility, allocation: &Allocation) -> Result<f64, CoreError> {
     let alphas = utility.performance_model().alphas();
     let costs = utility.power_model().p_dynamic();
     let k = alphas.len();

@@ -1,0 +1,552 @@
+//! # pocolo-json
+//!
+//! A small, dependency-free JSON layer for Pocolo's machine-readable
+//! output: a [`Value`] tree, a strict parser ([`from_str`]), compact and
+//! pretty writers, the [`ToJson`] conversion trait, and a [`json!`]
+//! constructor macro.
+//!
+//! The build environment is fully offline, so external serialization
+//! frameworks are unavailable; this crate covers exactly what the CLI and
+//! figure generators need. Object key order is preserved (insertion
+//! order), which keeps emitted reports stable and diffable.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+
+pub use parse::{from_str, ParseError};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like the figures pipeline needs).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup; `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Value::Object(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
+                    write_escaped(out, &entries[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    entries[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        // JSON has no NaN/inf; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; missing keys and non-objects yield `null` (so lookup
+    /// chains like `v["a"]["b"]` never panic).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Element access; out-of-range and non-arrays yield `null`.
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Conversion into a JSON [`Value`].
+pub trait ToJson {
+    /// This value as JSON.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_to_json_number {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json(),
+            self.1.to_json(),
+            self.2.to_json(),
+            self.3.to_json(),
+        ])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson, E: ToJson> ToJson for (A, B, C, D, E) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json(),
+            self.1.to_json(),
+            self.2.to_json(),
+            self.3.to_json(),
+            self.4.to_json(),
+        ])
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// Conversion from a JSON [`Value`]; `None` when the shape doesn't match.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from JSON, if the value has the right shape.
+    fn from_json(value: &Value) -> Option<Self>;
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Value) -> Option<Self> {
+        value.as_f64()
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Value) -> Option<Self> {
+        value.as_u64()
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Value) -> Option<Self> {
+        value.as_bool()
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Value) -> Option<Self> {
+        value.as_str().map(str::to_string)
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Value) -> Option<Self> {
+        value.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+/// Parses JSON text straight into a [`FromJson`] type.
+pub fn typed_from_str<T: FromJson>(input: &str) -> Option<T> {
+    T::from_json(&from_str(input).ok()?)
+}
+
+/// Compact JSON text for any [`ToJson`] value.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_compact_string()
+}
+
+/// Pretty (2-space indented) JSON text for any [`ToJson`] value.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_pretty_string()
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Supports objects with string-literal keys and expression values, arrays
+/// of expressions, `null`, and any expression implementing [`ToJson`]:
+///
+/// ```
+/// use pocolo_json::json;
+/// let v = json!({ "name": "sphinx", "peak": 3.5, "tags": vec!["lc", "audio"] });
+/// assert_eq!(v["name"].as_str(), Some("sphinx"));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::ToJson::to_json(&$value)),)*
+        ])
+    };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $($crate::ToJson::to_json(&$element),)*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Implements [`ToJson`] for a struct with named fields, mapping each field
+/// through its own `ToJson` impl:
+///
+/// ```
+/// struct Row { app: String, watts: f64 }
+/// pocolo_json::impl_to_json!(Row { app, watts });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_rendering() {
+        assert_eq!(json!(null).to_compact_string(), "null");
+        assert_eq!(json!(true).to_compact_string(), "true");
+        assert_eq!(json!(3).to_compact_string(), "3");
+        assert_eq!(json!(3.5).to_compact_string(), "3.5");
+        assert_eq!(json!("hi").to_compact_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = json!("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.to_compact_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = json!({ "z": 1, "a": 2, "m": 3 });
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn indexing_never_panics() {
+        let v = json!({ "a": vec![1, 2, 3] });
+        assert_eq!(v["a"][1].as_f64(), Some(2.0));
+        assert!(v["missing"].is_null());
+        assert!(v["a"][99].is_null());
+        assert!(v["a"]["not-an-object"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": 1, "b": vec![1, 2] });
+        let pretty = v.to_pretty_string();
+        assert_eq!(pretty, "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::Array(vec![]).to_pretty_string(), "[]");
+        assert_eq!(Value::Object(vec![]).to_pretty_string(), "{}");
+    }
+
+    #[test]
+    fn numbers_render_integers_exactly() {
+        assert_eq!(json!(1e6).to_compact_string(), "1000000");
+        assert_eq!(json!(-42).to_compact_string(), "-42");
+        assert_eq!(json!(f64::NAN).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn tuples_and_slices() {
+        let pairs = vec![("graph".to_string(), "sphinx".to_string())];
+        assert_eq!(to_string(&pairs), "[[\"graph\",\"sphinx\"]]");
+        let slice: &[f64] = &[0.25, 0.75];
+        assert_eq!(to_string(&slice), "[0.25,0.75]");
+    }
+
+    #[test]
+    fn impl_to_json_macro_works() {
+        struct Row {
+            app: String,
+            watts: f64,
+        }
+        impl_to_json!(Row { app, watts });
+        let r = Row {
+            app: "tpcc".into(),
+            watts: 154.0,
+        };
+        assert_eq!(to_string(&r), "{\"app\":\"tpcc\",\"watts\":154}");
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(json!(7).as_u64(), Some(7));
+        assert_eq!(json!(7.5).as_u64(), None);
+        assert_eq!(json!(-7).as_u64(), None);
+    }
+
+    #[test]
+    fn round_trip_through_parser() {
+        let v = json!({
+            "app": "img-dnn",
+            "alphas": vec![0.6, 0.4],
+            "ok": true,
+            "none": Option::<u32>::None
+        });
+        let text = v.to_pretty_string();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+}

@@ -7,10 +7,9 @@
 
 use pocolo_core::units::{Frequency, Watts};
 use pocolo_simserver::{SimError, SimServer, TenantRole};
-use serde::{Deserialize, Serialize};
 
 /// What the capper did on a control step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CapAction {
     /// Power within band; nothing changed.
     None,
@@ -46,7 +45,7 @@ pub enum CapAction {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerCapper {
     /// Throttle when measured power exceeds `cap × guard`.
     pub guard: f64,

@@ -15,11 +15,10 @@ use pocolo_core::error::CoreError;
 use pocolo_core::utility::IndirectUtility;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A primary-allocation policy. See the [module docs](self) for the
 /// variants' semantics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LcPolicy {
     /// Least-power allocation from the Cobb-Douglas indirect utility
     /// (the POM / POColo server component).
@@ -34,7 +33,6 @@ pub enum LcPolicy {
         /// decisions differ while runs stay reproducible.
         seed: u64,
         /// Internal decision counter (serialized so runs can resume).
-        #[serde(default)]
         draws: u64,
     },
 }

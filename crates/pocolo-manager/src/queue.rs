@@ -11,11 +11,9 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One best-effort job: an identifier and its remaining work, measured in
 /// normalized throughput-seconds (1.0 throughput for 10 s = 10 units).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BeJob {
     /// Caller-assigned identifier.
     pub id: u64,
@@ -51,7 +49,7 @@ impl fmt::Display for BeJob {
 }
 
 /// Queue discipline for the secondary slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueDiscipline {
     /// First-come, first-served.
     Fcfs,
@@ -60,7 +58,7 @@ pub enum QueueDiscipline {
 }
 
 /// A completed job with its queueing statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompletedJob {
     /// The finished job (remaining = 0).
     pub job: BeJob,
@@ -85,7 +83,7 @@ pub struct CompletedJob {
 /// assert_eq!(done.len(), 1);
 /// assert_eq!(q.current().unwrap().id, 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BeQueue {
     discipline: QueueDiscipline,
     pending: VecDeque<BeJob>,

@@ -18,7 +18,6 @@ use pocolo_core::error::CoreError;
 use pocolo_core::units::Frequency;
 use pocolo_core::utility::IndirectUtility;
 use pocolo_simserver::{SimError, SimServer, TenantRole};
-use serde::{Deserialize, Serialize};
 
 use crate::partition::partition;
 use crate::policy::LcPolicy;
@@ -64,7 +63,7 @@ impl From<SimError> for ManagerError {
 }
 
 /// Tuning of the feedback loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ManagerConfig {
     /// Grow the margin when observed slack falls below this (paper: 10 %).
     pub min_slack: f64,

@@ -1,13 +1,12 @@
 //! Simulation of the full four-server cluster via the event engine.
 
-use serde::{Deserialize, Serialize};
-
 use crate::engine::Engine;
 use crate::metrics::{ClusterSummary, ServerMetrics};
+use crate::parallel::{self, Parallelism};
 use crate::server_sim::ServerSim;
 
 /// Events driving the cluster simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterEvent {
     /// A server's 1 s manager tick.
     ManagerTick {
@@ -82,6 +81,29 @@ impl ClusterSim {
         }
     }
 
+    /// Runs the simulation for `duration_s` simulated seconds, fanning the
+    /// servers out across worker threads.
+    ///
+    /// Events only ever touch their own server, and within one server the
+    /// tick ordering (manager before capper at coincident times, preserved
+    /// by schedule order) and the microsecond clock arithmetic are the same
+    /// as in the shared event queue of [`ClusterSim::run`] — so the result
+    /// is bit-identical to a serial run regardless of worker count.
+    pub fn run_with(&mut self, duration_s: f64, parallelism: Parallelism) {
+        if matches!(parallelism, Parallelism::Serial) {
+            // Reference path: the single shared event queue.
+            self.run(duration_s);
+            return;
+        }
+        let manager_period_s = self.manager_period_s;
+        let capper_period_s = self.capper_period_s;
+        let servers = std::mem::take(&mut self.servers);
+        self.servers = parallel::map(parallelism, servers, |mut server| {
+            run_one_server(&mut server, manager_period_s, capper_period_s, duration_s);
+            server
+        });
+    }
+
     /// Per-server metrics snapshots.
     pub fn metrics(&self) -> Vec<ServerMetrics> {
         self.servers.iter().map(|s| s.metrics().clone()).collect()
@@ -90,6 +112,40 @@ impl ClusterSim {
     /// Aggregated cluster summary.
     pub fn summary(&self) -> ClusterSummary {
         ClusterSummary::aggregate(&self.metrics()).expect("cluster is non-empty")
+    }
+}
+
+/// Advances a single server through its own event queue — the projection
+/// of the shared cluster queue onto one server's events.
+fn run_one_server(
+    server: &mut ServerSim,
+    manager_period_s: f64,
+    capper_period_s: f64,
+    duration_s: f64,
+) {
+    enum Tick {
+        Manager,
+        Capper,
+    }
+    let mut engine: Engine<Tick> = Engine::new();
+    engine.schedule_at_seconds(0.0, Tick::Manager);
+    engine.schedule_at_seconds(capper_period_s, Tick::Capper);
+    while let Some(peek) = engine.peek_time_seconds() {
+        if peek > duration_s + 1e-9 {
+            break;
+        }
+        let entry = engine.pop().expect("peeked event exists");
+        let now = engine.now_seconds();
+        match entry.event {
+            Tick::Manager => {
+                server.on_manager_tick(now);
+                engine.schedule_in(manager_period_s, Tick::Manager);
+            }
+            Tick::Capper => {
+                server.on_capper_tick(capper_period_s);
+                engine.schedule_in(capper_period_s, Tick::Capper);
+            }
+        }
     }
 }
 
@@ -153,6 +209,30 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_cluster_panics() {
         let _ = ClusterSim::new(vec![], 1.0, 0.1);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let build = || {
+            ClusterSim::new(
+                vec![
+                    server(LcApp::Xapian, BeApp::Rnn),
+                    server(LcApp::Sphinx, BeApp::Graph),
+                    server(LcApp::TpcC, BeApp::Lstm),
+                    server(LcApp::ImgDnn, BeApp::Pbzip),
+                ],
+                1.0,
+                0.1,
+            )
+        };
+        let mut serial = build();
+        serial.run_with(8.0, Parallelism::Serial);
+        let mut fanned = build();
+        fanned.run_with(8.0, Parallelism::Fixed(4));
+        assert_eq!(serial.metrics(), fanned.metrics());
+        let mut auto = build();
+        auto.run_with(8.0, Parallelism::Auto);
+        assert_eq!(serial.metrics(), auto.metrics());
     }
 
     #[test]

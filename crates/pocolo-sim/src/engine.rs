@@ -33,28 +33,41 @@ pub struct EventEntry<E> {
 pub struct Engine<E> {
     now_us: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<(u64, u64, EventSlot<E>)>>,
+    queue: BinaryHeap<Reverse<QueueEntry<E>>>,
 }
 
-/// Wrapper granting `Ord` to payloads by insertion sequence only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EventSlot<E>(E);
+/// Heap entry ordered by `(time, seq)` alone; the payload rides on the side
+/// and never participates in comparisons. The `(time, seq)` key is unique
+/// per entry (`seq` increments on every schedule), so this ordering is a
+/// total order consistent with `Eq` — unlike the earlier payload wrapper
+/// whose `cmp` returned `Equal` unconditionally.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry<E> {
+    key: (u64, u64),
+    event: E,
+}
 
-impl<E: Eq> PartialOrd for EventSlot<E> {
+impl<E> PartialEq for QueueEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<E> Eq for QueueEntry<E> {}
+
+impl<E> PartialOrd for QueueEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E: Eq> Ord for EventSlot<E> {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        // Payload never participates in ordering; the (time, seq) prefix is
-        // always distinct because seq increments per schedule.
-        std::cmp::Ordering::Equal
+impl<E> Ord for QueueEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
     }
 }
 
-impl<E: Eq> Engine<E> {
+impl<E> Engine<E> {
     /// An empty engine at time zero.
     pub fn new() -> Self {
         Engine {
@@ -87,7 +100,10 @@ impl<E: Eq> Engine<E> {
         let t_us = (t_seconds * 1e6).round() as u64;
         assert!(t_us >= self.now_us, "cannot schedule into the past");
         self.seq += 1;
-        self.queue.push(Reverse((t_us, self.seq, EventSlot(event))));
+        self.queue.push(Reverse(QueueEntry {
+            key: (t_us, self.seq),
+            event,
+        }));
     }
 
     /// Schedules `event` `dt_seconds` from now.
@@ -101,15 +117,20 @@ impl<E: Eq> Engine<E> {
 
     /// Pops the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        self.queue.pop().map(|Reverse((t, _, EventSlot(event)))| {
-            self.now_us = t;
-            EventEntry { time_us: t, event }
+        self.queue.pop().map(|Reverse(entry)| {
+            self.now_us = entry.key.0;
+            EventEntry {
+                time_us: entry.key.0,
+                event: entry.event,
+            }
         })
     }
 
     /// Peeks at the next event time without popping, in seconds.
     pub fn peek_time_seconds(&self) -> Option<f64> {
-        self.queue.peek().map(|Reverse((t, _, _))| *t as f64 / 1e6)
+        self.queue
+            .peek()
+            .map(|Reverse(entry)| entry.key.0 as f64 / 1e6)
     }
 
     /// Number of pending events.
@@ -123,7 +144,7 @@ impl<E: Eq> Engine<E> {
     }
 }
 
-impl<E: Eq> Default for Engine<E> {
+impl<E> Default for Engine<E> {
     fn default() -> Self {
         Engine::new()
     }
@@ -161,6 +182,31 @@ mod tests {
         e.schedule_at_seconds(1.0, Ev::B);
         assert_eq!(e.pop().unwrap().event, Ev::A);
         assert_eq!(e.pop().unwrap().event, Ev::B);
+    }
+
+    #[test]
+    fn bulk_same_time_events_pop_fifo() {
+        // Regression for the old payload wrapper whose `Ord::cmp` returned
+        // `Equal` unconditionally: with many entries at one timestamp the
+        // heap compares payload wrappers directly, so a dishonest ordering
+        // could surface as a scrambled pop order. Insertion order must win.
+        let mut e = Engine::new();
+        for i in 0..256u32 {
+            e.schedule_at_seconds(1.0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop()).map(|x| x.event).collect();
+        assert_eq!(order, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn payloads_without_eq_are_accepted() {
+        // The keyed queue entry no longer requires `E: Eq`, so payloads can
+        // carry floats or closures' state.
+        let mut e = Engine::new();
+        e.schedule_at_seconds(2.0, 2.0f64);
+        e.schedule_at_seconds(1.0, 1.0f64);
+        assert_eq!(e.pop().unwrap().event, 1.0);
+        assert_eq!(e.pop().unwrap().event, 2.0);
     }
 
     #[test]

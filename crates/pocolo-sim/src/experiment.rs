@@ -12,14 +12,14 @@ use pocolo_workloads::{BeApp, BeModel, LcApp, LcModel, LoadTrace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::cluster_sim::ClusterSim;
 use crate::metrics::{ClusterSummary, ServerMetrics};
+use crate::parallel::{self, Parallelism};
 use crate::server_sim::ServerSim;
 
 /// The three policies of §V-D.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Random placement + power-oblivious (Heracles-style) server
     /// management. The paper's baseline.
@@ -52,7 +52,7 @@ impl Policy {
 }
 
 /// Experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Seconds spent at each of the nine load levels.
     pub dwell_s: f64,
@@ -66,6 +66,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Profiler settings used when fitting models.
     pub profiler: ProfilerConfig,
+    /// Worker-thread budget for sweep cells and per-server runs. Results
+    /// are bit-identical across settings; only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExperimentConfig {
@@ -77,12 +80,13 @@ impl Default for ExperimentConfig {
             meter_noise: 0.01,
             seed: 0xC0C0,
             profiler: ProfilerConfig::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
 
 /// One server's outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairResult {
     /// The primary LC application.
     pub lc: String,
@@ -93,7 +97,7 @@ pub struct PairResult {
 }
 
 /// Outcome of one policy experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Policy display name.
     pub policy: String,
@@ -101,6 +105,33 @@ pub struct ExperimentResult {
     pub pairs: Vec<PairResult>,
     /// Cluster aggregation.
     pub summary: ClusterSummary,
+}
+
+pocolo_json::impl_to_json!(PairResult { lc, be, metrics });
+pocolo_json::impl_to_json!(ExperimentResult {
+    policy,
+    pairs,
+    summary
+});
+
+impl pocolo_json::FromJson for PairResult {
+    fn from_json(v: &pocolo_json::Value) -> Option<Self> {
+        Some(PairResult {
+            lc: v["lc"].as_str()?.to_string(),
+            be: v["be"].as_str()?.to_string(),
+            metrics: ServerMetrics::from_json(&v["metrics"])?,
+        })
+    }
+}
+
+impl pocolo_json::FromJson for ExperimentResult {
+    fn from_json(v: &pocolo_json::Value) -> Option<Self> {
+        Some(ExperimentResult {
+            policy: v["policy"].as_str()?.to_string(),
+            pairs: Vec::from_json(&v["pairs"])?,
+            summary: ClusterSummary::from_json(&v["summary"])?,
+        })
+    }
 }
 
 /// Fitted models for every application, reused across policies.
@@ -223,6 +254,7 @@ pub fn run_experiment_with(
         fitted,
         LoadTrace::paper_sweep(config.dwell_s),
         9.0 * config.dwell_s,
+        config.parallelism,
     )
 }
 
@@ -235,19 +267,45 @@ pub fn run_level_sweep(
     fitted: &FittedCluster,
     levels: &[f64],
 ) -> Vec<(f64, ClusterSummary)> {
-    levels
+    run_policy_sweeps(&[policy], config, fitted, levels)
+        .pop()
+        .expect("one policy in, one sweep out")
+}
+
+/// Runs every (policy, load level) cell of a sweep, fanning the
+/// independent cells out across `config.parallelism` worker threads, and
+/// returns one `(level, summary)` list per policy in input order.
+///
+/// Each cell is a self-contained seeded simulation, so the output is
+/// bit-identical to a serial run; within a cell the cluster itself runs
+/// serially to avoid oversubscribing the worker pool.
+pub fn run_policy_sweeps(
+    policies: &[Policy],
+    config: &ExperimentConfig,
+    fitted: &FittedCluster,
+    levels: &[f64],
+) -> Vec<Vec<(f64, ClusterSummary)>> {
+    let cells: Vec<(usize, Policy, f64)> = policies
         .iter()
-        .map(|&level| {
-            let result = run_with_trace(
-                policy,
-                config,
-                fitted,
-                LoadTrace::Constant(level),
-                config.dwell_s,
-            );
-            (level, result.summary)
-        })
-        .collect()
+        .enumerate()
+        .flat_map(|(p, &policy)| levels.iter().map(move |&level| (p, policy, level)))
+        .collect();
+    let results = parallel::map(config.parallelism, cells, |(p, policy, level)| {
+        let result = run_with_trace(
+            policy,
+            config,
+            fitted,
+            LoadTrace::Constant(level),
+            config.dwell_s,
+            Parallelism::Serial,
+        );
+        (p, level, result.summary)
+    });
+    let mut sweeps: Vec<Vec<(f64, ClusterSummary)>> = vec![Vec::new(); policies.len()];
+    for (p, level, summary) in results {
+        sweeps[p].push((level, summary));
+    }
+    sweeps
 }
 
 fn run_with_trace(
@@ -256,6 +314,7 @@ fn run_with_trace(
     fitted: &FittedCluster,
     trace: LoadTrace,
     duration_s: f64,
+    parallelism: Parallelism,
 ) -> ExperimentResult {
     let placement = fitted.placement(policy);
     let servers: Vec<ServerSim> = fitted
@@ -300,7 +359,7 @@ fn run_with_trace(
         })
         .collect();
     let mut cluster = ClusterSim::new(servers, config.manager_period_s, config.capper_period_s);
-    cluster.run(duration_s);
+    cluster.run_with(duration_s, parallelism);
 
     let pairs = fitted
         .lc
@@ -393,6 +452,61 @@ mod tests {
             random.summary.avg_power_utilization,
             pom.summary.avg_power_utilization
         );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // The tentpole determinism guarantee: the worker-thread fan-out
+        // must not change a single bit of any result, for any policy.
+        let fitted = FittedCluster::fit(&ProfilerConfig::default());
+        let levels = [0.2, 0.5, 0.8];
+        for policy in [
+            Policy::Random { seed: 11 },
+            Policy::Pom { seed: 11 },
+            Policy::Pocolo {
+                solver: Solver::Hungarian,
+            },
+        ] {
+            let serial_cfg = ExperimentConfig {
+                dwell_s: 4.0,
+                parallelism: Parallelism::Serial,
+                ..ExperimentConfig::default()
+            };
+            let parallel_cfg = ExperimentConfig {
+                parallelism: Parallelism::Fixed(4),
+                ..serial_cfg.clone()
+            };
+            let serial = run_level_sweep(policy, &serial_cfg, &fitted, &levels);
+            let fanned = run_level_sweep(policy, &parallel_cfg, &fitted, &levels);
+            assert_eq!(serial, fanned, "{policy:?} sweep diverged under Fixed(4)");
+
+            let serial_full = run_experiment_with(policy, &serial_cfg, &fitted);
+            let fanned_full = run_experiment_with(policy, &parallel_cfg, &fitted);
+            assert_eq!(
+                serial_full, fanned_full,
+                "{policy:?} experiment diverged under Fixed(4)"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_sweeps_cover_the_cross_product() {
+        let fitted = FittedCluster::fit(&ProfilerConfig::default());
+        let config = ExperimentConfig {
+            dwell_s: 3.0,
+            ..ExperimentConfig::default()
+        };
+        let policies = [Policy::Random { seed: 2 }, Policy::Pom { seed: 2 }];
+        let levels = [0.3, 0.7];
+        let sweeps = run_policy_sweeps(&policies, &config, &fitted, &levels);
+        assert_eq!(sweeps.len(), 2);
+        for (sweep, policy) in sweeps.iter().zip(&policies) {
+            let got: Vec<f64> = sweep.iter().map(|(l, _)| *l).collect();
+            assert_eq!(got, levels, "{policy:?} levels out of order");
+            // Each cell matches an independent single-policy run.
+            let solo = run_level_sweep(*policy, &config, &fitted, &levels);
+            assert_eq!(*sweep, solo);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod cluster_sim;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod parallel;
 pub mod rebalance;
 pub mod server_sim;
 pub mod spatial_sim;
@@ -34,6 +35,7 @@ pub use cluster_sim::ClusterSim;
 pub use engine::{Engine, EventEntry};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy};
 pub use metrics::{ClusterSummary, ServerMetrics};
+pub use parallel::Parallelism;
 pub use rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};
 pub use server_sim::ServerSim;
 pub use spatial_sim::{SpatialServerSim, SpatialTenant};

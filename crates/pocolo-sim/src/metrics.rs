@@ -1,10 +1,9 @@
 //! Metrics accumulated during simulation.
 
 use pocolo_core::units::{Joules, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Per-server accumulator, sampled on every capper tick.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerMetrics {
     /// Simulated wall-clock covered, seconds.
     pub duration_s: f64,
@@ -93,7 +92,7 @@ impl ServerMetrics {
 }
 
 /// Cluster-level aggregation across servers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSummary {
     /// Mean of per-server BE throughput averages.
     pub avg_be_throughput: f64,
@@ -138,6 +137,69 @@ impl ClusterSummary {
             energy_per_throughput,
             worst_violation_frac,
             avg_capping_frac,
+        })
+    }
+}
+
+impl pocolo_json::ToJson for ServerMetrics {
+    fn to_json(&self) -> pocolo_json::Value {
+        pocolo_json::json!({
+            "duration_s": self.duration_s,
+            "energy": self.energy,
+            "peak_power": self.peak_power,
+            "power_cap": self.power_cap,
+            "be_throughput_avg": self.be_throughput_avg,
+            "lc_violation_frac": self.lc_violation_frac,
+            "capping_frac": self.capping_frac,
+            "samples": self.samples,
+            "be_integral": self.be_integral,
+            "violation_time": self.violation_time,
+            "capping_events": self.capping_events,
+        })
+    }
+}
+
+impl pocolo_json::FromJson for ServerMetrics {
+    fn from_json(v: &pocolo_json::Value) -> Option<Self> {
+        Some(ServerMetrics {
+            duration_s: v["duration_s"].as_f64()?,
+            energy: Joules::from_json(&v["energy"])?,
+            peak_power: Watts::from_json(&v["peak_power"])?,
+            power_cap: Watts::from_json(&v["power_cap"])?,
+            be_throughput_avg: v["be_throughput_avg"].as_f64()?,
+            lc_violation_frac: v["lc_violation_frac"].as_f64()?,
+            capping_frac: v["capping_frac"].as_f64()?,
+            samples: v["samples"].as_u64()? as usize,
+            be_integral: v["be_integral"].as_f64()?,
+            violation_time: v["violation_time"].as_f64()?,
+            capping_events: v["capping_events"].as_u64()? as usize,
+        })
+    }
+}
+
+impl pocolo_json::ToJson for ClusterSummary {
+    fn to_json(&self) -> pocolo_json::Value {
+        pocolo_json::json!({
+            "avg_be_throughput": self.avg_be_throughput,
+            "avg_power_utilization": self.avg_power_utilization,
+            "total_energy": self.total_energy,
+            "energy_per_throughput": self.energy_per_throughput,
+            "worst_violation_frac": self.worst_violation_frac,
+            "avg_capping_frac": self.avg_capping_frac,
+        })
+    }
+}
+
+impl pocolo_json::FromJson for ClusterSummary {
+    fn from_json(v: &pocolo_json::Value) -> Option<Self> {
+        Some(ClusterSummary {
+            avg_be_throughput: v["avg_be_throughput"].as_f64()?,
+            avg_power_utilization: v["avg_power_utilization"].as_f64()?,
+            total_energy: Joules::from_json(&v["total_energy"])?,
+            // Infinity (no BE throughput at all) serializes as null.
+            energy_per_throughput: v["energy_per_throughput"].as_f64().unwrap_or(f64::INFINITY),
+            worst_violation_frac: v["worst_violation_frac"].as_f64()?,
+            avg_capping_frac: v["avg_capping_frac"].as_f64()?,
         })
     }
 }

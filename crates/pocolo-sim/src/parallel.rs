@@ -1,0 +1,210 @@
+//! Thread-scope fan-out for independent simulation work.
+//!
+//! The experiment pipeline is built from embarrassingly parallel units —
+//! (policy, load level) sweep cells and per-server [`ServerSim`] runs — so
+//! this module provides a deterministic `map` over such units using only
+//! `std::thread::scope` (no external thread-pool dependency, which matters
+//! in offline builds).
+//!
+//! Determinism: each input item owns slot `i` of the output vector no
+//! matter which worker executes it, and every item is a self-contained
+//! seeded computation, so results are **bit-identical** across
+//! [`Parallelism::Serial`], [`Parallelism::Auto`], and any
+//! [`Parallelism::Fixed`] width. Worker count only changes wall-clock time.
+//!
+//! [`ServerSim`]: crate::server_sim::ServerSim
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads the experiment pipeline may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run everything on the calling thread.
+    Serial,
+    /// One worker per available CPU (`std::thread::available_parallelism`).
+    Auto,
+    /// Exactly `n` workers (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl Default for Parallelism {
+    /// `Auto`: simulations are compute-bound and scale with cores.
+    fn default() -> Self {
+        Parallelism::Auto
+    }
+}
+
+impl Parallelism {
+    /// The number of worker threads to spawn for `jobs` independent items.
+    ///
+    /// Never exceeds `jobs` (idle workers are pointless) and is at least 1.
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        let want = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => (*n).max(1),
+        };
+        want.min(jobs).max(1)
+    }
+}
+
+impl FromStr for Parallelism {
+    type Err = String;
+
+    /// Parses the CLI syntax: `serial`, `auto`, or a positive thread count.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(Parallelism::Serial),
+            "auto" => Ok(Parallelism::Auto),
+            n => match n.parse::<usize>() {
+                Ok(0) => Err("--parallelism thread count must be at least 1".to_string()),
+                Ok(n) => Ok(Parallelism::Fixed(n)),
+                Err(_) => Err(format!(
+                    "invalid parallelism {s:?}: expected `serial`, `auto`, or a thread count"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Serial => f.write_str("serial"),
+            Parallelism::Auto => f.write_str("auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Applies `f` to every item, fanning out across worker threads, and
+/// returns the results **in input order**.
+///
+/// Work is distributed by an atomic cursor (work stealing at item
+/// granularity), so uneven item costs don't leave workers idle. With
+/// [`Parallelism::Serial`] — or a single item — no threads are spawned at
+/// all and `f` runs inline on the caller.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`: if any worker panics, the scope join
+/// panics on the calling thread.
+pub fn map<T, R, F>(parallelism: Parallelism, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = parallelism.worker_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let results = &results;
+    let cursor = &cursor;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot lock")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+
+    results
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .expect("result slot lock")
+                .take()
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let out = map(Parallelism::Fixed(4), (0..100).collect(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: u64| -> u64 {
+            // A little arithmetic so threads actually interleave.
+            (0..1000).fold(i, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let serial = map(Parallelism::Serial, (0..64).collect(), work);
+        let auto = map(Parallelism::Auto, (0..64).collect(), work);
+        let fixed = map(Parallelism::Fixed(3), (0..64).collect(), work);
+        assert_eq!(serial, auto);
+        assert_eq!(serial, fixed);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<i32> = map(Parallelism::Auto, vec![], |i: i32| i);
+        assert!(empty.is_empty());
+        assert_eq!(map(Parallelism::Fixed(8), vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Parallelism::Serial.worker_count(100), 1);
+        assert_eq!(Parallelism::Fixed(8).worker_count(3), 3);
+        assert_eq!(Parallelism::Fixed(0).worker_count(3), 1);
+        assert!(Parallelism::Auto.worker_count(1000) >= 1);
+        assert_eq!(Parallelism::Auto.worker_count(0), 1);
+    }
+
+    #[test]
+    fn parses_cli_forms() {
+        assert_eq!("serial".parse(), Ok(Parallelism::Serial));
+        assert_eq!("auto".parse(), Ok(Parallelism::Auto));
+        assert_eq!("6".parse(), Ok(Parallelism::Fixed(6)));
+        assert!("0".parse::<Parallelism>().is_err());
+        assert!("fast".parse::<Parallelism>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Fixed(4),
+        ] {
+            assert_eq!(p.to_string().parse::<Parallelism>(), Ok(p));
+        }
+    }
+
+    #[test]
+    fn moves_non_clone_items() {
+        struct Owned(String);
+        let items = vec![Owned("a".into()), Owned("b".into())];
+        let out = map(Parallelism::Fixed(2), items, |o| o.0);
+        assert_eq!(out, vec!["a", "b"]);
+    }
+}

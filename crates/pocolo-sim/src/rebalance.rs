@@ -17,14 +17,13 @@
 use pocolo_cluster::{PerfMatrix, Solver};
 use pocolo_manager::LcPolicy;
 use pocolo_workloads::{BeApp, LoadTrace};
-use serde::{Deserialize, Serialize};
 
 use crate::experiment::{ExperimentConfig, FittedCluster, Policy};
 use crate::metrics::{ClusterSummary, ServerMetrics};
 use crate::server_sim::ServerSim;
 
 /// Configuration of a rebalancing run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RebalanceConfig {
     /// Re-solve the placement every this many seconds (`None` = static).
     pub period_s: Option<f64>,
@@ -38,7 +37,7 @@ pub struct RebalanceConfig {
 }
 
 /// Outcome of a rebalancing run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RebalanceResult {
     /// Aggregate metrics.
     pub summary: ClusterSummary,
@@ -121,24 +120,24 @@ pub fn run_rebalancing(
                 let mut row = Vec::with_capacity(n);
                 for (j, server) in servers.iter().enumerate() {
                     let level = traces[j].load_at(t).clamp(0.05, 0.95);
-                    let v = pocolo_cluster::estimate_pair_throughput(
-                        be_fit,
-                        server,
-                        &[level],
-                    )
-                    .unwrap_or(0.0);
+                    let v = pocolo_cluster::estimate_pair_throughput(be_fit, server, &[level])
+                        .unwrap_or(0.0);
                     row.push(v);
                 }
                 values.push(row);
             }
             let matrix = PerfMatrix::new(
-                fitted.be().iter().map(|(a, _, _)| a.name().to_string()).collect(),
+                fitted
+                    .be()
+                    .iter()
+                    .map(|(a, _, _)| a.name().to_string())
+                    .collect(),
                 servers.iter().map(|s| s.label.clone()).collect(),
                 values,
             )
             .expect("well-formed myopic matrix");
-            let assignment = pocolo_cluster::assign::solve(&matrix, Solver::Hungarian)
-                .expect("square instance");
+            let assignment =
+                pocolo_cluster::assign::solve(&matrix, Solver::Hungarian).expect("square instance");
             let mut new_placement = placement.clone();
             for (row, col) in assignment.pairs {
                 new_placement[col] = fitted.be()[row].0;
@@ -147,11 +146,7 @@ pub fn run_rebalancing(
                 if new_placement[i] != placement[i] {
                     migrations += 1;
                     let (be_truth, be_fitted) = be_models(fitted, new_placement[i]);
-                    sims[i].replace_be(
-                        Some(be_truth),
-                        Some(be_fitted),
-                        reb.migration_pause_s,
-                    );
+                    sims[i].replace_be(Some(be_truth), Some(be_fitted), reb.migration_pause_s);
                 }
             }
             placement = new_placement;

@@ -4,7 +4,6 @@
 use std::fmt;
 
 use pocolo_core::units::Frequency;
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::machine::MachineSpec;
@@ -12,7 +11,7 @@ use crate::machine::MachineSpec;
 /// Which slot a tenant occupies on a server. The paper's platform hosts
 /// exactly one latency-critical primary and at most one best-effort
 /// secondary per server (§V-G).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TenantRole {
     /// The latency-critical application the cluster is provisioned for.
     Primary,
@@ -45,7 +44,7 @@ impl fmt::Display for TenantRole {
 /// assert!(set.contains(3));
 /// assert!(!set.contains(4));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CoreSet(u64);
 
 impl CoreSet {
@@ -140,7 +139,7 @@ impl fmt::Display for CoreSet {
 /// A set of LLC ways, as a bitmask (simulated Intel CAT class-of-service).
 ///
 /// Real CAT masks must be contiguous; we enforce the same restriction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct WayMask(u32);
 
 impl WayMask {
@@ -237,7 +236,7 @@ impl fmt::Display for WayMask {
 /// means the tenant's cores run whenever it has work; `0.5` means they are
 /// throttled to half time. The paper's power capper uses frequency first,
 /// then quota (§IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantAllocation {
     /// Cores pinned to this tenant.
     pub cores: CoreSet,

@@ -2,7 +2,6 @@
 
 use pocolo_core::resources::{ResourceDescriptor, ResourceSpace};
 use pocolo_core::units::{Frequency, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 
@@ -18,7 +17,7 @@ use crate::error::SimError;
 /// assert_eq!(spec.cores(), 12);
 /// assert_eq!(spec.llc_ways(), 20);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     name: String,
     cores: u32,

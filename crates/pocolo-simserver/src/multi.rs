@@ -8,7 +8,6 @@
 //! *last* secondary first.
 
 use pocolo_core::units::{Frequency, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::knobs::{CoreSet, TenantAllocation, WayMask};
@@ -38,7 +37,7 @@ pub type SecondaryId = u64;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiTenantServer {
     machine: MachineSpec,
     power_cap: Watts,
@@ -223,7 +222,7 @@ impl MultiTenantServer {
 /// Hysteretic power capper for multi-tenant servers: sheds watts from the
 /// **lowest-priority** (last) secondary first, frequency before quota;
 /// recovers in the opposite order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiPowerCapper {
     /// Throttle above `cap × guard`.
     pub guard: f64,

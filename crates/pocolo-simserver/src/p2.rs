@@ -6,8 +6,6 @@
 //! whose positions are nudged toward the ideal quantile positions with
 //! parabolic interpolation — O(1) memory, O(1) per sample.
 
-use serde::{Deserialize, Serialize};
-
 /// A streaming estimator for a single quantile `q ∈ (0, 1)`.
 ///
 /// ```
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let median = est.estimate().unwrap();
 /// assert!((median - 500.0).abs() < 25.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights (estimated values).

@@ -15,14 +15,13 @@
 use pocolo_core::units::Watts;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::knobs::TenantAllocation;
 use crate::machine::MachineSpec;
 
 /// Application-specific power coefficients: how hard this application
 /// drives each resource.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerIntensity {
     /// Watts drawn by one fully-utilized core at maximum frequency.
     pub core_watts: f64,
@@ -67,7 +66,7 @@ impl PowerIntensity {
 }
 
 /// Ground-truth model of a server's power draw.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerDrawModel {
     machine: MachineSpec,
 }

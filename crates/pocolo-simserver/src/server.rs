@@ -1,7 +1,6 @@
 //! The simulated server: two tenant slots with isolation enforcement.
 
 use pocolo_core::units::{Frequency, Watts};
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::knobs::{CoreSet, TenantAllocation, TenantRole, WayMask};
@@ -30,7 +29,7 @@ use crate::machine::MachineSpec;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimServer {
     machine: MachineSpec,
     power_cap: Watts,

@@ -7,10 +7,8 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics over a telemetry window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowStats {
     /// Number of samples in the window.
     pub count: usize,
@@ -86,7 +84,7 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
 /// let stats = ts.window_stats(0.45).unwrap(); // last 0.45 s
 /// assert_eq!(stats.count, 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     capacity: usize,
     samples: VecDeque<(f64, f64)>,

@@ -9,12 +9,11 @@
 //! computes the monthly cost per unit of useful work for all three.
 
 use pocolo_core::units::Watts;
-use serde::{Deserialize, Serialize};
 
 use crate::{Scenario, TcoModel};
 
 /// One strategy's cost/benefit outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyCost {
     /// Strategy name.
     pub name: String,
@@ -29,7 +28,7 @@ pub struct StrategyCost {
 }
 
 /// Cluster operating parameters for the comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiurnalCluster {
     /// Mean diurnal load fraction of the primary (0, 1].
     pub mean_load: f64,

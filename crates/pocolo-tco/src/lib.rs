@@ -22,10 +22,9 @@
 pub mod consolidation;
 
 use pocolo_core::units::Watts;
-use serde::{Deserialize, Serialize};
 
 /// Cost-model constants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcoModel {
     /// Number of servers in the reference deployment.
     pub servers: f64,
@@ -60,7 +59,7 @@ impl Default for TcoModel {
 }
 
 /// One deployment scenario to be costed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Display name (policy).
     pub name: String,
@@ -74,7 +73,7 @@ pub struct Scenario {
 }
 
 /// Amortized monthly cost breakdown, dollars.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonthlyCost {
     /// Scenario name.
     pub name: String,
@@ -94,6 +93,14 @@ impl MonthlyCost {
         self.server_usd + self.power_infra_usd + self.energy_usd
     }
 }
+
+pocolo_json::impl_to_json!(MonthlyCost {
+    name,
+    servers_needed,
+    server_usd,
+    power_infra_usd,
+    energy_usd
+});
 
 impl TcoModel {
     /// Costs a scenario at iso-throughput against the reference deployment.

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The four latency-critical primary applications (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LcApp {
     /// `img-dnn` — DNN image inference on MNIST (TailBench).
     ImgDnn,
@@ -40,7 +38,7 @@ impl fmt::Display for LcApp {
 }
 
 /// The four best-effort secondary applications (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BeApp {
     /// Keras LSTM training for IMDB sentiment classification.
     Lstm,
@@ -74,7 +72,7 @@ impl fmt::Display for BeApp {
 }
 
 /// Either kind of application — useful for telemetry keys and reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppId {
     /// A latency-critical primary.
     Lc(LcApp),

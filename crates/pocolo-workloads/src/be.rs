@@ -4,7 +4,6 @@
 use pocolo_core::units::Watts;
 use pocolo_simserver::power::{PowerDrawModel, PowerIntensity};
 use pocolo_simserver::{MachineSpec, TenantAllocation};
-use serde::{Deserialize, Serialize};
 
 use crate::app::BeApp;
 use crate::ces::CesSurface;
@@ -27,7 +26,7 @@ use crate::ces::CesSurface;
 ///                                  Frequency(2.2));
 /// assert!((m.throughput(&full) - 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BeModel {
     app: BeApp,
     machine: MachineSpec,

@@ -6,11 +6,9 @@
 //! mild complementarity) means the paper's Cobb-Douglas fit is a good but
 //! imperfect approximation — matching the reported R² band of Fig. 8.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of a two-input CES production function with optional
 /// saturation (diminishing parallel returns) on each input.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CesSurface {
     /// Input share of the first resource (cores), in `(0, 1)`.
     pub theta: f64,

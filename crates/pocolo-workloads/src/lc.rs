@@ -4,7 +4,6 @@
 use pocolo_core::units::Watts;
 use pocolo_simserver::power::{PowerDrawModel, PowerIntensity};
 use pocolo_simserver::{MachineSpec, TenantAllocation};
-use serde::{Deserialize, Serialize};
 
 use crate::app::LcApp;
 use crate::ces::CesSurface;
@@ -24,7 +23,7 @@ use crate::ces::CesSurface;
 /// assert_eq!(m.peak_load_rps(), 4000.0);
 /// assert_eq!(m.provisioned_power().0.round(), 154.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LcModel {
     app: LcApp,
     machine: MachineSpec,

@@ -14,7 +14,6 @@ use pocolo_core::resources::{ResourceDescriptor, ResourceSpace};
 use pocolo_core::units::Watts;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::ces::saturate;
 
@@ -29,7 +28,7 @@ use crate::ces::saturate;
 /// let full: Vec<f64> = app.space().iter().map(|d| d.max()).collect();
 /// assert!((app.throughput(&full) - 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreeResourceApp {
     space: ResourceSpace,
     /// Per-axis exponents.

@@ -12,7 +12,6 @@ use pocolo_core::resources::ResourceSpace;
 use pocolo_core::units::Frequency;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use pocolo_simserver::power::PowerDrawModel;
 use pocolo_simserver::{CoreSet, TenantAllocation, WayMask};
@@ -21,7 +20,7 @@ use crate::be::BeModel;
 use crate::lc::LcModel;
 
 /// Configuration of a profiling sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfilerConfig {
     /// Stride through core counts (1 = every count).
     pub core_stride: u32,

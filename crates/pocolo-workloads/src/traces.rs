@@ -3,7 +3,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A deterministic load trace: load fraction of peak (`0..=1`) as a function
 /// of time.
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let midnight = trace.load_at(0.0);
 /// assert!(noon > midnight);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LoadTrace {
     /// Constant load fraction.
     Constant(f64),

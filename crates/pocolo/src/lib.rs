@@ -51,12 +51,13 @@ pub mod prelude {
         ServerManager,
     };
     pub use pocolo_sim::experiment::{
-        run_experiment, run_experiment_with, run_level_sweep, ExperimentConfig,
+        run_experiment, run_experiment_with, run_level_sweep, run_policy_sweeps, ExperimentConfig,
         ExperimentResult, FittedCluster, Policy,
     };
     pub use pocolo_sim::rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};
     pub use pocolo_sim::{
-        ClusterSim, ClusterSummary, ServerMetrics, ServerSim, SpatialServerSim, SpatialTenant,
+        ClusterSim, ClusterSummary, Parallelism, ServerMetrics, ServerSim, SpatialServerSim,
+        SpatialTenant,
     };
     pub use pocolo_simserver::{
         CoreSet, MachineSpec, P2Quantile, SimServer, TenantAllocation, TenantRole, WayMask,

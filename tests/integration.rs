@@ -72,7 +72,7 @@ fn lp_and_hungarian_agree_end_to_end() {
 }
 
 #[test]
-fn fitted_models_roundtrip_through_serde() {
+fn fitted_models_roundtrip_through_json() {
     let machine = MachineSpec::xeon_e5_2650();
     let power = PowerDrawModel::new(machine.clone());
     let space = machine.resource_space();
@@ -80,8 +80,8 @@ fn fitted_models_roundtrip_through_serde() {
     let samples = profile_lc(&truth, &power, &space, &ProfilerConfig::default());
     let fitted = fit_indirect_utility(&space, &samples, &FitOptions::default()).unwrap();
 
-    let json = serde_json::to_string(&fitted.utility).unwrap();
-    let back: IndirectUtility = serde_json::from_str(&json).unwrap();
+    let json = pocolo_json::to_string(&fitted.utility);
+    let back: IndirectUtility = pocolo_json::typed_from_str(&json).unwrap();
     assert_eq!(fitted.utility, back);
 
     // And the demand solution of the deserialized model matches.
@@ -98,9 +98,9 @@ fn experiment_results_serialize() {
     };
     let fitted = FittedCluster::fit(&config.profiler);
     let result = run_experiment_with(Policy::Pom { seed: 5 }, &config, &fitted);
-    let json = serde_json::to_string_pretty(&result).unwrap();
+    let json = pocolo_json::to_string_pretty(&result);
     assert!(json.contains("POM"));
-    let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+    let back: ExperimentResult = pocolo_json::typed_from_str(&json).unwrap();
     // JSON float round-trips can lose an ULP; compare structurally with a
     // tolerance on the aggregates.
     assert_eq!(result.policy, back.policy);

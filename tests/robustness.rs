@@ -194,8 +194,8 @@ fn convexity_screen_accepts_all_paper_workloads() {
 
 #[test]
 fn workload_drift_triggers_a_better_replacement() {
-    use pocolo_core::fit::{FitOptions, OnlineFitter};
     use pocolo_cluster::PerfMatrixBuilder;
+    use pocolo_core::fit::{FitOptions, OnlineFitter};
 
     // Day 0: fit everything and place.
     let fitted = FittedCluster::fit(&ProfilerConfig::default());
