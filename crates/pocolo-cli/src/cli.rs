@@ -28,6 +28,9 @@ OPTIONS:
     --dwell <seconds>  seconds per load level          (default: 20)
     --seed <n>         RNG seed                        (default: 1)
     --parallelism <p>  serial | auto | <threads>       (default: auto)
+    --faults <spec>    inject faults: brownout | crash | chaos, with an
+                       optional schedule seed as <scenario>:<seed>
+    --no-resilience    respond to faults naively (no degraded mode)
     --json             machine-readable output";
 
 /// Parsed command line.
@@ -47,6 +50,10 @@ pub struct Options {
     pub seed: u64,
     /// `--parallelism`.
     pub parallelism: Parallelism,
+    /// `--faults` (raw `<scenario>[:<seed>]` spec).
+    pub faults: Option<String>,
+    /// `--no-resilience`.
+    pub no_resilience: bool,
     /// `--json`.
     pub json: bool,
 }
@@ -68,6 +75,8 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         dwell: 20.0,
         seed: 1,
         parallelism: Parallelism::default(),
+        faults: None,
+        no_resilience: false,
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -111,6 +120,14 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--parallelism needs a value".to_string())?
                     .parse()?
             }
+            "--faults" => {
+                opts.faults = Some(
+                    it.next()
+                        .ok_or_else(|| "--faults needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--no-resilience" => opts.no_resilience = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -316,10 +333,16 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
     if opts.dwell.is_nan() || opts.dwell <= 0.0 {
         return Err("--dwell must be positive".into());
     }
+    let faults: Option<FaultSpec> = match opts.faults.as_deref() {
+        Some(raw) => Some(raw.parse()?),
+        None => None,
+    };
     let config = ExperimentConfig {
         dwell_s: opts.dwell,
         seed: opts.seed,
         parallelism: opts.parallelism,
+        faults,
+        resilience: !opts.no_resilience,
         ..ExperimentConfig::default()
     };
     let result = run_experiment(policy, &config);
@@ -334,6 +357,21 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
         100.0 * result.summary.avg_capping_frac,
         100.0 * result.summary.worst_violation_frac,
     );
+    if let Some(spec) = &config.faults {
+        let _ = writeln!(
+            out,
+            "  faults: {spec} ({}) — SLO violations during faults {:.1}%, \
+             time to recover {:.1} s, evictions {}",
+            if config.resilience {
+                "degraded-mode response"
+            } else {
+                "naive response"
+            },
+            100.0 * result.summary.slo_violation_frac_during_fault,
+            result.summary.time_to_recover_s,
+            result.summary.evictions,
+        );
+    }
     for p in &result.pairs {
         let _ = writeln!(
             out,

@@ -66,6 +66,63 @@ impl ClusterManager {
         let matrix = self.performance_matrix()?;
         assign::solve(&matrix, solver)
     }
+
+    /// Re-solves the placement under a shrunk power budget (a brownout or
+    /// infrastructure de-rating): every server's cap is scaled by
+    /// `cap_factor`, the matrix is rebuilt, and a fresh assignment is
+    /// solved — but the `incumbent` placement is kept unless the new one
+    /// beats it by more than `hysteresis` (relative, on the *shrunk*
+    /// matrix). The hysteresis is what keeps the cluster from thrashing
+    /// migrations over marginal gains while the budget flaps.
+    ///
+    /// Returns the chosen assignment (its `total` is always measured on
+    /// the shrunk matrix, for either choice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix and solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_factor` is outside `(0, 1]` or `hysteresis` is
+    /// negative.
+    pub fn replan_under_budget(
+        &self,
+        cap_factor: f64,
+        incumbent: &Assignment,
+        hysteresis: f64,
+        solver: Solver,
+    ) -> Result<Assignment, ClusterError> {
+        assert!(
+            cap_factor > 0.0 && cap_factor <= 1.0,
+            "cap factor must be in (0, 1], got {cap_factor}"
+        );
+        assert!(
+            hysteresis >= 0.0 && hysteresis.is_finite(),
+            "hysteresis must be non-negative, got {hysteresis}"
+        );
+        let shrunk: Vec<ServerProfile> = self
+            .servers
+            .iter()
+            .map(|s| ServerProfile {
+                label: s.label.clone(),
+                utility: s.utility.clone(),
+                power_cap: s.power_cap * cap_factor,
+                peak_load: s.peak_load,
+            })
+            .collect();
+        let matrix = self.builder.build(&self.be_apps, &shrunk)?;
+        let fresh = assign::solve(&matrix, solver)?;
+        let incumbent_total = matrix.assignment_value(&incumbent.pairs);
+        if fresh.total > incumbent_total * (1.0 + hysteresis) {
+            Ok(fresh)
+        } else {
+            Ok(Assignment {
+                pairs: incumbent.pairs.clone(),
+                total: incumbent_total,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +217,59 @@ mod tests {
             "optimal {} should beat random average {avg}",
             opt.total
         );
+    }
+
+    #[test]
+    fn replan_full_budget_matches_place() {
+        let mgr = manager();
+        let incumbent = mgr.place(Solver::Hungarian).unwrap();
+        let replan = mgr
+            .replan_under_budget(1.0, &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        assert_eq!(replan.pairs, incumbent.pairs);
+        assert!((replan.total - incumbent.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replan_high_hysteresis_keeps_incumbent() {
+        // Start from a deliberately bad incumbent; with huge hysteresis
+        // even a much better fresh solve must not displace it.
+        let mgr = manager();
+        let bad = mgr.place(Solver::Random { seed: 3 }).unwrap();
+        let kept = mgr
+            .replan_under_budget(0.7, &bad, 1e6, Solver::Hungarian)
+            .unwrap();
+        assert_eq!(kept.pairs, bad.pairs);
+        // With zero hysteresis the fresh optimum wins (or ties).
+        let fresh = mgr
+            .replan_under_budget(0.7, &bad, 0.0, Solver::Hungarian)
+            .unwrap();
+        assert!(fresh.total >= kept.total);
+    }
+
+    #[test]
+    fn replan_totals_are_on_the_shrunk_matrix() {
+        // Shrinking every cap weakly shrinks matrix entries, so the
+        // replan's total must not exceed the full-budget optimum.
+        let mgr = manager();
+        let incumbent = mgr.place(Solver::Hungarian).unwrap();
+        let shrunk = mgr
+            .replan_under_budget(0.6, &incumbent, 0.05, Solver::Hungarian)
+            .unwrap();
+        assert!(
+            shrunk.total <= incumbent.total + 1e-9,
+            "shrunk-budget total {} exceeds full-budget {}",
+            shrunk.total,
+            incumbent.total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cap factor must be in (0, 1]")]
+    fn replan_rejects_bad_factor() {
+        let mgr = manager();
+        let incumbent = mgr.place(Solver::Hungarian).unwrap();
+        let _ = mgr.replan_under_budget(0.0, &incumbent, 0.0, Solver::Hungarian);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Exponential re-admission backoff for evicted best-effort apps.
+
+/// Exponential backoff schedule: each eviction of a best-effort app waits
+/// longer than the last before re-admission is attempted, up to a cap.
+///
+/// ```
+/// use pocolo_faults::ReadmissionBackoff;
+/// let mut b = ReadmissionBackoff::new(4.0, 2.0, 10.0);
+/// assert_eq!(b.next_delay(), 4.0);
+/// assert_eq!(b.next_delay(), 8.0);
+/// assert_eq!(b.next_delay(), 10.0); // clamped
+/// b.reset();
+/// assert_eq!(b.peek(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadmissionBackoff {
+    base_s: f64,
+    factor: f64,
+    max_s: f64,
+    next_s: f64,
+}
+
+impl ReadmissionBackoff {
+    /// Creates a backoff starting at `base_s` seconds, multiplying by
+    /// `factor` on every draw, clamped to `max_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_s` is not positive and finite, `factor < 1`, or
+    /// `max_s < base_s`.
+    pub fn new(base_s: f64, factor: f64, max_s: f64) -> Self {
+        assert!(
+            base_s.is_finite() && base_s > 0.0,
+            "backoff base must be positive, got {base_s}"
+        );
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "backoff factor must be >= 1, got {factor}"
+        );
+        assert!(
+            max_s.is_finite() && max_s >= base_s,
+            "backoff max {max_s} must be >= base {base_s}"
+        );
+        ReadmissionBackoff {
+            base_s,
+            factor,
+            max_s,
+            next_s: base_s,
+        }
+    }
+
+    /// The delay the next [`ReadmissionBackoff::next_delay`] will return.
+    pub fn peek(&self) -> f64 {
+        self.next_s
+    }
+
+    /// Draws the current delay and advances the schedule.
+    pub fn next_delay(&mut self) -> f64 {
+        let d = self.next_s;
+        self.next_s = (self.next_s * self.factor).min(self.max_s);
+        d
+    }
+
+    /// Returns to the base delay (a sustained healthy period earns a
+    /// clean slate).
+    pub fn reset(&mut self) {
+        self.next_s = self.base_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let mut b = ReadmissionBackoff::new(2.0, 2.0, 7.0);
+        assert_eq!(b.next_delay(), 2.0);
+        assert_eq!(b.next_delay(), 4.0);
+        assert_eq!(b.next_delay(), 7.0);
+        assert_eq!(b.next_delay(), 7.0);
+    }
+
+    #[test]
+    fn factor_one_is_constant() {
+        let mut b = ReadmissionBackoff::new(3.0, 1.0, 3.0);
+        assert_eq!(b.next_delay(), 3.0);
+        assert_eq!(b.next_delay(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be positive")]
+    fn rejects_zero_base() {
+        let _ = ReadmissionBackoff::new(0.0, 2.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn rejects_shrinking_factor() {
+        let _ = ReadmissionBackoff::new(1.0, 0.5, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= base")]
+    fn rejects_max_below_base() {
+        let _ = ReadmissionBackoff::new(5.0, 2.0, 1.0);
+    }
+}

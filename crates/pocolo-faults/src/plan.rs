@@ -1,0 +1,273 @@
+//! The fault plan: what goes wrong, when, as pure data.
+
+/// One kind of infrastructure or management-plane fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The cluster-wide provisioned cap drops to `cap_factor` of itself.
+    BrownoutStart {
+        /// Effective-cap multiplier in `(0, 1)`.
+        cap_factor: f64,
+    },
+    /// The brownout ends; caps return to provisioned levels.
+    BrownoutEnd,
+    /// Server `server` goes dark: primary migrates, BE is evicted.
+    ServerCrash {
+        /// Index of the crashed server.
+        server: usize,
+    },
+    /// Server `server` comes back and rejoins the cluster.
+    ServerRecover {
+        /// Index of the recovering server.
+        server: usize,
+    },
+    /// Telemetry freezes: the manager sees the last load/p99 readings
+    /// until the dropout ends.
+    TelemetryFreezeStart {
+        /// Affected server, or `None` for the whole cluster.
+        server: Option<usize>,
+        /// Absolute end of the dropout, seconds.
+        until_s: f64,
+    },
+    /// Telemetry thaws (paired with the matching freeze).
+    TelemetryFreezeEnd {
+        /// Affected server, or `None` for the whole cluster.
+        server: Option<usize>,
+    },
+    /// The fitted performance α's are perturbed by up to `rel` relatively
+    /// (seeded per server by `salt`), modelling workload drift under a
+    /// stale model.
+    ModelDrift {
+        /// Affected server, or `None` for the whole cluster.
+        server: Option<usize>,
+        /// Maximum relative perturbation of each α, in `(0, 0.9)`.
+        rel: f64,
+        /// Deterministic per-event RNG salt.
+        salt: u64,
+    },
+}
+
+/// A fault at an absolute simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires, seconds from simulation start.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, kept sorted by time (stable for
+/// coincident events, so insertion order is the tiebreak).
+///
+/// ```
+/// use pocolo_faults::{FaultKind, FaultPlan};
+/// let plan = FaultPlan::new(42)
+///     .with_brownout(10.0, 20.0, 0.7)
+///     .with_crash(1, 40.0, 5.0);
+/// assert_eq!(plan.events().len(), 4); // start/end pairs
+/// assert!(matches!(plan.events()[0].kind, FaultKind::BrownoutStart { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+fn assert_time(t: f64, what: &str) {
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "{what} must be a finite non-negative time, got {t}"
+    );
+}
+
+impl FaultPlan {
+    /// An empty plan carrying the seed that derived (or will derive) it.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// The seed this plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, sorted by time (stable).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, at_s: f64, kind: FaultKind) {
+        assert_time(at_s, "fault time");
+        self.events.push(FaultEvent { at_s, kind });
+        self.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+    }
+
+    /// Schedules a cluster-wide brownout: caps drop to `cap_factor` of the
+    /// provisioned level over `[start_s, start_s + duration_s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times, non-positive `duration_s`, or a
+    /// `cap_factor` outside `(0, 1)`.
+    #[must_use]
+    pub fn with_brownout(mut self, start_s: f64, duration_s: f64, cap_factor: f64) -> Self {
+        assert_time(start_s, "brownout start");
+        assert!(
+            duration_s.is_finite() && duration_s > 0.0,
+            "brownout duration must be positive, got {duration_s}"
+        );
+        assert!(
+            cap_factor > 0.0 && cap_factor < 1.0,
+            "brownout cap factor must be in (0, 1), got {cap_factor}"
+        );
+        self.push(start_s, FaultKind::BrownoutStart { cap_factor });
+        self.push(start_s + duration_s, FaultKind::BrownoutEnd);
+        self
+    }
+
+    /// Schedules a crash of `server` at `at_s`, recovering after `down_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times or non-positive `down_s`.
+    #[must_use]
+    pub fn with_crash(mut self, server: usize, at_s: f64, down_s: f64) -> Self {
+        assert_time(at_s, "crash time");
+        assert!(
+            down_s.is_finite() && down_s > 0.0,
+            "crash downtime must be positive, got {down_s}"
+        );
+        self.push(at_s, FaultKind::ServerCrash { server });
+        self.push(at_s + down_s, FaultKind::ServerRecover { server });
+        self
+    }
+
+    /// Schedules a telemetry dropout on `server` (`None` = cluster-wide)
+    /// over `[start_s, start_s + duration_s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times or non-positive `duration_s`.
+    #[must_use]
+    pub fn with_telemetry_dropout(
+        mut self,
+        server: Option<usize>,
+        start_s: f64,
+        duration_s: f64,
+    ) -> Self {
+        assert_time(start_s, "dropout start");
+        assert!(
+            duration_s.is_finite() && duration_s > 0.0,
+            "dropout duration must be positive, got {duration_s}"
+        );
+        let until_s = start_s + duration_s;
+        self.push(start_s, FaultKind::TelemetryFreezeStart { server, until_s });
+        self.push(until_s, FaultKind::TelemetryFreezeEnd { server });
+        self
+    }
+
+    /// Schedules a model-drift event at `at_s` perturbing the fitted α's
+    /// by up to `rel` relatively. The per-event salt is derived from the
+    /// plan seed and the number of events already scheduled, so identical
+    /// build sequences give identical drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite time or `rel` outside `(0, 0.9)`.
+    #[must_use]
+    pub fn with_model_drift(mut self, server: Option<usize>, at_s: f64, rel: f64) -> Self {
+        assert_time(at_s, "drift time");
+        assert!(
+            rel > 0.0 && rel < 0.9,
+            "drift magnitude must be in (0, 0.9), got {rel}"
+        );
+        let salt = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.events.len() as u64);
+        self.push(at_s, FaultKind::ModelDrift { server, rel, salt });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_by_time() {
+        let plan = FaultPlan::new(1)
+            .with_crash(0, 50.0, 10.0)
+            .with_brownout(5.0, 10.0, 0.6);
+        let times: Vec<f64> = plan.events().iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![5.0, 15.0, 50.0, 60.0]);
+    }
+
+    #[test]
+    fn coincident_events_keep_insertion_order() {
+        let plan = FaultPlan::new(1)
+            .with_brownout(10.0, 5.0, 0.5)
+            .with_telemetry_dropout(None, 10.0, 5.0);
+        assert!(matches!(
+            plan.events()[0].kind,
+            FaultKind::BrownoutStart { .. }
+        ));
+        assert!(matches!(
+            plan.events()[1].kind,
+            FaultKind::TelemetryFreezeStart { .. }
+        ));
+    }
+
+    #[test]
+    fn drift_salts_differ_per_event_but_replay_identically() {
+        let build = || {
+            FaultPlan::new(9)
+                .with_model_drift(None, 10.0, 0.2)
+                .with_model_drift(Some(1), 20.0, 0.2)
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b);
+        let salts: Vec<u64> = a
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::ModelDrift { salt, .. } => Some(salt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(salts.len(), 2);
+        assert_ne!(salts[0], salts[1]);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = FaultPlan::new(3);
+        assert!(plan.is_empty());
+        assert_eq!(plan.seed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap factor must be in (0, 1)")]
+    fn rejects_bad_cap_factor() {
+        let _ = FaultPlan::new(0).with_brownout(0.0, 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative time")]
+    fn rejects_nan_time() {
+        let _ = FaultPlan::new(0).with_crash(0, f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_zero_duration() {
+        let _ = FaultPlan::new(0).with_telemetry_dropout(None, 1.0, 0.0);
+    }
+}

@@ -15,7 +15,7 @@ use std::error::Error as StdError;
 use std::fmt;
 
 use pocolo_core::error::CoreError;
-use pocolo_core::units::Frequency;
+use pocolo_core::units::{Frequency, Watts};
 use pocolo_core::utility::IndirectUtility;
 use pocolo_simserver::{SimError, SimServer, TenantRole};
 
@@ -147,6 +147,54 @@ impl ServerManager {
         load_rps: f64,
         observed_slack: Option<f64>,
     ) -> Result<(u32, u32), ManagerError> {
+        self.update_margin(observed_slack);
+        let target = load_rps * self.margin;
+        let (c, w) = self.policy.allocate(&self.utility, target)?;
+        self.repartition(server, c, w)
+    }
+
+    /// Budget-capped control step for a power emergency (brownout): sizes
+    /// the primary analytically like [`ServerManager::control_step`], but
+    /// if the chosen allocation's modeled draw exceeds `budget`, falls
+    /// back to the Cobb-Douglas *demand at budget* — the best allocation
+    /// the shrunk envelope can buy at full frequency. Growing cores past
+    /// the budget only trips the RAPL emergency throttle, and a
+    /// frequency-floored machine serves less than a budget-sized one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] on model or knob failures.
+    pub fn budgeted_step(
+        &mut self,
+        server: &mut SimServer,
+        load_rps: f64,
+        observed_slack: Option<f64>,
+        budget: Watts,
+    ) -> Result<(u32, u32), ManagerError> {
+        self.update_margin(observed_slack);
+        let target = load_rps * self.margin;
+        let (mut c, mut w) = self.policy.allocate(&self.utility, target)?;
+        let draw = self
+            .utility
+            .power_model()
+            .power_of_amounts(&[c as f64, w as f64])?;
+        if draw > budget {
+            match self.utility.demand_integral(budget) {
+                Ok(alloc) => {
+                    c = (alloc.amount(0).round() as u32).max(1);
+                    w = (alloc.amount(1).round() as u32).max(1);
+                }
+                // Budget below even the static floor: minimal footprint.
+                Err(_) => {
+                    c = 1;
+                    w = 1;
+                }
+            }
+        }
+        self.repartition(server, c, w)
+    }
+
+    fn update_margin(&mut self, observed_slack: Option<f64>) {
         if let Some(slack) = observed_slack {
             if slack < self.config.min_slack {
                 self.margin *= self.config.margin_up;
@@ -156,10 +204,55 @@ impl ServerManager {
             let (lo, hi) = self.config.margin_bounds;
             self.margin = self.margin.clamp(lo, hi);
         }
+    }
 
-        let target = load_rps * self.margin;
-        let (c, w) = self.policy.allocate(&self.utility, target)?;
+    /// Degraded-mode control step: pure Heracles-style incremental latency
+    /// feedback, with no analytic model in the loop. Used when telemetry
+    /// is stale or the fitted model can no longer be trusted — growing the
+    /// primary by one core and one way on low (or *unknown*) slack, and
+    /// trimming one of each only on verified ample headroom. When blind,
+    /// protect the SLO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] on knob failures.
+    pub fn degraded_step(
+        &mut self,
+        server: &mut SimServer,
+        observed_slack: Option<f64>,
+    ) -> Result<(u32, u32), ManagerError> {
+        let machine = server.machine();
+        let (max_c, max_w) = (machine.cores(), machine.llc_ways());
+        let (mut c, mut w) = self.last_counts.unwrap_or((max_c, max_w));
+        match observed_slack {
+            Some(s) if s > self.config.high_slack => {
+                c = c.saturating_sub(1).max(1);
+                w = w.saturating_sub(1).max(1);
+            }
+            Some(s) if s >= self.config.min_slack => {}
+            // Low slack — or no reading at all. Grow conservatively.
+            _ => {
+                c = (c + 1).min(max_c);
+                w = (w + 1).min(max_w);
+            }
+        }
+        self.repartition(server, c, w)
+    }
 
+    /// Replaces the manager's fitted model mid-run (model drift injection
+    /// or a re-fit), keeping the feedback state.
+    pub fn replace_utility(&mut self, utility: IndirectUtility) {
+        self.utility = utility;
+    }
+
+    /// Installs a `(c, w)` primary and gives every spare resource to the
+    /// secondary, preserving the capper's DVFS/quota state on it.
+    fn repartition(
+        &mut self,
+        server: &mut SimServer,
+        c: u32,
+        w: u32,
+    ) -> Result<(u32, u32), ManagerError> {
         // Preserve the capper's state on the secondary.
         let (be_freq, be_quota) = server
             .allocation(TenantRole::Secondary)
@@ -320,6 +413,90 @@ mod tests {
         let sec = server.allocation(TenantRole::Secondary).unwrap();
         assert_eq!(sec.frequency, Frequency(1.5));
         assert!((sec.cpu_quota - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_step_grows_when_blind() {
+        // No slack reading at all: the degraded loop must grow the
+        // primary toward the full machine, one core/way per epoch.
+        let (truth, utility) = fitted(LcApp::Xapian);
+        let machine = truth.machine().clone();
+        let mut server = SimServer::new(machine.clone(), truth.provisioned_power());
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        // Start from a small analytic allocation...
+        mgr.control_step(&mut server, 0.1 * truth.peak_load_rps(), None)
+            .unwrap();
+        let (c0, w0) = mgr.last_counts().unwrap();
+        // ...then go blind for enough epochs to reach the full machine.
+        for _ in 0..(machine.cores() + machine.llc_ways()) {
+            mgr.degraded_step(&mut server, None).unwrap();
+        }
+        let (c, w) = mgr.last_counts().unwrap();
+        assert!(c > c0 && w > w0);
+        assert_eq!((c, w), (machine.cores(), machine.llc_ways()));
+    }
+
+    #[test]
+    fn degraded_step_trims_on_verified_headroom_and_holds_in_band() {
+        let (truth, utility) = fitted(LcApp::Sphinx);
+        let mut server = SimServer::new(truth.machine().clone(), truth.provisioned_power());
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        mgr.degraded_step(&mut server, None).unwrap(); // full machine
+        let (c0, w0) = mgr.last_counts().unwrap();
+        mgr.degraded_step(&mut server, Some(0.9)).unwrap(); // ample slack
+        let (c1, w1) = mgr.last_counts().unwrap();
+        assert_eq!((c1, w1), (c0 - 1, w0 - 1));
+        mgr.degraded_step(&mut server, Some(0.3)).unwrap(); // in band: hold
+        assert_eq!(mgr.last_counts().unwrap(), (c1, w1));
+        mgr.degraded_step(&mut server, Some(0.01)).unwrap(); // low: grow
+        assert_eq!(mgr.last_counts().unwrap(), (c1 + 1, w1 + 1));
+    }
+
+    #[test]
+    fn degraded_step_never_starves_the_primary() {
+        let (truth, utility) = fitted(LcApp::TpcC);
+        let mut server = SimServer::new(truth.machine().clone(), truth.provisioned_power());
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        mgr.control_step(&mut server, 0.1 * truth.peak_load_rps(), None)
+            .unwrap();
+        for _ in 0..64 {
+            mgr.degraded_step(&mut server, Some(0.99)).unwrap();
+        }
+        let (c, w) = mgr.last_counts().unwrap();
+        assert_eq!((c, w), (1, 1));
+        assert!(server.allocation(TenantRole::Primary).is_some());
+    }
+
+    #[test]
+    fn degraded_step_preserves_secondary_capper_state() {
+        let (truth, utility) = fitted(LcApp::Xapian);
+        let mut server = SimServer::new(truth.machine().clone(), truth.provisioned_power());
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        mgr.control_step(&mut server, 0.2 * truth.peak_load_rps(), None)
+            .unwrap();
+        server
+            .set_frequency(TenantRole::Secondary, Frequency(1.4))
+            .unwrap();
+        server.set_quota(TenantRole::Secondary, 0.5).unwrap();
+        mgr.degraded_step(&mut server, None).unwrap();
+        let sec = server.allocation(TenantRole::Secondary).unwrap();
+        assert_eq!(sec.frequency, Frequency(1.4));
+        assert!((sec.cpu_quota - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replace_utility_swaps_the_model() {
+        let (_, utility) = fitted(LcApp::Xapian);
+        let (_, other) = fitted(LcApp::Sphinx);
+        let mut mgr =
+            ServerManager::new(utility, LcPolicy::PowerOptimized, ManagerConfig::default());
+        let before = mgr.utility().performance_model().alphas().to_vec();
+        mgr.replace_utility(other);
+        assert_ne!(mgr.utility().performance_model().alphas(), &before[..]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation of the full four-server cluster via the event engine.
 
 use crate::engine::Engine;
+use crate::faults::FaultTimeline;
 use crate::metrics::{ClusterSummary, ServerMetrics};
 use crate::parallel::{self, Parallelism};
 use crate::server_sim::ServerSim;
@@ -18,6 +19,13 @@ pub enum ClusterEvent {
         /// Index into the server list.
         server: usize,
     },
+    /// A pre-compiled fault action fires on a server.
+    Fault {
+        /// Index into the server list.
+        server: usize,
+        /// Index into that server's [`FaultTimeline`] action list.
+        idx: usize,
+    },
 }
 
 /// A set of colocated servers advanced in lockstep by the event engine.
@@ -26,6 +34,7 @@ pub struct ClusterSim {
     servers: Vec<ServerSim>,
     manager_period_s: f64,
     capper_period_s: f64,
+    faults: FaultTimeline,
 }
 
 impl ClusterSim {
@@ -44,7 +53,17 @@ impl ClusterSim {
             servers,
             manager_period_s,
             capper_period_s,
+            faults: FaultTimeline::default(),
         }
+    }
+
+    /// Installs a pre-compiled fault timeline. Every action is a static,
+    /// per-server event, so the faulted run stays bit-identical between
+    /// the serial queue and the parallel fan-out.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultTimeline) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The simulated servers.
@@ -62,6 +81,20 @@ impl ClusterSim {
                 ClusterEvent::CapperTick { server: idx },
             );
         }
+        // Fault actions are init-scheduled, so at a coincident timestamp
+        // they pop before the dynamically-rescheduled ticks — the same
+        // relative order the per-server projection produces.
+        for idx in 0..self.servers.len() {
+            for (i, ev) in self.faults.server_events(idx).iter().enumerate() {
+                engine.schedule_at_seconds(
+                    ev.at_s,
+                    ClusterEvent::Fault {
+                        server: idx,
+                        idx: i,
+                    },
+                );
+            }
+        }
         while let Some(peek) = engine.peek_time_seconds() {
             if peek > duration_s + 1e-9 {
                 break;
@@ -76,6 +109,10 @@ impl ClusterSim {
                 ClusterEvent::CapperTick { server } => {
                     self.servers[server].on_capper_tick(self.capper_period_s);
                     engine.schedule_in(self.capper_period_s, ClusterEvent::CapperTick { server });
+                }
+                ClusterEvent::Fault { server, idx } => {
+                    let action = self.faults.server_events(server)[idx].action.clone();
+                    self.servers[server].apply_fault(&action, now);
                 }
             }
         }
@@ -97,11 +134,20 @@ impl ClusterSim {
         }
         let manager_period_s = self.manager_period_s;
         let capper_period_s = self.capper_period_s;
+        let faults = self.faults.clone();
         let servers = std::mem::take(&mut self.servers);
-        self.servers = parallel::map(parallelism, servers, |mut server| {
-            run_one_server(&mut server, manager_period_s, capper_period_s, duration_s);
+        let indexed: Vec<(usize, ServerSim)> = servers.into_iter().enumerate().collect();
+        let done = parallel::map(parallelism, indexed, move |(idx, mut server)| {
+            run_one_server(
+                &mut server,
+                faults.server_events(idx),
+                manager_period_s,
+                capper_period_s,
+                duration_s,
+            );
             server
         });
+        self.servers = done;
     }
 
     /// Per-server metrics snapshots.
@@ -119,6 +165,7 @@ impl ClusterSim {
 /// of the shared cluster queue onto one server's events.
 fn run_one_server(
     server: &mut ServerSim,
+    faults: &[crate::faults::ServerFaultEvent],
     manager_period_s: f64,
     capper_period_s: f64,
     duration_s: f64,
@@ -126,10 +173,16 @@ fn run_one_server(
     enum Tick {
         Manager,
         Capper,
+        Fault(usize),
     }
     let mut engine: Engine<Tick> = Engine::new();
     engine.schedule_at_seconds(0.0, Tick::Manager);
     engine.schedule_at_seconds(capper_period_s, Tick::Capper);
+    // Same init-before-reschedule ordering as the shared queue: at a
+    // coincident timestamp a fault action fires before the ticks.
+    for (i, ev) in faults.iter().enumerate() {
+        engine.schedule_at_seconds(ev.at_s, Tick::Fault(i));
+    }
     while let Some(peek) = engine.peek_time_seconds() {
         if peek > duration_s + 1e-9 {
             break;
@@ -144,6 +197,9 @@ fn run_one_server(
             Tick::Capper => {
                 server.on_capper_tick(capper_period_s);
                 engine.schedule_in(capper_period_s, Tick::Capper);
+            }
+            Tick::Fault(i) => {
+                server.apply_fault(&faults[i].action, now);
             }
         }
     }
@@ -233,6 +289,51 @@ mod tests {
         let mut auto = build();
         auto.run_with(8.0, Parallelism::Auto);
         assert_eq!(serial.metrics(), auto.metrics());
+    }
+
+    #[test]
+    fn faulted_parallel_run_is_bit_identical_to_serial() {
+        use pocolo_faults::FaultPlan;
+        let plan = FaultPlan::new(3)
+            .with_brownout(2.0, 3.0, 0.6)
+            .with_crash(1, 3.0, 2.0)
+            .with_telemetry_dropout(Some(0), 1.0, 4.0)
+            .with_model_drift(None, 4.0, 0.2);
+        let build = |resilient: bool| {
+            let servers: Vec<ServerSim> = vec![
+                server(LcApp::Xapian, BeApp::Rnn),
+                server(LcApp::Sphinx, BeApp::Graph),
+                server(LcApp::TpcC, BeApp::Lstm),
+                server(LcApp::ImgDnn, BeApp::Pbzip),
+            ]
+            .into_iter()
+            .enumerate()
+            .map(|(rank, s)| {
+                if resilient {
+                    s.with_resilience(crate::faults::ResilienceConfig::default(), rank)
+                } else {
+                    s.with_fault_physics()
+                }
+            })
+            .collect();
+            ClusterSim::new(servers, 1.0, 0.1)
+                .with_faults(crate::faults::FaultTimeline::compile(&plan, 4))
+        };
+        for resilient in [false, true] {
+            let mut serial = build(resilient);
+            serial.run_with(8.0, Parallelism::Serial);
+            let mut fanned = build(resilient);
+            fanned.run_with(8.0, Parallelism::Fixed(4));
+            assert_eq!(
+                serial.metrics(),
+                fanned.metrics(),
+                "resilient={resilient} fan-out diverged from serial"
+            );
+            assert!(
+                serial.metrics().iter().any(|m| m.fault_time_s() > 0.0),
+                "faults should have been active"
+            );
+        }
     }
 
     #[test]

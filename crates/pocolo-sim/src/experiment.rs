@@ -1,9 +1,10 @@
 //! End-to-end policy experiments: the §V-D comparison of Random, POM and
 //! POColo over the uniform 10–90 % load sweep (Figs. 12 and 13).
 
-use pocolo_cluster::{PerfMatrixBuilder, ServerProfile, Solver};
+use pocolo_cluster::{Assignment, ClusterManager, PerfMatrixBuilder, ServerProfile, Solver};
 use pocolo_core::fit::{fit_indirect_utility, FitOptions};
 use pocolo_core::utility::IndirectUtility;
+use pocolo_faults::{eviction_order, FaultKind, FaultSpec};
 use pocolo_manager::LcPolicy;
 use pocolo_simserver::power::PowerDrawModel;
 use pocolo_simserver::MachineSpec;
@@ -14,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::cluster_sim::ClusterSim;
+use crate::faults::{FaultTimeline, ResilienceConfig, ServerFaultAction};
 use crate::metrics::{ClusterSummary, ServerMetrics};
 use crate::parallel::{self, Parallelism};
 use crate::server_sim::ServerSim;
@@ -69,6 +71,15 @@ pub struct ExperimentConfig {
     /// Worker-thread budget for sweep cells and per-server runs. Results
     /// are bit-identical across settings; only wall-clock time changes.
     pub parallelism: Parallelism,
+    /// Fault scenario to inject, if any. The schedule is seeded from the
+    /// spec's own seed (or [`ExperimentConfig::seed`] when absent), so the
+    /// whole faulted run replays bit-identically.
+    pub faults: Option<FaultSpec>,
+    /// Arms the degraded-mode response (blind-feedback fallback, BE
+    /// eviction with backoff, budget-shrink re-placement) whenever faults
+    /// are injected. With `false` the faults still *happen* but the stack
+    /// responds naively.
+    pub resilience: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -81,6 +92,8 @@ impl Default for ExperimentConfig {
             seed: 0xC0C0,
             profiler: ProfilerConfig::default(),
             parallelism: Parallelism::default(),
+            faults: None,
+            resilience: true,
         }
     }
 }
@@ -308,6 +321,97 @@ pub fn run_policy_sweeps(
     sweeps
 }
 
+/// Cluster-wide eviction ranks for the current placement: each server's
+/// co-runner is ranked by its performance-matrix value ascending, so the
+/// *lowest*-value pairing is shed first under pressure.
+fn eviction_ranks(fitted: &FittedCluster, placement: &[BeApp]) -> Vec<usize> {
+    let matrix =
+        match PerfMatrixBuilder::new().build(&fitted.be_profiles(), &fitted.server_profiles()) {
+            Ok(m) => m,
+            Err(_) => return vec![0; placement.len()],
+        };
+    let values: Vec<f64> = placement
+        .iter()
+        .enumerate()
+        .map(|(server, be_app)| {
+            fitted
+                .be
+                .iter()
+                .position(|(a, _, _)| a == be_app)
+                .map(|row| matrix.value(row, server))
+                .unwrap_or(f64::NEG_INFINITY)
+        })
+        .collect();
+    let order = eviction_order(&values);
+    let mut ranks = vec![0; placement.len()];
+    for (rank, &server) in order.iter().enumerate() {
+        ranks[server] = rank;
+    }
+    ranks
+}
+
+/// For every brownout in the plan, re-solves the placement on the shrunk
+/// budget (with hysteresis) and schedules the resulting migrations as
+/// [`ServerFaultAction::ReplaceBe`] actions at the brownout start. The
+/// replan is computed *up front* from the fitted models, so the faulted
+/// run stays a static per-server event schedule.
+fn schedule_brownout_migrations(
+    timeline: &mut FaultTimeline,
+    plan: &pocolo_faults::FaultPlan,
+    fitted: &FittedCluster,
+    placement: &[BeApp],
+    cfg: &ResilienceConfig,
+) {
+    let manager = ClusterManager::new(fitted.be_profiles(), fitted.server_profiles());
+    let Ok(matrix) = manager.performance_matrix() else {
+        return;
+    };
+    let pairs: Vec<(usize, usize)> = placement
+        .iter()
+        .enumerate()
+        .filter_map(|(server, be_app)| {
+            fitted
+                .be
+                .iter()
+                .position(|(a, _, _)| a == be_app)
+                .map(|row| (row, server))
+        })
+        .collect();
+    let incumbent = Assignment {
+        total: matrix.assignment_value(&pairs),
+        pairs,
+    };
+    for event in plan.events() {
+        let FaultKind::BrownoutStart { cap_factor } = &event.kind else {
+            continue;
+        };
+        let Ok(replan) = manager.replan_under_budget(
+            *cap_factor,
+            &incumbent,
+            cfg.replan_hysteresis,
+            Solver::Hungarian,
+        ) else {
+            continue;
+        };
+        for &(row, server) in &replan.pairs {
+            let unchanged = incumbent.pairs.contains(&(row, server));
+            if unchanged {
+                continue;
+            }
+            let (_, truth, fit) = &fitted.be[row];
+            timeline.push(
+                server,
+                event.at_s,
+                ServerFaultAction::ReplaceBe {
+                    be_truth: Some(Box::new(truth.clone())),
+                    be_fitted: Some(Box::new(fit.clone())),
+                    pause_s: cfg.readmit_pause_s,
+                },
+            );
+        }
+    }
+}
+
 fn run_with_trace(
     policy: Policy,
     config: &ExperimentConfig,
@@ -317,6 +421,27 @@ fn run_with_trace(
     parallelism: Parallelism,
 ) -> ExperimentResult {
     let placement = fitted.placement(policy);
+    let n = fitted.lc.len();
+    let resilience_cfg = ResilienceConfig::default();
+    let (timeline, ranks) = match &config.faults {
+        Some(spec) => {
+            let fault_seed = spec.seed.unwrap_or(config.seed);
+            let plan = spec.scenario.plan(fault_seed, duration_s, n);
+            let mut timeline = FaultTimeline::compile(&plan, n);
+            let ranks = eviction_ranks(fitted, &placement);
+            if config.resilience {
+                schedule_brownout_migrations(
+                    &mut timeline,
+                    &plan,
+                    fitted,
+                    &placement,
+                    &resilience_cfg,
+                );
+            }
+            (timeline, ranks)
+        }
+        None => (FaultTimeline::empty(n), vec![0; n]),
+    };
     let servers: Vec<ServerSim> = fitted
         .lc
         .iter()
@@ -350,15 +475,23 @@ fn run_with_trace(
                 config.meter_noise,
                 config.seed ^ ((i as u64) << 8),
             );
-            match (policy, be_fitted) {
+            let sim = match (policy, be_fitted) {
                 // Power-optimized policies plan the secondary proactively
                 // with the fitted model; the baseline is purely reactive.
                 (Policy::Pom { .. } | Policy::Pocolo { .. }, Some(bf)) => sim.with_proactive_be(bf),
                 _ => sim,
+            };
+            if config.faults.is_none() {
+                sim
+            } else if config.resilience {
+                sim.with_resilience(resilience_cfg.clone(), ranks[i])
+            } else {
+                sim.with_fault_physics()
             }
         })
         .collect();
-    let mut cluster = ClusterSim::new(servers, config.manager_period_s, config.capper_period_s);
+    let mut cluster = ClusterSim::new(servers, config.manager_period_s, config.capper_period_s)
+        .with_faults(timeline);
     cluster.run_with(duration_s, parallelism);
 
     let pairs = fitted
@@ -507,6 +640,64 @@ mod tests {
             let solo = run_level_sweep(*policy, &config, &fitted, &levels);
             assert_eq!(*sweep, solo);
         }
+    }
+
+    #[test]
+    fn faulted_experiment_is_bit_identical_across_parallelism() {
+        use pocolo_faults::Scenario;
+        let fitted = FittedCluster::fit(&ProfilerConfig::default());
+        for scenario in Scenario::ALL {
+            for resilience in [false, true] {
+                let serial_cfg = ExperimentConfig {
+                    dwell_s: 3.0,
+                    parallelism: Parallelism::Serial,
+                    faults: Some(FaultSpec {
+                        scenario,
+                        seed: Some(5),
+                    }),
+                    resilience,
+                    ..ExperimentConfig::default()
+                };
+                let parallel_cfg = ExperimentConfig {
+                    parallelism: Parallelism::Fixed(4),
+                    ..serial_cfg.clone()
+                };
+                let policy = Policy::Pocolo {
+                    solver: Solver::Hungarian,
+                };
+                let serial = run_experiment_with(policy, &serial_cfg, &fitted);
+                let fanned = run_experiment_with(policy, &parallel_cfg, &fitted);
+                assert_eq!(
+                    serial, fanned,
+                    "{scenario:?} resilience={resilience} diverged under Fixed(4)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_seed_controls_the_schedule() {
+        use pocolo_faults::Scenario;
+        let fitted = FittedCluster::fit(&ProfilerConfig::default());
+        let cfg = |seed: u64| ExperimentConfig {
+            dwell_s: 3.0,
+            faults: Some(FaultSpec {
+                scenario: Scenario::Chaos,
+                seed: Some(seed),
+            }),
+            ..ExperimentConfig::default()
+        };
+        let policy = Policy::Pocolo {
+            solver: Solver::Hungarian,
+        };
+        let a = run_experiment_with(policy, &cfg(1), &fitted);
+        let b = run_experiment_with(policy, &cfg(1), &fitted);
+        assert_eq!(a, b, "same fault seed must replay bit-identically");
+        let c = run_experiment_with(policy, &cfg(2), &fitted);
+        assert_ne!(
+            a.summary, c.summary,
+            "a different fault seed should draw a different schedule"
+        );
     }
 
     #[test]

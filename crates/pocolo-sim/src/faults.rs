@@ -1,0 +1,280 @@
+//! Glue between [`pocolo_faults`] plans and the simulator: the cluster
+//! plan is *compiled* into per-server action timelines before the run
+//! starts, so fault handling stays a pure per-server projection and the
+//! parallel fan-out remains bit-identical to the serial event queue.
+
+use pocolo_core::utility::IndirectUtility;
+use pocolo_faults::{FaultKind, FaultPlan};
+use pocolo_workloads::BeModel;
+
+/// A fault action targeted at one server.
+#[derive(Debug, Clone)]
+pub enum ServerFaultAction {
+    /// Scale the server's effective power cap by this factor (1.0 = the
+    /// provisioned cap; a brownout sets it below, recovery back to 1.0).
+    SetCapFactor(f64),
+    /// The server goes dark: the primary migrates away, the BE co-runner
+    /// is evicted, power drops to zero.
+    Crash,
+    /// The server rejoins the cluster.
+    Recover,
+    /// The management plane's load/p99 telemetry freezes until the given
+    /// absolute time.
+    FreezeTelemetry {
+        /// Absolute end of the dropout, seconds.
+        until_s: f64,
+    },
+    /// Telemetry thaws immediately.
+    Thaw,
+    /// The manager's fitted performance α's are perturbed by up to `rel`
+    /// relatively, seeded by `salt` (mixed with the server index).
+    DriftModel {
+        /// Maximum relative perturbation.
+        rel: f64,
+        /// Deterministic RNG salt.
+        salt: u64,
+    },
+    /// The best-effort co-runner is swapped (a budget-shrink replan
+    /// migration); the incoming app pays a warm-up pause.
+    ReplaceBe {
+        /// New co-runner ground truth, or `None` to leave the slot empty.
+        be_truth: Option<Box<BeModel>>,
+        /// Fitted utility for proactive planning of the new co-runner.
+        be_fitted: Option<Box<IndirectUtility>>,
+        /// Warm-up pause, seconds.
+        pause_s: f64,
+    },
+}
+
+/// A timestamped action on one server's timeline.
+#[derive(Debug, Clone)]
+pub struct ServerFaultEvent {
+    /// When the action fires, seconds from simulation start.
+    pub at_s: f64,
+    /// What happens to this server.
+    pub action: ServerFaultAction,
+}
+
+/// Per-server fault timelines, compiled from a cluster-wide [`FaultPlan`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultTimeline {
+    per_server: Vec<Vec<ServerFaultEvent>>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline for `n_servers` servers.
+    pub fn empty(n_servers: usize) -> Self {
+        FaultTimeline {
+            per_server: vec![Vec::new(); n_servers],
+        }
+    }
+
+    /// Projects a cluster-wide plan onto per-server action lists.
+    /// Cluster-wide events (brownouts, cluster telemetry dropouts,
+    /// cluster drift) fan out to every server; targeted events land on
+    /// their server only. Events out of `0..n_servers` range are dropped.
+    pub fn compile(plan: &FaultPlan, n_servers: usize) -> Self {
+        let mut timeline = FaultTimeline::empty(n_servers);
+        for event in plan.events() {
+            match &event.kind {
+                FaultKind::BrownoutStart { cap_factor } => {
+                    timeline.push_all(event.at_s, |_| ServerFaultAction::SetCapFactor(*cap_factor));
+                }
+                FaultKind::BrownoutEnd => {
+                    timeline.push_all(event.at_s, |_| ServerFaultAction::SetCapFactor(1.0));
+                }
+                FaultKind::ServerCrash { server } => {
+                    timeline.push(*server, event.at_s, ServerFaultAction::Crash);
+                }
+                FaultKind::ServerRecover { server } => {
+                    timeline.push(*server, event.at_s, ServerFaultAction::Recover);
+                }
+                FaultKind::TelemetryFreezeStart { server, until_s } => {
+                    let until_s = *until_s;
+                    match server {
+                        Some(s) => timeline.push(
+                            *s,
+                            event.at_s,
+                            ServerFaultAction::FreezeTelemetry { until_s },
+                        ),
+                        None => timeline.push_all(event.at_s, |_| {
+                            ServerFaultAction::FreezeTelemetry { until_s }
+                        }),
+                    }
+                }
+                FaultKind::TelemetryFreezeEnd { server } => match server {
+                    Some(s) => timeline.push(*s, event.at_s, ServerFaultAction::Thaw),
+                    None => timeline.push_all(event.at_s, |_| ServerFaultAction::Thaw),
+                },
+                FaultKind::ModelDrift { server, rel, salt } => {
+                    let (rel, salt) = (*rel, *salt);
+                    match server {
+                        Some(s) => timeline.push(
+                            *s,
+                            event.at_s,
+                            ServerFaultAction::DriftModel { rel, salt },
+                        ),
+                        None => timeline
+                            .push_all(event.at_s, |_| ServerFaultAction::DriftModel { rel, salt }),
+                    }
+                }
+            }
+        }
+        timeline
+    }
+
+    /// Appends an action to one server's timeline. Actions are kept in
+    /// time order (stable: coincident actions keep insertion order).
+    pub fn push(&mut self, server: usize, at_s: f64, action: ServerFaultAction) {
+        if let Some(events) = self.per_server.get_mut(server) {
+            events.push(ServerFaultEvent { at_s, action });
+            events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        }
+    }
+
+    fn push_all(&mut self, at_s: f64, mut make: impl FnMut(usize) -> ServerFaultAction) {
+        for server in 0..self.per_server.len() {
+            self.push(server, at_s, make(server));
+        }
+    }
+
+    /// The action list for one server, in time order.
+    pub fn server_events(&self, server: usize) -> &[ServerFaultEvent] {
+        self.per_server
+            .get(server)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of servers the timeline covers.
+    pub fn n_servers(&self) -> usize {
+        self.per_server.len()
+    }
+
+    /// True if no server has any scheduled action.
+    pub fn is_empty(&self) -> bool {
+        self.per_server.iter().all(Vec::is_empty)
+    }
+}
+
+/// Tuning of the degraded-mode response layered on top of fault physics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Base number of consecutive saturated capper ticks tolerated before
+    /// the BE co-runner is evicted.
+    pub eviction_patience_ticks: usize,
+    /// Extra patience ticks granted per ascending matrix-value rank, so
+    /// the *lowest*-value co-runner is evicted first cluster-wide.
+    pub patience_per_rank_ticks: usize,
+    /// Initial re-admission backoff after an eviction, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on every consecutive eviction.
+    pub backoff_factor: f64,
+    /// Backoff ceiling, seconds.
+    pub backoff_max_s: f64,
+    /// Warm-up pause a re-admitted BE app pays, seconds.
+    pub readmit_pause_s: f64,
+    /// Relative-improvement threshold below which a budget-shrink replan
+    /// keeps the incumbent placement (anti-thrash hysteresis).
+    pub replan_hysteresis: f64,
+    /// Fraction of the effective cap the power governor targets for the
+    /// *whole server* during a brownout while a BE co-runner is placed.
+    /// Must sit below the capper's RAPL release band, or the emergency
+    /// throttle never disarms while the governor holds the server at its
+    /// budget.
+    pub brownout_budget_frac: f64,
+    /// Whole-server governor target once the primary runs alone. Same
+    /// release-band constraint.
+    pub brownout_budget_frac_solo: f64,
+    /// Governor target once the primary is caught violating its SLO
+    /// under the brownout: spend right up to the cap. Sits *above* the
+    /// release band by design — a violating primary trades the RAPL
+    /// safety margin for capacity.
+    pub brownout_distress_frac: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            eviction_patience_ticks: 5,
+            patience_per_rank_ticks: 5,
+            backoff_base_s: 4.0,
+            backoff_factor: 2.0,
+            backoff_max_s: 64.0,
+            readmit_pause_s: 2.0,
+            replan_hysteresis: 0.05,
+            brownout_budget_frac: 0.88,
+            brownout_budget_frac_solo: 0.92,
+            brownout_distress_frac: 0.98,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brownout_fans_out_to_every_server() {
+        let plan = FaultPlan::new(1).with_brownout(10.0, 5.0, 0.6);
+        let t = FaultTimeline::compile(&plan, 3);
+        assert_eq!(t.n_servers(), 3);
+        for s in 0..3 {
+            let events = t.server_events(s);
+            assert_eq!(events.len(), 2);
+            assert!(
+                matches!(events[0].action, ServerFaultAction::SetCapFactor(f) if (f - 0.6).abs() < 1e-12)
+            );
+            assert!(
+                matches!(events[1].action, ServerFaultAction::SetCapFactor(f) if (f - 1.0).abs() < 1e-12)
+            );
+        }
+    }
+
+    #[test]
+    fn crash_targets_one_server() {
+        let plan = FaultPlan::new(1).with_crash(2, 10.0, 5.0);
+        let t = FaultTimeline::compile(&plan, 4);
+        assert!(t.server_events(0).is_empty());
+        assert!(t.server_events(1).is_empty());
+        assert!(t.server_events(3).is_empty());
+        let events = t.server_events(2);
+        assert!(matches!(events[0].action, ServerFaultAction::Crash));
+        assert!(matches!(events[1].action, ServerFaultAction::Recover));
+    }
+
+    #[test]
+    fn out_of_range_crash_is_dropped() {
+        let plan = FaultPlan::new(1).with_crash(9, 10.0, 5.0);
+        let t = FaultTimeline::compile(&plan, 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn dropout_freeze_carries_absolute_deadline() {
+        let plan = FaultPlan::new(1).with_telemetry_dropout(Some(1), 10.0, 7.0);
+        let t = FaultTimeline::compile(&plan, 2);
+        let events = t.server_events(1);
+        assert!(
+            matches!(events[0].action, ServerFaultAction::FreezeTelemetry { until_s } if (until_s - 17.0).abs() < 1e-12)
+        );
+        assert!(matches!(events[1].action, ServerFaultAction::Thaw));
+        assert!(t.server_events(0).is_empty());
+    }
+
+    #[test]
+    fn pushed_events_stay_time_ordered() {
+        let mut t = FaultTimeline::empty(1);
+        t.push(0, 5.0, ServerFaultAction::Crash);
+        t.push(0, 1.0, ServerFaultAction::SetCapFactor(0.5));
+        let times: Vec<f64> = t.server_events(0).iter().map(|e| e.at_s).collect();
+        assert_eq!(times, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_timeline_reports_empty() {
+        let t = FaultTimeline::empty(4);
+        assert!(t.is_empty());
+        assert!(t.server_events(99).is_empty());
+    }
+}

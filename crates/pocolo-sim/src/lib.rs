@@ -25,6 +25,7 @@
 pub mod cluster_sim;
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod metrics;
 pub mod parallel;
 pub mod rebalance;
@@ -34,6 +35,7 @@ pub mod spatial_sim;
 pub use cluster_sim::ClusterSim;
 pub use engine::{Engine, EventEntry};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy};
+pub use faults::{FaultTimeline, ResilienceConfig, ServerFaultAction, ServerFaultEvent};
 pub use metrics::{ClusterSummary, ServerMetrics};
 pub use parallel::Parallelism;
 pub use rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};

@@ -21,10 +21,22 @@ pub struct ServerMetrics {
     pub capping_frac: f64,
     /// Number of accumulation samples.
     pub samples: usize,
+    /// Longest observed time from a fault clearing to the first healthy
+    /// tick (SLO met, power within the cap), seconds. Zero when no fault
+    /// recovery was observed.
+    pub time_to_recover_s: f64,
+    /// Fraction of *fault-active* time the primary violated its SLO
+    /// (zero when no fault time was accumulated).
+    pub slo_violation_frac_during_fault: f64,
+    /// Number of best-effort evictions (degraded-mode load shedding and
+    /// crash-driven evictions).
+    pub evictions: usize,
     // Internal accumulators.
     be_integral: f64,
     violation_time: f64,
     capping_events: usize,
+    fault_time: f64,
+    fault_violation_time: f64,
 }
 
 impl ServerMetrics {
@@ -39,13 +51,21 @@ impl ServerMetrics {
             lc_violation_frac: 0.0,
             capping_frac: 0.0,
             samples: 0,
+            time_to_recover_s: 0.0,
+            slo_violation_frac_during_fault: 0.0,
+            evictions: 0,
             be_integral: 0.0,
             violation_time: 0.0,
             capping_events: 0,
+            fault_time: 0.0,
+            fault_violation_time: 0.0,
         }
     }
 
-    /// Records one interval of `dt` seconds.
+    /// Records one interval of `dt` seconds. `fault_active` marks
+    /// intervals spent under an active fault (brownout window, crash
+    /// downtime, telemetry dropout), feeding the
+    /// [`ServerMetrics::slo_violation_frac_during_fault`] breakdown.
     pub fn record(
         &mut self,
         dt: f64,
@@ -53,6 +73,7 @@ impl ServerMetrics {
         be_throughput: f64,
         lc_slack: f64,
         throttled: bool,
+        fault_active: bool,
     ) {
         debug_assert!(dt > 0.0);
         self.duration_s += dt;
@@ -65,11 +86,69 @@ impl ServerMetrics {
         if throttled {
             self.capping_events += 1;
         }
+        if fault_active {
+            self.fault_time += dt;
+            if lc_slack < 0.0 {
+                self.fault_violation_time += dt;
+            }
+        }
         self.samples += 1;
+        self.refresh_derived();
+    }
+
+    /// Records a best-effort eviction.
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Records a completed fault recovery that took `seconds` from the
+    /// fault clearing to the first healthy tick; the reported
+    /// [`ServerMetrics::time_to_recover_s`] is the worst such episode.
+    pub fn record_recovery(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.time_to_recover_s = self.time_to_recover_s.max(seconds);
+    }
+
+    /// Merges another accumulator covering a *disjoint* interval of the
+    /// same server's run into this one. Returns `None` if the two track
+    /// different power caps (they are not the same server).
+    pub fn merge(&self, other: &ServerMetrics) -> Option<ServerMetrics> {
+        if self.power_cap != other.power_cap {
+            return None;
+        }
+        let mut out = self.clone();
+        out.duration_s += other.duration_s;
+        out.energy += other.energy;
+        out.peak_power = out.peak_power.max(other.peak_power);
+        out.samples += other.samples;
+        out.evictions += other.evictions;
+        out.time_to_recover_s = out.time_to_recover_s.max(other.time_to_recover_s);
+        out.be_integral += other.be_integral;
+        out.violation_time += other.violation_time;
+        out.capping_events += other.capping_events;
+        out.fault_time += other.fault_time;
+        out.fault_violation_time += other.fault_violation_time;
+        if out.samples > 0 {
+            out.refresh_derived();
+        }
+        Some(out)
+    }
+
+    fn refresh_derived(&mut self) {
         // Keep derived fields current so serialization is always valid.
         self.be_throughput_avg = self.be_integral / self.duration_s;
         self.lc_violation_frac = self.violation_time / self.duration_s;
         self.capping_frac = self.capping_events as f64 / self.samples as f64;
+        self.slo_violation_frac_during_fault = if self.fault_time > 0.0 {
+            self.fault_violation_time / self.fault_time
+        } else {
+            0.0
+        };
+    }
+
+    /// Time spent under an active fault, seconds.
+    pub fn fault_time_s(&self) -> f64 {
+        self.fault_time
     }
 
     /// Time-average server power.
@@ -107,6 +186,12 @@ pub struct ClusterSummary {
     pub worst_violation_frac: f64,
     /// Mean capping fraction.
     pub avg_capping_frac: f64,
+    /// Worst per-server fault recovery time, seconds.
+    pub time_to_recover_s: f64,
+    /// Worst per-server SLO violation fraction during fault-active time.
+    pub slo_violation_frac_during_fault: f64,
+    /// Total best-effort evictions across the cluster.
+    pub evictions: usize,
 }
 
 impl ClusterSummary {
@@ -130,6 +215,15 @@ impl ClusterSummary {
             .map(|s| s.lc_violation_frac)
             .fold(0.0, f64::max);
         let avg_capping_frac = servers.iter().map(|s| s.capping_frac).sum::<f64>() / n;
+        let time_to_recover_s = servers
+            .iter()
+            .map(|s| s.time_to_recover_s)
+            .fold(0.0, f64::max);
+        let slo_violation_frac_during_fault = servers
+            .iter()
+            .map(|s| s.slo_violation_frac_during_fault)
+            .fold(0.0, f64::max);
+        let evictions = servers.iter().map(|s| s.evictions).sum();
         Some(ClusterSummary {
             avg_be_throughput,
             avg_power_utilization,
@@ -137,6 +231,9 @@ impl ClusterSummary {
             energy_per_throughput,
             worst_violation_frac,
             avg_capping_frac,
+            time_to_recover_s,
+            slo_violation_frac_during_fault,
+            evictions,
         })
     }
 }
@@ -152,9 +249,14 @@ impl pocolo_json::ToJson for ServerMetrics {
             "lc_violation_frac": self.lc_violation_frac,
             "capping_frac": self.capping_frac,
             "samples": self.samples,
+            "time_to_recover_s": self.time_to_recover_s,
+            "slo_violation_frac_during_fault": self.slo_violation_frac_during_fault,
+            "evictions": self.evictions,
             "be_integral": self.be_integral,
             "violation_time": self.violation_time,
             "capping_events": self.capping_events,
+            "fault_time": self.fault_time,
+            "fault_violation_time": self.fault_violation_time,
         })
     }
 }
@@ -170,9 +272,14 @@ impl pocolo_json::FromJson for ServerMetrics {
             lc_violation_frac: v["lc_violation_frac"].as_f64()?,
             capping_frac: v["capping_frac"].as_f64()?,
             samples: v["samples"].as_u64()? as usize,
+            time_to_recover_s: v["time_to_recover_s"].as_f64()?,
+            slo_violation_frac_during_fault: v["slo_violation_frac_during_fault"].as_f64()?,
+            evictions: v["evictions"].as_u64()? as usize,
             be_integral: v["be_integral"].as_f64()?,
             violation_time: v["violation_time"].as_f64()?,
             capping_events: v["capping_events"].as_u64()? as usize,
+            fault_time: v["fault_time"].as_f64()?,
+            fault_violation_time: v["fault_violation_time"].as_f64()?,
         })
     }
 }
@@ -186,6 +293,9 @@ impl pocolo_json::ToJson for ClusterSummary {
             "energy_per_throughput": self.energy_per_throughput,
             "worst_violation_frac": self.worst_violation_frac,
             "avg_capping_frac": self.avg_capping_frac,
+            "time_to_recover_s": self.time_to_recover_s,
+            "slo_violation_frac_during_fault": self.slo_violation_frac_during_fault,
+            "evictions": self.evictions,
         })
     }
 }
@@ -200,6 +310,9 @@ impl pocolo_json::FromJson for ClusterSummary {
             energy_per_throughput: v["energy_per_throughput"].as_f64().unwrap_or(f64::INFINITY),
             worst_violation_frac: v["worst_violation_frac"].as_f64()?,
             avg_capping_frac: v["avg_capping_frac"].as_f64()?,
+            time_to_recover_s: v["time_to_recover_s"].as_f64()?,
+            slo_violation_frac_during_fault: v["slo_violation_frac_during_fault"].as_f64()?,
+            evictions: v["evictions"].as_u64()? as usize,
         })
     }
 }
@@ -211,8 +324,8 @@ mod tests {
     #[test]
     fn record_accumulates() {
         let mut m = ServerMetrics::new(Watts(100.0));
-        m.record(1.0, Watts(80.0), 0.5, 0.2, false);
-        m.record(1.0, Watts(90.0), 0.7, -0.1, true);
+        m.record(1.0, Watts(80.0), 0.5, 0.2, false, false);
+        m.record(1.0, Watts(90.0), 0.7, -0.1, true, false);
         assert_eq!(m.duration_s, 2.0);
         assert_eq!(m.energy, Joules(170.0));
         assert_eq!(m.peak_power, Watts(90.0));
@@ -221,6 +334,64 @@ mod tests {
         assert!((m.be_throughput_avg - 0.6).abs() < 1e-9);
         assert!((m.lc_violation_frac - 0.5).abs() < 1e-9);
         assert!((m.capping_frac - 0.5).abs() < 1e-9);
+        assert_eq!(m.slo_violation_frac_during_fault, 0.0);
+    }
+
+    #[test]
+    fn fault_windows_get_their_own_violation_frac() {
+        let mut m = ServerMetrics::new(Watts(100.0));
+        m.record(1.0, Watts(80.0), 0.5, -0.1, false, false); // healthy-time violation
+        m.record(1.0, Watts(80.0), 0.5, -0.2, true, true); // fault + violation
+        m.record(1.0, Watts(80.0), 0.5, 0.3, false, true); // fault, SLO met
+        assert!((m.lc_violation_frac - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.slo_violation_frac_during_fault - 0.5).abs() < 1e-9);
+        assert!((m.fault_time_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_keeps_the_worst_episode() {
+        let mut m = ServerMetrics::new(Watts(100.0));
+        m.record_recovery(2.5);
+        m.record_recovery(1.0);
+        assert_eq!(m.time_to_recover_s, 2.5);
+        m.record_eviction();
+        m.record_eviction();
+        assert_eq!(m.evictions, 2);
+    }
+
+    #[test]
+    fn merge_of_splits_matches_whole_run() {
+        let ticks = [
+            (0.1, 80.0, 0.5, 0.2, false, false),
+            (0.1, 90.0, 0.6, -0.1, true, true),
+            (0.1, 85.0, 0.4, 0.1, false, true),
+            (0.1, 70.0, 0.8, 0.4, false, false),
+        ];
+        let mut whole = ServerMetrics::new(Watts(100.0));
+        let mut a = ServerMetrics::new(Watts(100.0));
+        let mut b = ServerMetrics::new(Watts(100.0));
+        for (i, &(dt, p, th, sl, cap, fa)) in ticks.iter().enumerate() {
+            whole.record(dt, Watts(p), th, sl, cap, fa);
+            let half = if i < 2 { &mut a } else { &mut b };
+            half.record(dt, Watts(p), th, sl, cap, fa);
+        }
+        let merged = a.merge(&b).unwrap();
+        assert!((merged.duration_s - whole.duration_s).abs() < 1e-12);
+        assert!((merged.energy.0 - whole.energy.0).abs() < 1e-9);
+        assert!((merged.be_throughput_avg - whole.be_throughput_avg).abs() < 1e-12);
+        assert!((merged.lc_violation_frac - whole.lc_violation_frac).abs() < 1e-12);
+        assert_eq!(merged.samples, whole.samples);
+        assert!(
+            (merged.slo_violation_frac_during_fault - whole.slo_violation_frac_during_fault).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn merge_rejects_different_caps() {
+        let a = ServerMetrics::new(Watts(100.0));
+        let b = ServerMetrics::new(Watts(200.0));
+        assert!(a.merge(&b).is_none());
     }
 
     #[test]
@@ -228,14 +399,19 @@ mod tests {
         let m = ServerMetrics::new(Watts(100.0));
         assert_eq!(m.avg_power(), Watts::ZERO);
         assert_eq!(m.power_utilization(), 0.0);
+        assert_eq!(m.time_to_recover_s, 0.0);
+        assert_eq!(m.evictions, 0);
     }
 
     #[test]
     fn aggregate_cluster() {
         let mut a = ServerMetrics::new(Watts(100.0));
-        a.record(10.0, Watts(90.0), 0.8, 0.2, false);
+        a.record(10.0, Watts(90.0), 0.8, 0.2, false, false);
+        a.record_recovery(3.0);
+        a.record_eviction();
         let mut b = ServerMetrics::new(Watts(200.0));
-        b.record(10.0, Watts(100.0), 0.4, -0.2, true);
+        b.record(10.0, Watts(100.0), 0.4, -0.2, true, true);
+        b.record_recovery(7.0);
         let c = ClusterSummary::aggregate(&[a, b]).unwrap();
         assert!((c.avg_be_throughput - 0.6).abs() < 1e-9);
         assert!((c.avg_power_utilization - (0.9 + 0.5) / 2.0).abs() < 1e-9);
@@ -243,6 +419,9 @@ mod tests {
         assert!((c.energy_per_throughput - 1900.0 / 1.2).abs() < 1e-9);
         assert!((c.worst_violation_frac - 1.0).abs() < 1e-9);
         assert!((c.avg_capping_frac - 0.5).abs() < 1e-9);
+        assert_eq!(c.time_to_recover_s, 7.0);
+        assert!((c.slo_violation_frac_during_fault - 1.0).abs() < 1e-9);
+        assert_eq!(c.evictions, 1);
     }
 
     #[test]
@@ -253,8 +432,96 @@ mod tests {
     #[test]
     fn zero_throughput_energy_is_infinite() {
         let mut a = ServerMetrics::new(Watts(100.0));
-        a.record(1.0, Watts(50.0), 0.0, 0.5, false);
+        a.record(1.0, Watts(50.0), 0.0, 0.5, false, false);
         let c = ClusterSummary::aggregate(&[a]).unwrap();
         assert!(c.energy_per_throughput.is_infinite());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fault_fields() {
+        use pocolo_json::{FromJson, ToJson};
+        let mut m = ServerMetrics::new(Watts(150.0));
+        m.record(0.1, Watts(120.0), 0.4, -0.05, true, true);
+        m.record_eviction();
+        m.record_recovery(4.5);
+        let back = ServerMetrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        let summary = ClusterSummary::aggregate(&[m]).unwrap();
+        let back = ClusterSummary::from_json(&summary.to_json()).unwrap();
+        assert_eq!(back, summary);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_tick() -> impl Strategy<Value = (f64, f64, f64, f64, bool, bool)> {
+        (
+            0.01f64..2.0,  // dt
+            0.0f64..500.0, // power
+            0.0f64..1.0,   // be throughput
+            -1.0f64..1.0,  // slack
+            any::<bool>(),
+            any::<bool>(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Energy is monotone in recorded ticks and every derived
+        /// fraction stays inside [0, 1].
+        #[test]
+        fn energy_monotone_and_fractions_bounded(
+            ticks in proptest::collection::vec(arb_tick(), 1..60),
+        ) {
+            let mut m = ServerMetrics::new(Watts(200.0));
+            let mut last_energy = 0.0f64;
+            for (dt, p, th, sl, cap, fa) in ticks {
+                m.record(dt, Watts(p), th, sl, cap, fa);
+                prop_assert!(m.energy.0 >= last_energy, "energy regressed");
+                last_energy = m.energy.0;
+                for (name, frac) in [
+                    ("lc_violation_frac", m.lc_violation_frac),
+                    ("capping_frac", m.capping_frac),
+                    ("be_throughput_avg", m.be_throughput_avg),
+                    ("fault violation frac", m.slo_violation_frac_during_fault),
+                ] {
+                    prop_assert!((0.0..=1.0).contains(&frac), "{name} = {frac} out of [0,1]");
+                }
+            }
+        }
+
+        /// Recording a run in one accumulator equals splitting it at any
+        /// point and merging the halves (up to float associativity).
+        #[test]
+        fn merge_of_splits_equals_whole_run(
+            ticks in proptest::collection::vec(arb_tick(), 2..60),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((ticks.len() as f64 * split_frac) as usize).clamp(1, ticks.len() - 1);
+            let mut whole = ServerMetrics::new(Watts(300.0));
+            let mut a = ServerMetrics::new(Watts(300.0));
+            let mut b = ServerMetrics::new(Watts(300.0));
+            for (i, &(dt, p, th, sl, cap, fa)) in ticks.iter().enumerate() {
+                whole.record(dt, Watts(p), th, sl, cap, fa);
+                if i < split { &mut a } else { &mut b }.record(dt, Watts(p), th, sl, cap, fa);
+            }
+            let merged = a.merge(&b).expect("same cap");
+            let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()));
+            prop_assert!(close(merged.duration_s, whole.duration_s));
+            prop_assert!(close(merged.energy.0, whole.energy.0));
+            prop_assert!(close(merged.be_throughput_avg, whole.be_throughput_avg));
+            prop_assert!(close(merged.lc_violation_frac, whole.lc_violation_frac));
+            prop_assert!(close(
+                merged.slo_violation_frac_during_fault,
+                whole.slo_violation_frac_during_fault
+            ));
+            prop_assert!(close(merged.capping_frac, whole.capping_frac));
+            prop_assert_eq!(merged.samples, whole.samples);
+            prop_assert_eq!(merged.peak_power, whole.peak_power);
+        }
     }
 }

@@ -2,15 +2,45 @@
 
 use pocolo_core::units::{Frequency, Watts};
 use pocolo_core::utility::IndirectUtility;
+use pocolo_core::CobbDouglas;
+use pocolo_faults::ReadmissionBackoff;
 use pocolo_manager::{CapAction, LcPolicy, ManagerConfig, PowerCapper, ServerManager};
 use pocolo_simserver::power::{PowerDrawModel, PowerMeter};
-use pocolo_simserver::{SimServer, TenantRole};
+use pocolo_simserver::{SimServer, TenantRole, TimeSeries};
 use pocolo_workloads::{BeModel, LcModel, LoadTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::faults::{ResilienceConfig, ServerFaultAction};
 use crate::metrics::ServerMetrics;
 
+/// Degraded-mode response state (present only when resilience is armed).
+#[derive(Debug)]
+struct ResilienceState {
+    config: ResilienceConfig,
+    /// Ascending matrix-value rank of this server's co-runner: rank 0 is
+    /// the cluster's lowest-value pairing and gets the least eviction
+    /// patience (it is sacrificed first).
+    rank: usize,
+    backoff: ReadmissionBackoff,
+    saturated_ticks: usize,
+    readmit_at_s: Option<f64>,
+    /// Latched when the meter reads above the brownout budget: the
+    /// manager then sizes the primary inside the shrunk envelope instead
+    /// of growing it into the RAPL throttle. Cleared when the brownout
+    /// lifts.
+    governor: bool,
+    /// Latched when the governed primary is caught violating its SLO:
+    /// the budget target escalates from the comfort fraction to just
+    /// under the cap. Sticky until the brownout lifts, so the target
+    /// doesn't oscillate around the violation boundary.
+    escalated: bool,
+}
+
 /// One server under simulation: the ground-truth workload models, the
-/// simulated hardware, and the two control loops.
+/// simulated hardware, and the two control loops — plus, optionally, the
+/// fault physics (brownout caps, crashes, frozen telemetry, RAPL-style
+/// emergency throttling) and the degraded-mode response on top.
 #[derive(Debug)]
 pub struct ServerSim {
     lc_truth: LcModel,
@@ -23,6 +53,8 @@ pub struct ServerSim {
     trace: LoadTrace,
     metrics: ServerMetrics,
     last_slack: Option<f64>,
+    /// Last meter reading (what a real power governor would see).
+    last_measured: Option<Watts>,
     current_load_rps: f64,
     /// Fitted BE utility for proactive (model-guided) secondary planning.
     be_fitted: Option<IndirectUtility>,
@@ -32,6 +64,32 @@ pub struct ServerSim {
     /// its state moves in (§I: "dynamically moving applications across
     /// servers incurs high overheads").
     pause_remaining_s: f64,
+    /// RNG seed (meter + drift perturbations derive from it).
+    seed: u64,
+    /// Internal clock, advanced by manager and capper ticks.
+    clock_s: f64,
+    /// Effective-cap multiplier (1.0 = provisioned; brownouts set < 1).
+    cap_factor: f64,
+    /// True while the server is crashed.
+    down: bool,
+    /// What the management plane *observes* (freezable telemetry).
+    obs_load: TimeSeries,
+    obs_slack: TimeSeries,
+    /// Fault physics armed: the capper enforces the *effective* cap and a
+    /// RAPL-style emergency throttle may slow the primary under sustained
+    /// overdraw.
+    fault_physics: bool,
+    /// Emergency DVFS ceiling on the primary (RAPL analogue).
+    rapl_ceiling: Frequency,
+    /// Forced-idle duty factor (RAPL's last resort once the frequency is
+    /// floored and the server still overdraws): capacity and BE
+    /// throughput scale with it, tail latency suffers accordingly.
+    duty: f64,
+    /// Evicted/crashed-out BE co-runner awaiting re-admission.
+    parked_be: Option<(BeModel, Option<IndirectUtility>)>,
+    /// Set when a fault clears; resolved at the first healthy tick.
+    recovery_pending_since: Option<f64>,
+    resilience: Option<ResilienceState>,
 }
 
 impl ServerSim {
@@ -54,6 +112,7 @@ impl ServerSim {
         let machine = lc_truth.machine().clone();
         let server = SimServer::new(machine.clone(), power_cap);
         let manager = ServerManager::new(lc_fitted, policy, ManagerConfig::default());
+        let rapl_ceiling = machine.freq_max();
         ServerSim {
             power_model: PowerDrawModel::new(machine),
             lc_truth,
@@ -65,10 +124,23 @@ impl ServerSim {
             trace,
             metrics: ServerMetrics::new(power_cap),
             last_slack: None,
+            last_measured: None,
             current_load_rps: 0.0,
             be_fitted: None,
             freq_ceiling: None,
             pause_remaining_s: 0.0,
+            seed,
+            clock_s: 0.0,
+            cap_factor: 1.0,
+            down: false,
+            obs_load: TimeSeries::with_capacity(16),
+            obs_slack: TimeSeries::with_capacity(16),
+            fault_physics: false,
+            rapl_ceiling,
+            duty: 1.0,
+            parked_be: None,
+            recovery_pending_since: None,
+            resilience: None,
         }
     }
 
@@ -103,6 +175,44 @@ impl ServerSim {
         self
     }
 
+    /// Arms the fault physics: the capper enforces the *effective* cap
+    /// (provisioned × brownout factor) and a RAPL-style emergency DVFS
+    /// throttle slows the primary when the server stays over that cap
+    /// with the secondary already floored. Without this, fault events
+    /// still apply but the hardware behaves as if provisioning were
+    /// always honest.
+    #[must_use]
+    pub fn with_fault_physics(mut self) -> Self {
+        self.fault_physics = true;
+        self
+    }
+
+    /// Arms the degraded-mode response: stale telemetry switches the
+    /// manager to pure Heracles-style feedback, the proactive planner
+    /// tracks the *effective* cap, and a co-runner that keeps the capper
+    /// saturated is evicted (after a patience proportional to `rank`)
+    /// with exponential re-admission backoff. Implies
+    /// [`ServerSim::with_fault_physics`].
+    #[must_use]
+    pub fn with_resilience(mut self, config: ResilienceConfig, rank: usize) -> Self {
+        self.fault_physics = true;
+        let backoff = ReadmissionBackoff::new(
+            config.backoff_base_s,
+            config.backoff_factor,
+            config.backoff_max_s,
+        );
+        self.resilience = Some(ResilienceState {
+            config,
+            rank,
+            backoff,
+            saturated_ticks: 0,
+            readmit_at_s: None,
+            governor: false,
+            escalated: false,
+        });
+        self
+    }
+
     /// The ground-truth LC model.
     pub fn lc_truth(&self) -> &LcModel {
         &self.lc_truth
@@ -123,39 +233,340 @@ impl ServerSim {
         &self.server
     }
 
+    /// The effective power cap right now (provisioned × brownout factor).
+    pub fn effective_cap(&self) -> Watts {
+        self.server.power_cap() * self.cap_factor
+    }
+
+    /// True while the server is crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// True while any fault is active on this server (brownout window,
+    /// crash downtime, or frozen telemetry).
+    pub fn fault_active(&self) -> bool {
+        self.cap_factor < 1.0 || self.down || self.obs_load.is_frozen(self.clock_s)
+    }
+
+    /// Applies one fault action at absolute time `now_s`.
+    pub fn apply_fault(&mut self, action: &ServerFaultAction, now_s: f64) {
+        self.clock_s = self.clock_s.max(now_s);
+        match action {
+            ServerFaultAction::SetCapFactor(factor) => {
+                let lifted = *factor >= 1.0 && self.cap_factor < 1.0;
+                if lifted {
+                    // Brownout lifted: recovery clock starts, the power
+                    // governor disarms.
+                    self.recovery_pending_since = Some(now_s);
+                    if let Some(state) = &mut self.resilience {
+                        state.governor = false;
+                        state.escalated = false;
+                    }
+                }
+                self.cap_factor = factor.clamp(0.05, 1.0);
+                // The degraded-mode response is event-driven: the moment
+                // the brownout lifts it replans at the restored cap
+                // instead of serving shrunken allocations until the next
+                // periodic epoch. The naive path keeps polling.
+                if lifted && self.resilience.is_some() {
+                    self.on_manager_tick(now_s);
+                }
+            }
+            ServerFaultAction::Crash => {
+                self.down = true;
+                if let Some(be) = self.be_truth.take() {
+                    self.parked_be = Some((be, self.be_fitted.take()));
+                    self.metrics.record_eviction();
+                }
+                self.server.evict(TenantRole::Primary);
+                self.server.evict(TenantRole::Secondary);
+                self.freq_ceiling = None;
+                self.last_slack = None;
+                self.recovery_pending_since = None;
+            }
+            ServerFaultAction::Recover => {
+                self.down = false;
+                self.recovery_pending_since = Some(now_s);
+                match &mut self.resilience {
+                    Some(state) => {
+                        if self.parked_be.is_some() {
+                            state.readmit_at_s = Some(now_s + state.backoff.next_delay());
+                        }
+                    }
+                    None => {
+                        // Naive path: the BE app is restarted immediately,
+                        // whatever the post-crash conditions.
+                        if let Some((truth, fitted)) = self.parked_be.take() {
+                            self.replace_be(Some(truth), fitted, 0.0);
+                        }
+                    }
+                }
+            }
+            ServerFaultAction::FreezeTelemetry { until_s } => {
+                self.obs_load.freeze_until(*until_s);
+                self.obs_slack.freeze_until(*until_s);
+            }
+            ServerFaultAction::Thaw => {
+                self.obs_load.thaw();
+                self.obs_slack.thaw();
+                self.recovery_pending_since = Some(now_s);
+            }
+            ServerFaultAction::DriftModel { rel, salt } => {
+                self.drift_model(*rel, *salt);
+            }
+            ServerFaultAction::ReplaceBe {
+                be_truth,
+                be_fitted,
+                pause_s,
+            } => {
+                self.replace_be(
+                    be_truth.as_deref().cloned(),
+                    be_fitted.as_deref().cloned(),
+                    *pause_s,
+                );
+            }
+        }
+    }
+
+    /// Perturbs the manager's fitted performance α's by up to `rel`
+    /// relatively — the workload drifted under the model. Deterministic in
+    /// `(salt, server seed)`.
+    fn drift_model(&mut self, rel: f64, salt: u64) {
+        let utility = self.manager.utility();
+        let perf = utility.performance_model();
+        let mut rng = StdRng::seed_from_u64(salt ^ self.seed.rotate_left(17));
+        let alphas: Vec<f64> = perf
+            .alphas()
+            .iter()
+            .map(|&a| {
+                let jitter = rng.gen_range(-1.0f64..1.0);
+                (a * (1.0 + rel * jitter)).max(1e-3)
+            })
+            .collect();
+        let space = utility.space().clone();
+        let power = utility.power_model().clone();
+        if let Ok(drifted) = CobbDouglas::new(perf.alpha0(), alphas) {
+            if let Ok(new_utility) = IndirectUtility::new(space, drifted, power) {
+                self.manager.replace_utility(new_utility);
+            }
+        }
+    }
+
     /// The manager tick (1 s in the paper): read the load trace, feed back
-    /// the observed slack, re-size the primary.
+    /// the observed slack, re-size the primary. Under a telemetry dropout
+    /// the manager consumes the *frozen* readings; with resilience armed
+    /// it instead falls back to blind Heracles-style feedback.
     pub fn on_manager_tick(&mut self, now_s: f64) {
-        self.current_load_rps = self.trace.load_at(now_s) * self.lc_truth.peak_load_rps();
+        self.clock_s = now_s;
+        if self.down {
+            return;
+        }
+        let true_load = self.trace.load_at(now_s) * self.lc_truth.peak_load_rps();
+        self.current_load_rps = true_load;
+        self.obs_load.push(now_s, true_load);
+        let stale = self.obs_load.is_frozen(now_s);
+        let observed_load = self.obs_load.last().map(|(_, v)| v).unwrap_or(true_load);
+        let observed_slack = if stale {
+            self.obs_slack.last().map(|(_, v)| v)
+        } else {
+            self.last_slack
+        };
         // Managers are resilient: a failed step leaves the previous
         // allocation in place rather than killing the simulation.
-        let _ = self
-            .manager
-            .control_step(&mut self.server, self.current_load_rps, self.last_slack);
+        if stale && self.resilience.is_some() {
+            // Degraded mode: telemetry cannot be trusted, so neither can
+            // the analytic solve that consumes it. When blind, protect
+            // the SLO with incremental growth.
+            let _ = self.manager.degraded_step(&mut self.server, None);
+        } else if let (Some(state), true) = (&self.resilience, self.cap_factor < 1.0) {
+            // Brownout: a measured overdraw arms the power governor, which
+            // re-sizes the primary to the Cobb-Douglas demand at a budget
+            // *calibrated by the observed model-to-meter ratio* — instead
+            // of growing it into the RAPL throttle. A frequency-floored
+            // full machine serves less than a budget-sized allocation at
+            // full clock.
+            let comfort_frac = if self.be_truth.is_some() {
+                state.config.brownout_budget_frac
+            } else {
+                state.config.brownout_budget_frac_solo
+            };
+            let distress_frac = state.config.brownout_distress_frac;
+            let measured = self.last_measured;
+            let eff_cap = self.effective_cap();
+            let release = self.capper.release;
+            let throttled = self.rapl_ceiling < self.lc_truth.machine().freq_max();
+            let (governed, frac) = {
+                let state = self.resilience.as_mut().expect("guarded above");
+                if observed_slack.is_some_and(|s| s < 0.0) {
+                    state.escalated = true;
+                }
+                let mut frac = if state.escalated {
+                    distress_frac
+                } else {
+                    comfort_frac
+                };
+                // An escalated target above the release band would pin a
+                // dropped RAPL ceiling down forever. While throttled, duck
+                // below the band so the clock recovers first — capacity at
+                // full clock beats watts at a floored one.
+                if throttled {
+                    frac = frac.min(release - 0.02);
+                }
+                // Total-server target: the comfort fraction sits below the
+                // capper's release band so the RAPL throttle disarms once
+                // the governor holds it; distress escalates to just under
+                // the cap — comfort margins are a luxury of met SLOs.
+                if measured.is_some_and(|m| m > eff_cap * frac) {
+                    state.governor = true;
+                }
+                (state.governor, frac)
+            };
+            let target_total = eff_cap * frac;
+            match measured {
+                Some(m) if governed && m.0 > 0.0 => {
+                    let (c, w) = self.manager.last_counts().unwrap_or((1, 1));
+                    let modeled = self
+                        .manager
+                        .utility()
+                        .power_model()
+                        .power_of_amounts(&[c as f64, w as f64])
+                        .unwrap_or(target_total);
+                    // The meter reads the whole server; the budget governs
+                    // only the primary. The co-runner's fitted draw
+                    // estimate is subtracted from *both* the target and
+                    // the reading, so estimate error cancels in steady
+                    // state instead of starving (or overfeeding) the
+                    // primary.
+                    let be_est = self.be_draw_estimate();
+                    let primary_budget = (target_total.0 - be_est.0).max(1.0);
+                    let m_primary = (m.0 - be_est.0).max(1.0);
+                    // The fitted model prices allocations at full
+                    // utilization; the meter reads the actual draw. Their
+                    // ratio converts the watt budget into model space, so
+                    // the clamp neither starves (model overestimates) nor
+                    // overshoots (model underestimates).
+                    let ratio = (primary_budget / m_primary).clamp(0.5, 1.5);
+                    let _ = self.manager.budgeted_step(
+                        &mut self.server,
+                        observed_load,
+                        observed_slack,
+                        Watts(modeled.0 * ratio),
+                    );
+                }
+                _ => {
+                    let _ =
+                        self.manager
+                            .control_step(&mut self.server, observed_load, observed_slack);
+                }
+            }
+        } else {
+            let _ = self
+                .manager
+                .control_step(&mut self.server, observed_load, observed_slack);
+        }
+        self.enforce_rapl_ceiling();
         self.plan_secondary_frequency();
+        self.try_readmit_be(now_s);
+    }
+
+    /// Re-admits a parked BE co-runner once its backoff expires — unless
+    /// the server is still faulted or saturated, in which case the wait
+    /// doubles (exponential backoff).
+    fn try_readmit_be(&mut self, now_s: f64) {
+        let Some(state) = &mut self.resilience else {
+            return;
+        };
+        let Some(at) = state.readmit_at_s else {
+            return;
+        };
+        if now_s < at {
+            return;
+        }
+        let fault_active = self.cap_factor < 1.0 || self.down || self.obs_load.is_frozen(now_s);
+        if state.saturated_ticks > 0 || fault_active {
+            state.readmit_at_s = Some(now_s + state.backoff.next_delay());
+            return;
+        }
+        state.readmit_at_s = None;
+        let pause = state.config.readmit_pause_s;
+        if let Some((truth, fitted)) = self.parked_be.take() {
+            self.replace_be(Some(truth), fitted, pause);
+        }
+    }
+
+    /// Clamps the primary under the RAPL emergency ceiling (the manager
+    /// reinstalls it at `f_max` every epoch).
+    fn enforce_rapl_ceiling(&mut self) {
+        if !self.fault_physics {
+            return;
+        }
+        if let Some(primary) = self.server.allocation(TenantRole::Primary).copied() {
+            if primary.frequency > self.rapl_ceiling {
+                let _ = self
+                    .server
+                    .set_frequency(TenantRole::Primary, self.rapl_ceiling);
+            }
+        }
     }
 
     /// Model-guided secondary planning (see [`ServerSim::with_proactive_be`]).
     fn plan_secondary_frequency(&mut self) {
         self.freq_ceiling = None;
-        let Some(be_fit) = &self.be_fitted else {
+        let Some(sec) = self.server.allocation(TenantRole::Secondary).copied() else {
             return;
         };
-        let Some(sec) = self.server.allocation(TenantRole::Secondary).copied() else {
+        // A parked (evicted / crashed-out) co-runner leaves its slot
+        // allocated but idle; any frequency beyond the floor is pure
+        // waste heat charged against the cap. Checked before the fitted
+        // model, which eviction parks along with the app.
+        if self.be_truth.is_none() && self.parked_be.is_some() {
+            let floor = self.lc_truth.machine().freq_min();
+            if sec.frequency > floor {
+                let _ = self.server.set_frequency(TenantRole::Secondary, floor);
+            }
+            self.freq_ceiling = Some(floor);
+            return;
+        }
+        let Some(be_fit) = &self.be_fitted else {
             return;
         };
         let Some((c, w)) = self.manager.last_counts() else {
             return;
         };
+        // LC priority under an active brownout: while the primary is
+        // violating its SLO, the co-runner gets nothing beyond the floor.
+        // Freed watts must reach the primary — otherwise a shrinking
+        // primary lowers its own predicted draw, the planner hands the
+        // difference to the BE, and total draw never falls.
+        if self.resilience.is_some()
+            && self.cap_factor < 1.0
+            && self.last_slack.is_some_and(|s| s < 0.0)
+        {
+            let floor = self.lc_truth.machine().freq_min();
+            if sec.frequency > floor {
+                let _ = self.server.set_frequency(TenantRole::Secondary, floor);
+            }
+            self.freq_ceiling = Some(floor);
+            return;
+        }
         let lc_pred = self
             .manager
             .utility()
             .power_model()
             .power_of_amounts(&[c as f64, w as f64])
             .unwrap_or(Watts::ZERO);
+        // The resilient manager propagates the browned-out cap into the
+        // plan; the naive one keeps planning against the provisioned cap
+        // it was told at provisioning time.
+        let cap = if self.resilience.is_some() {
+            self.effective_cap()
+        } else {
+            self.server.power_cap()
+        };
         // Plan against a small guard band under the cap — the "reduces the
         // need to throttle by design" behaviour of §V-D.
-        let headroom = (self.server.power_cap() - lc_pred) * 0.88;
+        let headroom = (cap - lc_pred) * 0.88;
         let amounts = [sec.cores.count() as f64, sec.ways.count() as f64];
         let p_static = be_fit.power_model().p_static();
         let dynamic_at_fmax = match be_fit.power_model().power_of_amounts(&amounts) {
@@ -184,8 +595,34 @@ impl ServerSim {
         self.freq_ceiling = Some(planned);
     }
 
+    /// The co-runner's draw as the management plane can estimate it: the
+    /// fitted BE power model at the secondary's current allocation and
+    /// DVFS point (the same DVFS scaling the proactive planner uses).
+    fn be_draw_estimate(&self) -> Watts {
+        if self.be_truth.is_none() {
+            return Watts::ZERO;
+        }
+        let (Some(be_fit), Some(sec)) = (
+            self.be_fitted.as_ref(),
+            self.server.allocation(TenantRole::Secondary),
+        ) else {
+            return Watts::ZERO;
+        };
+        let amounts = [sec.cores.count() as f64, sec.ways.count() as f64];
+        let Ok(at_fmax) = be_fit.power_model().power_of_amounts(&amounts) else {
+            return Watts::ZERO;
+        };
+        let p_static = be_fit.power_model().p_static();
+        let fmax = self.lc_truth.machine().freq_max();
+        let frac = (sec.frequency.0 / fmax.0).powf(2.4);
+        Watts(p_static.0 + (at_fmax.0 - p_static.0) * frac)
+    }
+
     /// Instantaneous *true* server power from the ground-truth draws.
     pub fn true_power(&self) -> Watts {
+        if self.down {
+            return Watts::ZERO;
+        }
         let mut draws = Vec::with_capacity(2);
         if let Some(alloc) = self.server.allocation(TenantRole::Primary) {
             draws.push(
@@ -199,7 +636,13 @@ impl ServerSim {
         ) {
             draws.push(be.power_draw(alloc, &self.power_model));
         }
-        self.power_model.server_power(draws)
+        let total = self.power_model.server_power(draws);
+        if self.duty >= 1.0 {
+            return total;
+        }
+        // Forced idle cuts the active draw toward the idle baseline.
+        let idle = self.power_model.server_power(Vec::new());
+        idle + (total - idle) * self.duty
     }
 
     /// Instantaneous normalized BE throughput (zero while a migration
@@ -212,15 +655,19 @@ impl ServerSim {
             self.be_truth.as_ref(),
             self.server.allocation(TenantRole::Secondary),
         ) {
-            (Some(be), Some(alloc)) => be.throughput(alloc),
+            (Some(be), Some(alloc)) => be.throughput(alloc) * self.duty,
             _ => 0.0,
         }
     }
 
-    /// Observed p99 latency slack of the primary right now.
+    /// Observed p99 latency slack of the primary right now. Forced-idle
+    /// duty cycling inflates the effective load: a machine that is asleep
+    /// a third of the time must absorb the same arrivals in the rest.
     pub fn lc_slack(&self) -> f64 {
         match self.server.allocation(TenantRole::Primary) {
-            Some(alloc) => self.lc_truth.latency_slack(self.current_load_rps, alloc),
+            Some(alloc) => self
+                .lc_truth
+                .latency_slack(self.current_load_rps / self.duty, alloc),
             None => 1.0,
         }
     }
@@ -228,12 +675,21 @@ impl ServerSim {
     /// The capper tick (100 ms in the paper): sample the meter, throttle or
     /// recover the secondary, and record metrics over `dt` seconds.
     pub fn on_capper_tick(&mut self, dt: f64) {
+        self.clock_s += dt;
         self.pause_remaining_s = (self.pause_remaining_s - dt).max(0.0);
+        if self.down {
+            // Crashed: no draw, no service — the primary's SLO is by
+            // definition violated while its replacement warms up elsewhere.
+            self.metrics.record(dt, Watts::ZERO, 0.0, -1.0, false, true);
+            return;
+        }
         let true_power = self.true_power();
         let measured = self.meter.sample(true_power);
+        self.last_measured = Some(measured);
+        let eff_cap = self.effective_cap();
         let action = self
             .capper
-            .step(&mut self.server, measured)
+            .step_with_cap(&mut self.server, measured, eff_cap)
             .unwrap_or(CapAction::None);
         // Under proactive planning the capper may not raise the secondary
         // past the planned frequency ceiling.
@@ -245,17 +701,106 @@ impl ServerSim {
                 let _ = self.server.set_frequency(TenantRole::Secondary, ceiling);
             }
         }
+        let over_cap_saturated = matches!(action, CapAction::Saturated) && measured > eff_cap;
+        let slack = self.lc_slack();
+        self.step_rapl(over_cap_saturated, measured, eff_cap);
+        self.step_eviction(over_cap_saturated, slack);
         let throttled = matches!(
             action,
             CapAction::LoweredFrequency | CapAction::LoweredQuota | CapAction::Saturated
         );
-        let slack = self.lc_slack();
         self.last_slack = Some(slack);
+        self.obs_slack.push(self.clock_s, slack);
+        let fault_active = self.fault_active();
         // Metrics record the *pre-action* power: that is what the server
         // actually drew over the elapsed interval (including any overshoot
         // the capper is only now correcting).
-        self.metrics
-            .record(dt, true_power, self.be_throughput(), slack, throttled);
+        self.metrics.record(
+            dt,
+            true_power,
+            self.be_throughput(),
+            slack,
+            throttled,
+            fault_active,
+        );
+        if let Some(since) = self.recovery_pending_since {
+            let healthy = !fault_active && slack >= 0.0 && true_power <= eff_cap * 1.01;
+            if healthy {
+                self.metrics
+                    .record_recovery((self.clock_s - since).max(0.0));
+                self.recovery_pending_since = None;
+            }
+        }
+    }
+
+    /// RAPL-style emergency DVFS on the primary: with the secondary
+    /// already floored and the server still over its effective cap, the
+    /// hardware has no knob left but the primary's frequency. Recovers
+    /// step-wise once draw falls under the release band.
+    fn step_rapl(&mut self, over_cap_saturated: bool, measured: Watts, eff_cap: Watts) {
+        if !self.fault_physics {
+            return;
+        }
+        let machine = self.lc_truth.machine();
+        if over_cap_saturated {
+            if self.rapl_ceiling.0 <= machine.freq_min().0 + 1e-9 {
+                // Frequency already floored and the server still overdraws:
+                // the package force-idles (duty cycling) to honor its power
+                // limit. A cap is a guarantee, not a suggestion — and this
+                // last resort is what wrecks tail latency.
+                self.duty = (self.duty - 0.1).max(0.25);
+            }
+            let lowered = Frequency((self.rapl_ceiling.0 - 0.1).max(machine.freq_min().0));
+            self.rapl_ceiling = lowered;
+            self.enforce_rapl_ceiling();
+        } else if measured < eff_cap * self.capper.release {
+            self.duty = (self.duty + 0.1).min(1.0);
+            if self.rapl_ceiling < machine.freq_max() {
+                self.rapl_ceiling =
+                    Frequency((self.rapl_ceiling.0 + 0.1).min(machine.freq_max().0));
+                // The primary itself is only raised at the next manager
+                // epoch (the manager reinstalls it at f_max and the
+                // ceiling clamps).
+            }
+        }
+    }
+
+    /// Degraded-mode load shedding: a co-runner that keeps the capper
+    /// saturated *over the effective cap* — or keeps the primary in
+    /// sustained SLO violation while a fault is active — past its patience
+    /// is evicted and parked under exponential re-admission backoff.
+    /// Shedding the BE hands its whole power share back to the primary.
+    fn step_eviction(&mut self, over_cap_saturated: bool, slack: f64) {
+        // Under a brownout every watt is spoken for: a primary in
+        // sustained violation reclaims even the floored co-runner's
+        // static draw. (Outside a brownout, only capper saturation over
+        // the cap counts — evicting would free watts nobody needs.)
+        let distressed =
+            over_cap_saturated || (self.cap_factor < 1.0 && slack < 0.0 && self.be_truth.is_some());
+        let Some(state) = &mut self.resilience else {
+            return;
+        };
+        if distressed {
+            state.saturated_ticks += 1;
+        } else {
+            state.saturated_ticks = 0;
+        }
+        if self.be_truth.is_none() {
+            return;
+        }
+        let patience = state.config.eviction_patience_ticks
+            + state.config.patience_per_rank_ticks * state.rank;
+        if state.saturated_ticks <= patience {
+            return;
+        }
+        state.saturated_ticks = 0;
+        state.readmit_at_s = Some(self.clock_s + state.backoff.next_delay());
+        if let Some(be) = self.be_truth.take() {
+            self.parked_be = Some((be, self.be_fitted.take()));
+            self.metrics.record_eviction();
+        }
+        self.server.evict(TenantRole::Secondary);
+        self.freq_ceiling = None;
     }
 }
 
@@ -283,7 +828,11 @@ mod tests {
     }
 
     fn run(sim: &mut ServerSim, seconds: usize) {
-        for s in 0..seconds {
+        run_from(sim, 0, seconds);
+    }
+
+    fn run_from(sim: &mut ServerSim, start_s: usize, seconds: usize) {
+        for s in start_s..start_s + seconds {
             sim.on_manager_tick(s as f64);
             for _ in 0..10 {
                 sim.on_capper_tick(0.1);
@@ -315,6 +864,8 @@ mod tests {
             m.power_cap
         );
         assert!(m.be_throughput_avg > 0.05, "BE should make progress");
+        assert_eq!(m.evictions, 0);
+        assert_eq!(m.time_to_recover_s, 0.0);
     }
 
     #[test]
@@ -329,7 +880,7 @@ mod tests {
         run(&mut sim, 10);
         let low_load_thpt = sim.be_throughput();
         // Run into the high-load levels.
-        run(&mut sim, 70);
+        run_from(&mut sim, 10, 70);
         let high_load_thpt = sim.be_throughput();
         assert!(
             low_load_thpt > high_load_thpt,
@@ -388,5 +939,192 @@ mod tests {
                 sim.metrics().power_cap
             );
         }
+    }
+
+    #[test]
+    fn brownout_shrinks_the_effective_cap() {
+        let mut sim = make_sim(
+            LcApp::Xapian,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.5),
+        )
+        .with_fault_physics();
+        run(&mut sim, 5);
+        let provisioned = sim.server().power_cap();
+        sim.apply_fault(&ServerFaultAction::SetCapFactor(0.6), 5.0);
+        assert!(sim.fault_active());
+        assert!((sim.effective_cap().0 - provisioned.0 * 0.6).abs() < 1e-9);
+        run_from(&mut sim, 5, 15);
+        // Sustained draw must have been squeezed toward the shrunk cap.
+        assert!(
+            sim.true_power() <= provisioned * 0.8,
+            "brownout left draw at {}",
+            sim.true_power()
+        );
+        sim.apply_fault(&ServerFaultAction::SetCapFactor(1.0), 20.0);
+        assert!(!sim.fault_active());
+    }
+
+    #[test]
+    fn crash_kills_power_and_violates_slo_until_recovery() {
+        let mut sim = make_sim(
+            LcApp::Sphinx,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.4),
+        )
+        .with_fault_physics();
+        run(&mut sim, 5);
+        sim.apply_fault(&ServerFaultAction::Crash, 5.0);
+        assert!(sim.is_down());
+        assert_eq!(sim.true_power(), Watts::ZERO);
+        assert_eq!(sim.metrics().evictions, 1);
+        let fault_time_before = sim.metrics().fault_time_s();
+        run_from(&mut sim, 5, 3);
+        assert!(sim.metrics().fault_time_s() > fault_time_before + 2.9);
+        sim.apply_fault(&ServerFaultAction::Recover, 8.0);
+        assert!(!sim.is_down());
+        run_from(&mut sim, 8, 6);
+        // Naive path restores the co-runner immediately on recovery.
+        assert!(sim.be_truth().is_some());
+        assert!(sim.true_power() > Watts(40.0));
+        assert!(sim.metrics().time_to_recover_s > 0.0);
+    }
+
+    #[test]
+    fn frozen_telemetry_is_consumed_by_the_naive_manager() {
+        let mut sim = make_sim(
+            LcApp::Xapian,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            // Load jumps after the freeze starts.
+            LoadTrace::Steps(vec![(10.0, 0.2), (990.0, 0.9)]),
+        )
+        .with_fault_physics();
+        run(&mut sim, 9);
+        sim.apply_fault(&ServerFaultAction::FreezeTelemetry { until_s: 25.0 }, 9.0);
+        assert!(sim.fault_active());
+        run_from(&mut sim, 9, 10);
+        // The manager kept sizing for the frozen 20 % reading while true
+        // load ran at 90 % — slack must have collapsed.
+        assert!(
+            sim.metrics().slo_violation_frac_during_fault > 0.2,
+            "stale telemetry should hurt, got {}",
+            sim.metrics().slo_violation_frac_during_fault
+        );
+        sim.apply_fault(&ServerFaultAction::Thaw, 19.0);
+        assert!(!sim.fault_active());
+    }
+
+    #[test]
+    fn resilient_manager_grows_through_a_dropout() {
+        let make = || {
+            make_sim(
+                LcApp::Xapian,
+                Some(BeApp::Graph),
+                LcPolicy::PowerOptimized,
+                LoadTrace::Steps(vec![(10.0, 0.2), (990.0, 0.9)]),
+            )
+        };
+        let mut naive = make().with_fault_physics();
+        let mut resilient = make().with_resilience(ResilienceConfig::default(), 0);
+        for sim in [&mut naive, &mut resilient] {
+            run(sim, 9);
+            sim.apply_fault(&ServerFaultAction::FreezeTelemetry { until_s: 25.0 }, 9.0);
+            run_from(sim, 9, 10);
+        }
+        assert!(
+            resilient.metrics().slo_violation_frac_during_fault
+                < naive.metrics().slo_violation_frac_during_fault,
+            "degraded mode {} should beat stale analytic control {}",
+            resilient.metrics().slo_violation_frac_during_fault,
+            naive.metrics().slo_violation_frac_during_fault
+        );
+    }
+
+    #[test]
+    fn model_drift_perturbs_the_fitted_alphas_deterministically() {
+        let mut sim = make_sim(
+            LcApp::TpcC,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.4),
+        );
+        let before = sim.manager.utility().performance_model().alphas().to_vec();
+        sim.apply_fault(&ServerFaultAction::DriftModel { rel: 0.3, salt: 7 }, 1.0);
+        let after = sim.manager.utility().performance_model().alphas().to_vec();
+        assert_ne!(before, after);
+        for (b, a) in before.iter().zip(&after) {
+            assert!(
+                (a / b - 1.0).abs() <= 0.3 + 1e-9,
+                "drift {b} -> {a} too big"
+            );
+        }
+        // Same salt + seed on a fresh sim drifts identically.
+        let mut sim2 = make_sim(
+            LcApp::TpcC,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.4),
+        );
+        sim2.apply_fault(&ServerFaultAction::DriftModel { rel: 0.3, salt: 7 }, 1.0);
+        assert_eq!(
+            after,
+            sim2.manager.utility().performance_model().alphas().to_vec()
+        );
+    }
+
+    #[test]
+    fn sustained_saturation_evicts_the_co_runner_with_backoff() {
+        // img-dnn + pbzip under a deep brownout: the floored secondary
+        // still draws too much, so resilience must shed it.
+        let mut sim = make_sim(
+            LcApp::ImgDnn,
+            Some(BeApp::Pbzip),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.5),
+        )
+        .with_resilience(ResilienceConfig::default(), 0);
+        run(&mut sim, 5);
+        sim.apply_fault(&ServerFaultAction::SetCapFactor(0.5), 5.0);
+        run_from(&mut sim, 5, 10);
+        assert!(
+            sim.metrics().evictions >= 1,
+            "deep brownout should evict the BE app"
+        );
+        assert!(sim.be_truth().is_none(), "co-runner is parked");
+        assert_eq!(sim.be_throughput(), 0.0);
+        // Brownout ends; after the backoff the co-runner returns.
+        sim.apply_fault(&ServerFaultAction::SetCapFactor(1.0), 15.0);
+        run_from(&mut sim, 15, 70);
+        assert!(
+            sim.be_truth().is_some(),
+            "co-runner should be re-admitted after backoff"
+        );
+    }
+
+    #[test]
+    fn replace_be_fault_action_swaps_the_co_runner() {
+        let machine = MachineSpec::xeon_e5_2650();
+        let mut sim = make_sim(
+            LcApp::Xapian,
+            Some(BeApp::Graph),
+            LcPolicy::PowerOptimized,
+            LoadTrace::Constant(0.3),
+        );
+        run(&mut sim, 3);
+        sim.apply_fault(
+            &ServerFaultAction::ReplaceBe {
+                be_truth: Some(Box::new(BeModel::for_app(BeApp::Rnn, machine))),
+                be_fitted: None,
+                pause_s: 2.0,
+            },
+            3.0,
+        );
+        assert!(sim.pause_remaining_s() > 0.0);
+        assert_eq!(sim.be_throughput(), 0.0);
+        run_from(&mut sim, 3, 4);
+        assert!(sim.be_throughput() > 0.0, "new co-runner warmed up");
     }
 }

@@ -187,7 +187,7 @@ impl SpatialServerSim {
             total_thpt += thpt;
         }
         self.metrics
-            .record(dt, true_power, total_thpt, slack, throttled);
+            .record(dt, true_power, total_thpt, slack, throttled, false);
     }
 }
 

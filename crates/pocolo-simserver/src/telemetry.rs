@@ -27,13 +27,15 @@ pub struct WindowStats {
 }
 
 impl WindowStats {
-    /// Computes stats from raw samples. Returns `None` for an empty slice.
+    /// Computes stats from raw samples. Non-finite samples (NaN, ±inf —
+    /// a glitched sensor) are ignored; returns `None` if no finite sample
+    /// remains.
     pub fn from_samples(samples: &[f64]) -> Option<WindowStats> {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("telemetry samples are finite"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         Some(WindowStats {
@@ -88,6 +90,9 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
 pub struct TimeSeries {
     capacity: usize,
     samples: VecDeque<(f64, f64)>,
+    /// While set, new samples are dropped until this absolute time: the
+    /// series replays its last reading — a stuck telemetry exporter.
+    frozen_until: Option<f64>,
 }
 
 impl TimeSeries {
@@ -101,12 +106,35 @@ impl TimeSeries {
         TimeSeries {
             capacity,
             samples: VecDeque::with_capacity(capacity),
+            frozen_until: None,
         }
     }
 
+    /// Freezes the series until the absolute time `until_s`: pushes are
+    /// dropped while frozen, so readers keep seeing the stale last sample
+    /// (a telemetry dropout, not a dead series).
+    pub fn freeze_until(&mut self, until_s: f64) {
+        assert!(until_s.is_finite(), "freeze deadline must be finite");
+        self.frozen_until = Some(until_s);
+    }
+
+    /// Lifts a freeze immediately, whatever its deadline.
+    pub fn thaw(&mut self) {
+        self.frozen_until = None;
+    }
+
+    /// True if the series is frozen (stale) at time `now_s`.
+    pub fn is_frozen(&self, now_s: f64) -> bool {
+        matches!(self.frozen_until, Some(until) if now_s < until)
+    }
+
     /// Appends a sample. Timestamps must be non-decreasing; out-of-order
-    /// samples are silently dropped (telemetry is best-effort).
+    /// samples are silently dropped (telemetry is best-effort), as are
+    /// samples pushed while the series is frozen.
     pub fn push(&mut self, t: f64, value: f64) {
+        if self.is_frozen(t) {
+            return;
+        }
         if let Some(&(last_t, _)) = self.samples.back() {
             if t < last_t {
                 return;
@@ -178,6 +206,18 @@ mod tests {
         assert!((s.p50 - 50.5).abs() < 1e-9);
         assert!((s.p95 - 95.05).abs() < 1e-9);
         assert!((s.p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_stats_ignores_non_finite_samples() {
+        // Regression: the old comparator `expect`ed finite samples and
+        // panicked on NaN.
+        let s = WindowStats::from_samples(&[3.0, f64::NAN, 1.0, f64::INFINITY, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(WindowStats::from_samples(&[f64::NAN, f64::NEG_INFINITY]).is_none());
     }
 
     #[test]
@@ -258,5 +298,28 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = TimeSeries::with_capacity(0);
+    }
+
+    #[test]
+    fn frozen_series_drops_pushes_until_deadline() {
+        let mut ts = TimeSeries::with_capacity(10);
+        ts.push(1.0, 10.0);
+        ts.freeze_until(3.0);
+        assert!(ts.is_frozen(2.0));
+        ts.push(2.0, 20.0); // dropped: frozen
+        assert_eq!(ts.last(), Some((1.0, 10.0)));
+        assert!(!ts.is_frozen(3.0));
+        ts.push(3.5, 30.0); // deadline passed: accepted
+        assert_eq!(ts.last(), Some((3.5, 30.0)));
+    }
+
+    #[test]
+    fn thaw_lifts_freeze_early() {
+        let mut ts = TimeSeries::with_capacity(4);
+        ts.freeze_until(100.0);
+        ts.thaw();
+        assert!(!ts.is_frozen(0.0));
+        ts.push(0.5, 1.0);
+        assert_eq!(ts.len(), 1);
     }
 }

@@ -11,7 +11,8 @@
 //! | Workload models | [`workloads`] | Ground-truth LC apps (img-dnn, sphinx, xapian, tpcc) and BE apps (lstm, rnn, graph, pbzip), load traces, profiler |
 //! | Server management | [`manager`] | POM power-optimized controller, Heracles-style baseline, 100 ms power capper |
 //! | Cluster placement | [`cluster`] | Performance matrix, Hungarian / simplex-LP / exhaustive / random solvers |
-//! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments |
+//! | Fault injection | [`faults`] | Seeded fault plans (brownouts, crashes, telemetry dropouts, model drift), eviction ordering, re-admission backoff |
+//! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience |
 //! | Cost analysis | [`tco`] | Hamilton-style amortized monthly TCO |
 //!
 //! # Quickstart
@@ -30,6 +31,7 @@
 
 pub use pocolo_cluster as cluster;
 pub use pocolo_core as core;
+pub use pocolo_faults as faults;
 pub use pocolo_manager as manager;
 pub use pocolo_sim as sim;
 pub use pocolo_simserver as simserver;
@@ -46,6 +48,10 @@ pub mod prelude {
         Allocation, CobbDouglas, CoreError, Frequency, IndirectUtility, Joules, PowerModel,
         PreferenceVector, ResourceDescriptor, ResourceSpace, Watts,
     };
+    pub use pocolo_faults::{
+        eviction_order, FaultEvent, FaultKind, FaultPlan, FaultSpec, ReadmissionBackoff,
+        Scenario as FaultScenario,
+    };
     pub use pocolo_manager::{
         BeJob, BeQueue, CapAction, LcPolicy, ManagerConfig, PowerCapper, QueueDiscipline,
         ServerManager,
@@ -56,8 +62,8 @@ pub mod prelude {
     };
     pub use pocolo_sim::rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};
     pub use pocolo_sim::{
-        ClusterSim, ClusterSummary, Parallelism, ServerMetrics, ServerSim, SpatialServerSim,
-        SpatialTenant,
+        ClusterSim, ClusterSummary, FaultTimeline, Parallelism, ResilienceConfig,
+        ServerFaultAction, ServerMetrics, ServerSim, SpatialServerSim, SpatialTenant,
     };
     pub use pocolo_simserver::{
         CoreSet, MachineSpec, P2Quantile, SimServer, TenantAllocation, TenantRole, WayMask,

@@ -1,0 +1,131 @@
+//! End-to-end fault-injection acceptance tests: the degraded-mode
+//! response must beat the naive one under a brownout, and every faulted
+//! run must replay bit-identically from its seed at any parallelism.
+
+use pocolo::prelude::*;
+
+fn faulted_config(scenario: FaultScenario, seed: u64, resilience: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        dwell_s: 4.0,
+        faults: Some(FaultSpec {
+            scenario,
+            seed: Some(seed),
+        }),
+        resilience,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn degraded_mode_beats_naive_response_under_brownout() {
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let policy = Policy::Pocolo {
+        solver: Solver::Hungarian,
+    };
+    let naive = run_experiment_with(
+        policy,
+        &faulted_config(FaultScenario::Brownout, 1, false),
+        &fitted,
+    );
+    let resilient = run_experiment_with(
+        policy,
+        &faulted_config(FaultScenario::Brownout, 1, true),
+        &fitted,
+    );
+    assert!(
+        naive.summary.slo_violation_frac_during_fault > 0.0,
+        "the brownout should actually hurt the naive path"
+    );
+    assert!(
+        resilient.summary.slo_violation_frac_during_fault
+            < naive.summary.slo_violation_frac_during_fault,
+        "degraded mode must violate the SLO strictly less under the brownout: \
+         resilient {} vs naive {}",
+        resilient.summary.slo_violation_frac_during_fault,
+        naive.summary.slo_violation_frac_during_fault
+    );
+    assert!(
+        resilient.summary.worst_violation_frac < naive.summary.worst_violation_frac,
+        "degraded mode must lower the whole-run violation fraction too: \
+         resilient {} vs naive {}",
+        resilient.summary.worst_violation_frac,
+        naive.summary.worst_violation_frac
+    );
+    assert!(
+        resilient.summary.time_to_recover_s < naive.summary.time_to_recover_s,
+        "degraded mode must recover faster: resilient {} s vs naive {} s",
+        resilient.summary.time_to_recover_s,
+        naive.summary.time_to_recover_s
+    );
+}
+
+#[test]
+fn crash_scenario_recovers_and_counts_evictions() {
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let policy = Policy::Pocolo {
+        solver: Solver::Hungarian,
+    };
+    let r = run_experiment_with(
+        policy,
+        &faulted_config(FaultScenario::Crash, 2, true),
+        &fitted,
+    );
+    assert!(
+        r.summary.evictions >= 1,
+        "the crash must evict the victim's co-runner"
+    );
+    assert!(
+        r.summary.time_to_recover_s > 0.0,
+        "the victim should be observed recovering after it rejoins"
+    );
+    assert!(
+        r.summary.slo_violation_frac_during_fault > 0.0,
+        "downtime counts as SLO violation"
+    );
+}
+
+#[test]
+fn faulted_runs_replay_bit_identically_at_any_parallelism() {
+    let fitted = FittedCluster::fit(&ProfilerConfig::default());
+    let policy = Policy::Pocolo {
+        solver: Solver::Hungarian,
+    };
+    for scenario in FaultScenario::ALL {
+        let serial_cfg = ExperimentConfig {
+            dwell_s: 3.0,
+            parallelism: Parallelism::Serial,
+            ..faulted_config(scenario, 7, true)
+        };
+        let fanned_cfg = ExperimentConfig {
+            parallelism: Parallelism::Fixed(4),
+            ..serial_cfg.clone()
+        };
+        let serial = run_experiment_with(policy, &serial_cfg, &fitted);
+        let fanned = run_experiment_with(policy, &fanned_cfg, &fitted);
+        assert_eq!(
+            serial,
+            fanned,
+            "{} must be bit-identical between Serial and Fixed(4)",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn fault_spec_parsing_roundtrips_through_the_prelude() {
+    let spec: FaultSpec = "brownout:42".parse().unwrap();
+    assert_eq!(spec.scenario, FaultScenario::Brownout);
+    assert_eq!(spec.seed, Some(42));
+    assert_eq!(spec.to_string(), "brownout:42");
+    let bare: FaultSpec = "chaos".parse().unwrap();
+    assert_eq!(bare.seed, None);
+    assert!("meteor".parse::<FaultSpec>().is_err());
+
+    // The plan a scenario draws is a pure function of its seed.
+    let a = FaultScenario::Chaos.plan(9, 40.0, 4);
+    let b = FaultScenario::Chaos.plan(9, 40.0, 4);
+    assert_eq!(a.events().len(), b.events().len());
+    for (x, y) in a.events().iter().zip(b.events()) {
+        assert_eq!(x.at_s, y.at_s);
+    }
+}
