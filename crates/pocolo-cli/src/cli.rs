@@ -23,7 +23,7 @@ COMMANDS:
 
 OPTIONS:
     --app <name>       img-dnn | sphinx | xapian | tpcc | lstm | rnn | graph | pbzip
-    --policy <p>       random | pom | pocolo          (default: pocolo)
+    --policy <p>       random | heracles | pom | pocolo    (default: pocolo)
     --solver <s>       lp | hungarian | exhaustive | fair   (default: lp)
     --dwell <seconds>  seconds per load level          (default: 20)
     --seed <n>         RNG seed                        (default: 1)
@@ -31,6 +31,7 @@ OPTIONS:
     --faults <spec>    inject faults: brownout | crash | chaos, with an
                        optional schedule seed as <scenario>:<seed>
     --no-resilience    respond to faults naively (no degraded mode)
+    --decision-log <path>  dump per-tick controller decisions as JSON lines
     --json             machine-readable output";
 
 /// Parsed command line.
@@ -54,6 +55,8 @@ pub struct Options {
     pub faults: Option<String>,
     /// `--no-resilience`.
     pub no_resilience: bool,
+    /// `--decision-log` (path for the JSON-lines decision trace).
+    pub decision_log: Option<String>,
     /// `--json`.
     pub json: bool,
 }
@@ -77,6 +80,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         parallelism: Parallelism::default(),
         faults: None,
         no_resilience: false,
+        decision_log: None,
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -128,6 +132,13 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--no-resilience" => opts.no_resilience = true,
+            "--decision-log" => {
+                opts.decision_log = Some(
+                    it.next()
+                        .ok_or_else(|| "--decision-log needs a path".to_string())?
+                        .clone(),
+                )
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -324,6 +335,7 @@ fn cmd_place(opts: &Options) -> Result<String, String> {
 fn cmd_simulate(opts: &Options) -> Result<String, String> {
     let policy = match opts.policy.as_str() {
         "random" => Policy::Random { seed: opts.seed },
+        "heracles" => Policy::Heracles { seed: opts.seed },
         "pom" => Policy::Pom { seed: opts.seed },
         "pocolo" => Policy::Pocolo {
             solver: solver_of(&opts.solver)?,
@@ -345,7 +357,15 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
         resilience: !opts.no_resilience,
         ..ExperimentConfig::default()
     };
-    let result = run_experiment(policy, &config);
+    let result = match &opts.decision_log {
+        Some(path) => {
+            let fitted = FittedCluster::fit(&config.profiler);
+            let (result, traces) = run_experiment_traced(policy, &config, &fitted);
+            write_decision_log(path, &traces)?;
+            result
+        }
+        None => run_experiment(policy, &config),
+    };
     if opts.json {
         return Ok(pocolo_json::to_string_pretty(&result));
     }
@@ -383,6 +403,36 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
         );
     }
     Ok(out.trim_end().to_string())
+}
+
+/// Serializes every [`DecisionRecord`] as one compact JSON object per
+/// line (JSON lines), tagged with the server it came from.
+fn write_decision_log(path: &str, traces: &[DecisionTrace]) -> Result<(), String> {
+    let mut out = String::new();
+    for trace in traces {
+        for r in &trace.records {
+            let line = pocolo_json::to_string(&pocolo_json::json!({
+                "server": trace.server,
+                "lc": trace.lc.as_str(),
+                "be": trace.be.as_str(),
+                "t_s": r.now_s,
+                "mode": r.mode.name(),
+                "load_rps": r.load_rps,
+                "slack": r.slack,
+                "measured_w": r.measured_w,
+                "effective_cap_w": r.effective_cap_w,
+                "budget_w": r.budget_w,
+                "cores": r.cores,
+                "ways": r.ways,
+                "governor_armed": r.governor_armed,
+                "escalated": r.escalated,
+                "ducked": r.ducked,
+            }));
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write decision log {path}: {e}"))
 }
 
 fn cmd_tco(opts: &Options) -> Result<String, String> {
@@ -549,6 +599,48 @@ mod tests {
         let out = run(&argv("simulate --policy pom --dwell 2")).unwrap();
         assert!(out.contains("POM"));
         assert!(out.contains("img-dnn"));
+    }
+
+    #[test]
+    fn parse_decision_log() {
+        let o = parse(&argv("simulate --decision-log /tmp/dl.jsonl")).unwrap();
+        assert_eq!(o.decision_log.as_deref(), Some("/tmp/dl.jsonl"));
+        assert!(parse(&argv("simulate --decision-log")).is_err());
+    }
+
+    #[test]
+    fn simulate_heracles_quick_run() {
+        let out = run(&argv("simulate --policy heracles --dwell 2")).unwrap();
+        assert!(out.contains("Heracles"));
+        assert!(out.contains("img-dnn"));
+    }
+
+    #[test]
+    fn simulate_writes_decision_log() {
+        let path = std::env::temp_dir().join("pocolo_cli_decision_log_test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run(&argv(&format!(
+            "simulate --policy pocolo --dwell 2 --decision-log {path_str}"
+        )))
+        .unwrap();
+        assert!(out.contains("POColo"));
+        let log = std::fs::read_to_string(&path).unwrap();
+        let first = log.lines().next().expect("log has at least one line");
+        let v: pocolo_json::Value = pocolo_json::from_str(first).unwrap();
+        assert!(v["mode"].as_str().is_some());
+        assert!(v["lc"].as_str().is_some());
+        assert!(v["t_s"].as_f64().is_some());
+        // Every server appears in the trace.
+        let servers: std::collections::BTreeSet<u64> = log
+            .lines()
+            .map(|l| {
+                pocolo_json::from_str(l).unwrap()["server"]
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(servers.len(), 4);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -123,6 +123,36 @@ impl ClusterManager {
             })
         }
     }
+
+    /// The migration intents a budget replan implies: the `(be, server)`
+    /// pairs of [`ClusterManager::replan_under_budget`]'s chosen
+    /// assignment that are *not* already in the `incumbent`, in the
+    /// replan's pair order. Empty when hysteresis keeps the incumbent —
+    /// the brownout proceeds with no migrations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix and solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_factor` is outside `(0, 1]` or `hysteresis` is
+    /// negative.
+    pub fn migration_intents(
+        &self,
+        cap_factor: f64,
+        incumbent: &Assignment,
+        hysteresis: f64,
+        solver: Solver,
+    ) -> Result<Vec<(usize, usize)>, ClusterError> {
+        let replan = self.replan_under_budget(cap_factor, incumbent, hysteresis, solver)?;
+        Ok(replan
+            .pairs
+            .iter()
+            .filter(|pair| !incumbent.pairs.contains(pair))
+            .copied()
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +292,41 @@ mod tests {
             shrunk.total,
             incumbent.total
         );
+    }
+
+    #[test]
+    fn migration_intents_are_the_non_incumbent_replan_pairs() {
+        let mgr = manager();
+        let incumbent = mgr.place(Solver::Hungarian).unwrap();
+        // Keeping the incumbent (full budget, or huge hysteresis) means
+        // no migrations.
+        let none = mgr
+            .migration_intents(1.0, &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        assert!(none.is_empty());
+        let kept = mgr
+            .migration_intents(0.6, &incumbent, 1e6, Solver::Hungarian)
+            .unwrap();
+        assert!(kept.is_empty());
+        // From a bad incumbent at zero hysteresis, the intents are
+        // exactly the fresh pairs not already placed.
+        let bad = mgr.place(Solver::Random { seed: 3 }).unwrap();
+        let replan = mgr
+            .replan_under_budget(0.6, &bad, 0.0, Solver::Hungarian)
+            .unwrap();
+        let intents = mgr
+            .migration_intents(0.6, &bad, 0.0, Solver::Hungarian)
+            .unwrap();
+        let expected: Vec<_> = replan
+            .pairs
+            .iter()
+            .filter(|p| !bad.pairs.contains(p))
+            .copied()
+            .collect();
+        assert_eq!(intents, expected);
+        for pair in &intents {
+            assert!(!bad.pairs.contains(pair));
+        }
     }
 
     #[test]

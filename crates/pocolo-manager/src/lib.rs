@@ -12,11 +12,18 @@
 //! - [`capper::PowerCapper`] — the 100 ms loop that throttles the
 //!   *secondary* tenant (per-core DVFS first, then CPU-time quota) to keep
 //!   the server inside its provisioned power capacity.
+//! - [`control::ServerController`] — the control plane: a trait turning
+//!   [`control::ControlInput`] snapshots into [`control::ControlDecision`]s,
+//!   with the brownout/degraded mode arbitration made explicit in
+//!   [`modes::ModeMachine`]. Backends (discrete-event sim, spatial server,
+//!   a future real-host agent) actuate decisions; they no longer make them.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod capper;
+pub mod control;
+pub mod modes;
 pub mod partition;
 pub mod policy;
 pub mod queue;
@@ -24,6 +31,11 @@ pub mod server_manager;
 pub mod spatial;
 
 pub use capper::{CapAction, PowerCapper};
+pub use control::{
+    BeGuard, BeIntent, ControlDecision, ControlInput, DecisionRecord, HeraclesController,
+    PocoloController, PrimaryDirective, ResilienceParams, ServerController,
+};
+pub use modes::{ControlMode, GovernorConfig, ModeMachine};
 pub use partition::partition;
 pub use policy::LcPolicy;
 pub use queue::{BeJob, BeQueue, QueueDiscipline};

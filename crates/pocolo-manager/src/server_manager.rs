@@ -147,10 +147,30 @@ impl ServerManager {
         load_rps: f64,
         observed_slack: Option<f64>,
     ) -> Result<(u32, u32), ManagerError> {
+        let (c, w) = self.plan_analytic(load_rps, observed_slack)?;
+        self.apply(server, c, w)
+    }
+
+    /// The planning half of [`ServerManager::control_step`]: updates the
+    /// feedback margin and sizes the primary, without touching a server.
+    /// Controllers plan; backends [`ServerManager::apply`].
+    ///
+    /// The margin update happens *before* the allocation can fail, so a
+    /// failed plan still consumes the slack observation — exactly like
+    /// the fused step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] on model failures.
+    pub fn plan_analytic(
+        &mut self,
+        load_rps: f64,
+        observed_slack: Option<f64>,
+    ) -> Result<(u32, u32), ManagerError> {
         self.update_margin(observed_slack);
         let target = load_rps * self.margin;
         let (c, w) = self.policy.allocate(&self.utility, target)?;
-        self.repartition(server, c, w)
+        Ok((c, w))
     }
 
     /// Budget-capped control step for a power emergency (brownout): sizes
@@ -167,6 +187,21 @@ impl ServerManager {
     pub fn budgeted_step(
         &mut self,
         server: &mut SimServer,
+        load_rps: f64,
+        observed_slack: Option<f64>,
+        budget: Watts,
+    ) -> Result<(u32, u32), ManagerError> {
+        let (c, w) = self.plan_budgeted(load_rps, observed_slack, budget)?;
+        self.apply(server, c, w)
+    }
+
+    /// The planning half of [`ServerManager::budgeted_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] on model failures.
+    pub fn plan_budgeted(
+        &mut self,
         load_rps: f64,
         observed_slack: Option<f64>,
         budget: Watts,
@@ -191,7 +226,7 @@ impl ServerManager {
                 }
             }
         }
-        self.repartition(server, c, w)
+        Ok((c, w))
     }
 
     fn update_margin(&mut self, observed_slack: Option<f64>) {
@@ -222,7 +257,20 @@ impl ServerManager {
         observed_slack: Option<f64>,
     ) -> Result<(u32, u32), ManagerError> {
         let machine = server.machine();
-        let (max_c, max_w) = (machine.cores(), machine.llc_ways());
+        let max_counts = (machine.cores(), machine.llc_ways());
+        let (c, w) = self.plan_incremental(max_counts, observed_slack);
+        self.apply(server, c, w)
+    }
+
+    /// The planning half of [`ServerManager::degraded_step`] — and the
+    /// entirety of the Heracles-style baseline's policy. Infallible: no
+    /// model is consulted.
+    pub fn plan_incremental(
+        &self,
+        max_counts: (u32, u32),
+        observed_slack: Option<f64>,
+    ) -> (u32, u32) {
+        let (max_c, max_w) = max_counts;
         let (mut c, mut w) = self.last_counts.unwrap_or((max_c, max_w));
         match observed_slack {
             Some(s) if s > self.config.high_slack => {
@@ -236,7 +284,7 @@ impl ServerManager {
                 w = (w + 1).min(max_w);
             }
         }
-        self.repartition(server, c, w)
+        (c, w)
     }
 
     /// Replaces the manager's fitted model mid-run (model drift injection
@@ -246,8 +294,15 @@ impl ServerManager {
     }
 
     /// Installs a `(c, w)` primary and gives every spare resource to the
-    /// secondary, preserving the capper's DVFS/quota state on it.
-    fn repartition(
+    /// secondary, preserving the capper's DVFS/quota state on it. This is
+    /// the actuation half of every `*_step`: backends call it with the
+    /// counts a [`crate::control::ControlDecision`] carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] on knob failures; `last_counts` is only
+    /// updated on success.
+    pub fn apply(
         &mut self,
         server: &mut SimServer,
         c: u32,

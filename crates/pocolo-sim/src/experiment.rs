@@ -20,13 +20,20 @@ use crate::metrics::{ClusterSummary, ServerMetrics};
 use crate::parallel::{self, Parallelism};
 use crate::server_sim::ServerSim;
 
-/// The three policies of §V-D.
+/// The policies of §V-D, plus the incremental-growth baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Random placement + power-oblivious (Heracles-style) server
     /// management. The paper's baseline.
     Random {
         /// Seed for both the placement permutation and the server policy.
+        seed: u64,
+    },
+    /// Random placement + incremental-growth server control (the
+    /// [`pocolo_manager::HeraclesController`]): grow a core and a way on
+    /// low slack, trim on verified headroom, never consult a model.
+    Heracles {
+        /// Seed for the placement permutation.
         seed: u64,
     },
     /// Random placement + **P**ower **O**ptimized **M**anagement on the
@@ -47,6 +54,7 @@ impl Policy {
     pub fn name(&self) -> &'static str {
         match self {
             Policy::Random { .. } => "Random",
+            Policy::Heracles { .. } => "Heracles",
             Policy::Pom { .. } => "POM",
             Policy::Pocolo { .. } => "POColo",
         }
@@ -226,7 +234,7 @@ impl FittedCluster {
     /// server (index-aligned with [`FittedCluster::lc`]).
     pub fn placement(&self, policy: Policy) -> Vec<BeApp> {
         match policy {
-            Policy::Random { seed } | Policy::Pom { seed } => {
+            Policy::Random { seed } | Policy::Heracles { seed } | Policy::Pom { seed } => {
                 let mut order: Vec<BeApp> = self.be.iter().map(|(a, _, _)| *a).collect();
                 let mut rng = StdRng::seed_from_u64(seed);
                 order.shuffle(&mut rng);
@@ -385,7 +393,7 @@ fn schedule_brownout_migrations(
         let FaultKind::BrownoutStart { cap_factor } = &event.kind else {
             continue;
         };
-        let Ok(replan) = manager.replan_under_budget(
+        let Ok(intents) = manager.migration_intents(
             *cap_factor,
             &incumbent,
             cfg.replan_hysteresis,
@@ -393,11 +401,7 @@ fn schedule_brownout_migrations(
         ) else {
             continue;
         };
-        for &(row, server) in &replan.pairs {
-            let unchanged = incumbent.pairs.contains(&(row, server));
-            if unchanged {
-                continue;
-            }
+        for (row, server) in intents {
             let (_, truth, fit) = &fitted.be[row];
             timeline.push(
                 server,
@@ -412,6 +416,39 @@ fn schedule_brownout_migrations(
     }
 }
 
+/// One server's decision trace from a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTrace {
+    /// Server index (in [`LcApp::ALL`] order).
+    pub server: usize,
+    /// The primary LC application.
+    pub lc: String,
+    /// The best-effort co-runner placed on this server.
+    pub be: String,
+    /// Per-epoch decision records, in tick order.
+    pub records: Vec<pocolo_manager::DecisionRecord>,
+}
+
+/// Like [`run_experiment_with`], but records every controller decision
+/// and returns the per-server [`DecisionTrace`]s alongside the result
+/// (the CLI's `--decision-log` source). The result itself is
+/// bit-identical to the untraced run.
+pub fn run_experiment_traced(
+    policy: Policy,
+    config: &ExperimentConfig,
+    fitted: &FittedCluster,
+) -> (ExperimentResult, Vec<DecisionTrace>) {
+    run_with_trace_recorded(
+        policy,
+        config,
+        fitted,
+        LoadTrace::paper_sweep(config.dwell_s),
+        9.0 * config.dwell_s,
+        config.parallelism,
+        true,
+    )
+}
+
 fn run_with_trace(
     policy: Policy,
     config: &ExperimentConfig,
@@ -420,6 +457,28 @@ fn run_with_trace(
     duration_s: f64,
     parallelism: Parallelism,
 ) -> ExperimentResult {
+    run_with_trace_recorded(
+        policy,
+        config,
+        fitted,
+        trace,
+        duration_s,
+        parallelism,
+        false,
+    )
+    .0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with_trace_recorded(
+    policy: Policy,
+    config: &ExperimentConfig,
+    fitted: &FittedCluster,
+    trace: LoadTrace,
+    duration_s: f64,
+    parallelism: Parallelism,
+    record_decisions: bool,
+) -> (ExperimentResult, Vec<DecisionTrace>) {
     let placement = fitted.placement(policy);
     let n = fitted.lc.len();
     let resilience_cfg = ResilienceConfig::default();
@@ -458,7 +517,10 @@ fn run_with_trace(
                 // point chosen without regard to power, re-drawn every
                 // control epoch.
                 Policy::Random { seed } => LcPolicy::heracles_random(seed ^ (i as u64)),
-                Policy::Pom { .. } | Policy::Pocolo { .. } => LcPolicy::PowerOptimized,
+                // The incremental controller never consults the policy.
+                Policy::Heracles { .. } | Policy::Pom { .. } | Policy::Pocolo { .. } => {
+                    LcPolicy::PowerOptimized
+                }
             };
             let be_fitted = fitted
                 .be
@@ -477,16 +539,27 @@ fn run_with_trace(
             );
             let sim = match (policy, be_fitted) {
                 // Power-optimized policies plan the secondary proactively
-                // with the fitted model; the baseline is purely reactive.
+                // with the fitted model; the baselines are purely reactive.
                 (Policy::Pom { .. } | Policy::Pocolo { .. }, Some(bf)) => sim.with_proactive_be(bf),
                 _ => sim,
             };
-            if config.faults.is_none() {
+            // The controller swap must precede resilience arming, which
+            // configures whichever controller is installed.
+            let sim = match policy {
+                Policy::Heracles { .. } => sim.with_incremental_control(),
+                _ => sim,
+            };
+            let sim = if config.faults.is_none() {
                 sim
             } else if config.resilience {
                 sim.with_resilience(resilience_cfg.clone(), ranks[i])
             } else {
                 sim.with_fault_physics()
+            };
+            if record_decisions {
+                sim.with_decision_log()
+            } else {
+                sim
             }
         })
         .collect();
@@ -505,11 +578,27 @@ fn run_with_trace(
             metrics,
         })
         .collect();
-    ExperimentResult {
+    let traces = if record_decisions {
+        cluster
+            .servers()
+            .iter()
+            .enumerate()
+            .map(|(i, sim)| DecisionTrace {
+                server: i,
+                lc: fitted.lc[i].0.name().to_string(),
+                be: placement[i].name().to_string(),
+                records: sim.decision_records().to_vec(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let result = ExperimentResult {
         policy: policy.name().to_string(),
         pairs,
         summary: cluster.summary(),
-    }
+    };
+    (result, traces)
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ pub mod spatial_sim;
 
 pub use cluster_sim::ClusterSim;
 pub use engine::{Engine, EventEntry};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy};
+pub use experiment::{
+    run_experiment, run_experiment_traced, DecisionTrace, ExperimentConfig, ExperimentResult,
+    Policy,
+};
 pub use faults::{FaultTimeline, ResilienceConfig, ServerFaultAction, ServerFaultEvent};
 pub use metrics::{ClusterSummary, ServerMetrics};
 pub use parallel::Parallelism;

@@ -4,7 +4,11 @@ use pocolo_core::units::{Frequency, Watts};
 use pocolo_core::utility::IndirectUtility;
 use pocolo_core::CobbDouglas;
 use pocolo_faults::ReadmissionBackoff;
-use pocolo_manager::{CapAction, LcPolicy, ManagerConfig, PowerCapper, ServerManager};
+use pocolo_manager::{
+    BeIntent, CapAction, ControlInput, DecisionRecord, GovernorConfig, HeraclesController,
+    LcPolicy, ManagerConfig, PocoloController, PowerCapper, PrimaryDirective, ResilienceParams,
+    ServerController, ServerManager,
+};
 use pocolo_simserver::power::{PowerDrawModel, PowerMeter};
 use pocolo_simserver::{SimServer, TenantRole, TimeSeries};
 use pocolo_workloads::{BeModel, LcModel, LoadTrace};
@@ -13,29 +17,6 @@ use rand::{Rng, SeedableRng};
 
 use crate::faults::{ResilienceConfig, ServerFaultAction};
 use crate::metrics::ServerMetrics;
-
-/// Degraded-mode response state (present only when resilience is armed).
-#[derive(Debug)]
-struct ResilienceState {
-    config: ResilienceConfig,
-    /// Ascending matrix-value rank of this server's co-runner: rank 0 is
-    /// the cluster's lowest-value pairing and gets the least eviction
-    /// patience (it is sacrificed first).
-    rank: usize,
-    backoff: ReadmissionBackoff,
-    saturated_ticks: usize,
-    readmit_at_s: Option<f64>,
-    /// Latched when the meter reads above the brownout budget: the
-    /// manager then sizes the primary inside the shrunk envelope instead
-    /// of growing it into the RAPL throttle. Cleared when the brownout
-    /// lifts.
-    governor: bool,
-    /// Latched when the governed primary is caught violating its SLO:
-    /// the budget target escalates from the comfort fraction to just
-    /// under the cap. Sticky until the brownout lifts, so the target
-    /// doesn't oscillate around the violation boundary.
-    escalated: bool,
-}
 
 /// One server under simulation: the ground-truth workload models, the
 /// simulated hardware, and the two control loops — plus, optionally, the
@@ -46,7 +27,8 @@ pub struct ServerSim {
     lc_truth: LcModel,
     be_truth: Option<BeModel>,
     server: SimServer,
-    manager: ServerManager,
+    /// The control plane: decides; this backend actuates.
+    controller: Box<dyn ServerController>,
     capper: PowerCapper,
     meter: PowerMeter,
     power_model: PowerDrawModel,
@@ -89,7 +71,10 @@ pub struct ServerSim {
     parked_be: Option<(BeModel, Option<IndirectUtility>)>,
     /// Set when a fault clears; resolved at the first healthy tick.
     recovery_pending_since: Option<f64>,
-    resilience: Option<ResilienceState>,
+    /// Degraded-mode response armed on the controller.
+    resilient: bool,
+    /// Per-epoch decision trace, when enabled.
+    decision_log: Option<Vec<DecisionRecord>>,
 }
 
 impl ServerSim {
@@ -118,7 +103,7 @@ impl ServerSim {
             lc_truth,
             be_truth,
             server,
-            manager,
+            controller: Box::new(PocoloController::new(manager)),
             capper: PowerCapper::default(),
             meter: PowerMeter::new(meter_noise, seed),
             trace,
@@ -140,7 +125,8 @@ impl ServerSim {
             duty: 1.0,
             parked_be: None,
             recovery_pending_since: None,
-            resilience: None,
+            resilient: false,
+            decision_log: None,
         }
     }
 
@@ -196,21 +182,53 @@ impl ServerSim {
     #[must_use]
     pub fn with_resilience(mut self, config: ResilienceConfig, rank: usize) -> Self {
         self.fault_physics = true;
+        self.resilient = true;
         let backoff = ReadmissionBackoff::new(
             config.backoff_base_s,
             config.backoff_factor,
             config.backoff_max_s,
         );
-        self.resilience = Some(ResilienceState {
-            config,
-            rank,
+        self.controller.arm_resilience(ResilienceParams {
+            governor: GovernorConfig {
+                comfort_frac: config.brownout_budget_frac,
+                comfort_frac_solo: config.brownout_budget_frac_solo,
+                distress_frac: config.brownout_distress_frac,
+                release: self.capper.release,
+                duck_margin: 0.02,
+            },
+            // `rank` 0 is the cluster's lowest-value pairing and gets the
+            // least eviction patience (it is sacrificed first).
+            eviction_patience_ticks: config.eviction_patience_ticks
+                + config.patience_per_rank_ticks * rank,
             backoff,
-            saturated_ticks: 0,
-            readmit_at_s: None,
-            governor: false,
-            escalated: false,
+            readmit_pause_s: config.readmit_pause_s,
         });
         self
+    }
+
+    /// Swaps in the power-oblivious incremental-growth controller (the
+    /// Heracles-style baseline). Call *before*
+    /// [`ServerSim::with_resilience`], which arms whichever controller is
+    /// installed.
+    #[must_use]
+    pub fn with_incremental_control(mut self) -> Self {
+        let manager = self.controller.manager().clone();
+        self.controller = Box::new(HeraclesController::new(manager));
+        self
+    }
+
+    /// Records every [`DecisionRecord`] the controller emits (the CLI's
+    /// `--decision-log` source).
+    #[must_use]
+    pub fn with_decision_log(mut self) -> Self {
+        self.decision_log = Some(Vec::new());
+        self
+    }
+
+    /// The decision trace accumulated so far (empty unless
+    /// [`ServerSim::with_decision_log`] was enabled).
+    pub fn decision_records(&self) -> &[DecisionRecord] {
+        self.decision_log.as_deref().unwrap_or(&[])
     }
 
     /// The ground-truth LC model.
@@ -259,17 +277,14 @@ impl ServerSim {
                     // Brownout lifted: recovery clock starts, the power
                     // governor disarms.
                     self.recovery_pending_since = Some(now_s);
-                    if let Some(state) = &mut self.resilience {
-                        state.governor = false;
-                        state.escalated = false;
-                    }
+                    self.controller.on_brownout_lift();
                 }
                 self.cap_factor = factor.clamp(0.05, 1.0);
                 // The degraded-mode response is event-driven: the moment
                 // the brownout lifts it replans at the restored cap
                 // instead of serving shrunken allocations until the next
                 // periodic epoch. The naive path keeps polling.
-                if lifted && self.resilience.is_some() {
+                if lifted && self.resilient {
                     self.on_manager_tick(now_s);
                 }
             }
@@ -288,18 +303,13 @@ impl ServerSim {
             ServerFaultAction::Recover => {
                 self.down = false;
                 self.recovery_pending_since = Some(now_s);
-                match &mut self.resilience {
-                    Some(state) => {
-                        if self.parked_be.is_some() {
-                            state.readmit_at_s = Some(now_s + state.backoff.next_delay());
-                        }
-                    }
-                    None => {
-                        // Naive path: the BE app is restarted immediately,
-                        // whatever the post-crash conditions.
-                        if let Some((truth, fitted)) = self.parked_be.take() {
-                            self.replace_be(Some(truth), fitted, 0.0);
-                        }
+                // A resilient controller schedules a backed-off
+                // re-admission and holds; the naive one orders an
+                // immediate restart.
+                let intent = self.controller.on_recover(now_s, self.parked_be.is_some());
+                if let BeIntent::Readmit { pause_s } = intent {
+                    if let Some((truth, fitted)) = self.parked_be.take() {
+                        self.replace_be(Some(truth), fitted, pause_s);
                     }
                 }
             }
@@ -333,7 +343,7 @@ impl ServerSim {
     /// relatively — the workload drifted under the model. Deterministic in
     /// `(salt, server seed)`.
     fn drift_model(&mut self, rel: f64, salt: u64) {
-        let utility = self.manager.utility();
+        let utility = self.controller.manager().utility();
         let perf = utility.performance_model();
         let mut rng = StdRng::seed_from_u64(salt ^ self.seed.rotate_left(17));
         let alphas: Vec<f64> = perf
@@ -348,15 +358,17 @@ impl ServerSim {
         let power = utility.power_model().clone();
         if let Ok(drifted) = CobbDouglas::new(perf.alpha0(), alphas) {
             if let Ok(new_utility) = IndirectUtility::new(space, drifted, power) {
-                self.manager.replace_utility(new_utility);
+                self.controller.manager_mut().replace_utility(new_utility);
             }
         }
     }
 
-    /// The manager tick (1 s in the paper): read the load trace, feed back
-    /// the observed slack, re-size the primary. Under a telemetry dropout
-    /// the manager consumes the *frozen* readings; with resilience armed
-    /// it instead falls back to blind Heracles-style feedback.
+    /// The manager tick (1 s in the paper): build the [`ControlInput`]
+    /// snapshot, let the controller decide, actuate the decision. All
+    /// mode arbitration (brownout governor, distress escalation,
+    /// frozen-telemetry fallback) lives behind
+    /// [`ServerController::decide`]; this backend only observes and
+    /// actuates.
     pub fn on_manager_tick(&mut self, now_s: f64) {
         self.clock_s = now_s;
         if self.down {
@@ -372,126 +384,45 @@ impl ServerSim {
         } else {
             self.last_slack
         };
-        // Managers are resilient: a failed step leaves the previous
+        let machine = self.lc_truth.machine();
+        let input = ControlInput {
+            now_s,
+            observed_load_rps: observed_load,
+            observed_slack,
+            measured_power: self.last_measured,
+            effective_cap: self.effective_cap(),
+            brownout: self.cap_factor < 1.0,
+            rapl_throttled: self.rapl_ceiling < machine.freq_max(),
+            telemetry_frozen: stale,
+            be_present: self.be_truth.is_some(),
+            be_draw_estimate: self.be_draw_estimate(),
+            max_counts: (machine.cores(), machine.llc_ways()),
+        };
+        let decision = self.controller.decide(&input);
+        // Managers are resilient: a failed apply leaves the previous
         // allocation in place rather than killing the simulation.
-        if stale && self.resilience.is_some() {
-            // Degraded mode: telemetry cannot be trusted, so neither can
-            // the analytic solve that consumes it. When blind, protect
-            // the SLO with incremental growth.
-            let _ = self.manager.degraded_step(&mut self.server, None);
-        } else if let (Some(state), true) = (&self.resilience, self.cap_factor < 1.0) {
-            // Brownout: a measured overdraw arms the power governor, which
-            // re-sizes the primary to the Cobb-Douglas demand at a budget
-            // *calibrated by the observed model-to-meter ratio* — instead
-            // of growing it into the RAPL throttle. A frequency-floored
-            // full machine serves less than a budget-sized allocation at
-            // full clock.
-            let comfort_frac = if self.be_truth.is_some() {
-                state.config.brownout_budget_frac
-            } else {
-                state.config.brownout_budget_frac_solo
-            };
-            let distress_frac = state.config.brownout_distress_frac;
-            let measured = self.last_measured;
-            let eff_cap = self.effective_cap();
-            let release = self.capper.release;
-            let throttled = self.rapl_ceiling < self.lc_truth.machine().freq_max();
-            let (governed, frac) = {
-                let state = self.resilience.as_mut().expect("guarded above");
-                if observed_slack.is_some_and(|s| s < 0.0) {
-                    state.escalated = true;
-                }
-                let mut frac = if state.escalated {
-                    distress_frac
-                } else {
-                    comfort_frac
-                };
-                // An escalated target above the release band would pin a
-                // dropped RAPL ceiling down forever. While throttled, duck
-                // below the band so the clock recovers first — capacity at
-                // full clock beats watts at a floored one.
-                if throttled {
-                    frac = frac.min(release - 0.02);
-                }
-                // Total-server target: the comfort fraction sits below the
-                // capper's release band so the RAPL throttle disarms once
-                // the governor holds it; distress escalates to just under
-                // the cap — comfort margins are a luxury of met SLOs.
-                if measured.is_some_and(|m| m > eff_cap * frac) {
-                    state.governor = true;
-                }
-                (state.governor, frac)
-            };
-            let target_total = eff_cap * frac;
-            match measured {
-                Some(m) if governed && m.0 > 0.0 => {
-                    let (c, w) = self.manager.last_counts().unwrap_or((1, 1));
-                    let modeled = self
-                        .manager
-                        .utility()
-                        .power_model()
-                        .power_of_amounts(&[c as f64, w as f64])
-                        .unwrap_or(target_total);
-                    // The meter reads the whole server; the budget governs
-                    // only the primary. The co-runner's fitted draw
-                    // estimate is subtracted from *both* the target and
-                    // the reading, so estimate error cancels in steady
-                    // state instead of starving (or overfeeding) the
-                    // primary.
-                    let be_est = self.be_draw_estimate();
-                    let primary_budget = (target_total.0 - be_est.0).max(1.0);
-                    let m_primary = (m.0 - be_est.0).max(1.0);
-                    // The fitted model prices allocations at full
-                    // utilization; the meter reads the actual draw. Their
-                    // ratio converts the watt budget into model space, so
-                    // the clamp neither starves (model overestimates) nor
-                    // overshoots (model underestimates).
-                    let ratio = (primary_budget / m_primary).clamp(0.5, 1.5);
-                    let _ = self.manager.budgeted_step(
-                        &mut self.server,
-                        observed_load,
-                        observed_slack,
-                        Watts(modeled.0 * ratio),
-                    );
-                }
-                _ => {
-                    let _ =
-                        self.manager
-                            .control_step(&mut self.server, observed_load, observed_slack);
-                }
-            }
-        } else {
+        if let PrimaryDirective::Resize { cores, ways } = decision.primary {
             let _ = self
-                .manager
-                .control_step(&mut self.server, observed_load, observed_slack);
+                .controller
+                .manager_mut()
+                .apply(&mut self.server, cores, ways);
+        }
+        if let Some(log) = &mut self.decision_log {
+            log.push(decision.record);
         }
         self.enforce_rapl_ceiling();
         self.plan_secondary_frequency();
         self.try_readmit_be(now_s);
     }
 
-    /// Re-admits a parked BE co-runner once its backoff expires — unless
-    /// the server is still faulted or saturated, in which case the wait
-    /// doubles (exponential backoff).
+    /// Re-admits a parked BE co-runner once the controller says so (its
+    /// backoff expired with the server calm and healthy).
     fn try_readmit_be(&mut self, now_s: f64) {
-        let Some(state) = &mut self.resilience else {
-            return;
-        };
-        let Some(at) = state.readmit_at_s else {
-            return;
-        };
-        if now_s < at {
-            return;
-        }
         let fault_active = self.cap_factor < 1.0 || self.down || self.obs_load.is_frozen(now_s);
-        if state.saturated_ticks > 0 || fault_active {
-            state.readmit_at_s = Some(now_s + state.backoff.next_delay());
-            return;
-        }
-        state.readmit_at_s = None;
-        let pause = state.config.readmit_pause_s;
-        if let Some((truth, fitted)) = self.parked_be.take() {
-            self.replace_be(Some(truth), fitted, pause);
+        if let BeIntent::Readmit { pause_s } = self.controller.readmit_tick(now_s, fault_active) {
+            if let Some((truth, fitted)) = self.parked_be.take() {
+                self.replace_be(Some(truth), fitted, pause_s);
+            }
         }
     }
 
@@ -531,7 +462,7 @@ impl ServerSim {
         let Some(be_fit) = &self.be_fitted else {
             return;
         };
-        let Some((c, w)) = self.manager.last_counts() else {
+        let Some((c, w)) = self.controller.manager().last_counts() else {
             return;
         };
         // LC priority under an active brownout: while the primary is
@@ -539,10 +470,7 @@ impl ServerSim {
         // Freed watts must reach the primary — otherwise a shrinking
         // primary lowers its own predicted draw, the planner hands the
         // difference to the BE, and total draw never falls.
-        if self.resilience.is_some()
-            && self.cap_factor < 1.0
-            && self.last_slack.is_some_and(|s| s < 0.0)
-        {
+        if self.resilient && self.cap_factor < 1.0 && self.last_slack.is_some_and(|s| s < 0.0) {
             let floor = self.lc_truth.machine().freq_min();
             if sec.frequency > floor {
                 let _ = self.server.set_frequency(TenantRole::Secondary, floor);
@@ -551,7 +479,8 @@ impl ServerSim {
             return;
         }
         let lc_pred = self
-            .manager
+            .controller
+            .manager()
             .utility()
             .power_model()
             .power_of_amounts(&[c as f64, w as f64])
@@ -559,7 +488,7 @@ impl ServerSim {
         // The resilient manager propagates the browned-out cap into the
         // plan; the naive one keeps planning against the provisioned cap
         // it was told at provisioning time.
-        let cap = if self.resilience.is_some() {
+        let cap = if self.resilient {
             self.effective_cap()
         } else {
             self.server.power_cap()
@@ -777,24 +706,12 @@ impl ServerSim {
         // the cap counts — evicting would free watts nobody needs.)
         let distressed =
             over_cap_saturated || (self.cap_factor < 1.0 && slack < 0.0 && self.be_truth.is_some());
-        let Some(state) = &mut self.resilience else {
-            return;
-        };
-        if distressed {
-            state.saturated_ticks += 1;
-        } else {
-            state.saturated_ticks = 0;
-        }
-        if self.be_truth.is_none() {
+        let intent =
+            self.controller
+                .distress_tick(distressed, self.be_truth.is_some(), self.clock_s);
+        if intent != BeIntent::Evict {
             return;
         }
-        let patience = state.config.eviction_patience_ticks
-            + state.config.patience_per_rank_ticks * state.rank;
-        if state.saturated_ticks <= patience {
-            return;
-        }
-        state.saturated_ticks = 0;
-        state.readmit_at_s = Some(self.clock_s + state.backoff.next_delay());
         if let Some(be) = self.be_truth.take() {
             self.parked_be = Some((be, self.be_fitted.take()));
             self.metrics.record_eviction();
@@ -1051,9 +968,21 @@ mod tests {
             LcPolicy::PowerOptimized,
             LoadTrace::Constant(0.4),
         );
-        let before = sim.manager.utility().performance_model().alphas().to_vec();
+        let before = sim
+            .controller
+            .manager()
+            .utility()
+            .performance_model()
+            .alphas()
+            .to_vec();
         sim.apply_fault(&ServerFaultAction::DriftModel { rel: 0.3, salt: 7 }, 1.0);
-        let after = sim.manager.utility().performance_model().alphas().to_vec();
+        let after = sim
+            .controller
+            .manager()
+            .utility()
+            .performance_model()
+            .alphas()
+            .to_vec();
         assert_ne!(before, after);
         for (b, a) in before.iter().zip(&after) {
             assert!(
@@ -1071,7 +1000,12 @@ mod tests {
         sim2.apply_fault(&ServerFaultAction::DriftModel { rel: 0.3, salt: 7 }, 1.0);
         assert_eq!(
             after,
-            sim2.manager.utility().performance_model().alphas().to_vec()
+            sim2.controller
+                .manager()
+                .utility()
+                .performance_model()
+                .alphas()
+                .to_vec()
         );
     }
 

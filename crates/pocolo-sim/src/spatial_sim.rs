@@ -5,7 +5,7 @@
 use pocolo_core::units::Watts;
 use pocolo_core::utility::IndirectUtility;
 use pocolo_manager::spatial::split_spare;
-use pocolo_manager::{LcPolicy, ManagerConfig};
+use pocolo_manager::{LcPolicy, ManagerConfig, ServerManager};
 use pocolo_simserver::power::{PowerDrawModel, PowerMeter};
 use pocolo_simserver::{MultiPowerCapper, MultiTenantServer, TenantAllocation};
 use pocolo_workloads::{BeModel, LcModel, LoadTrace};
@@ -25,10 +25,9 @@ pub struct SpatialTenant {
 #[derive(Debug)]
 pub struct SpatialServerSim {
     lc_truth: LcModel,
-    lc_fitted: IndirectUtility,
-    policy: LcPolicy,
-    config: ManagerConfig,
-    margin: f64,
+    /// Plans the primary's size; this backend actuates the multi-tenant
+    /// split itself (the spare box goes to *several* secondaries).
+    manager: ServerManager,
     tenants: Vec<SpatialTenant>,
     server: MultiTenantServer,
     capper: MultiPowerCapper,
@@ -61,10 +60,7 @@ impl SpatialServerSim {
             power_model: PowerDrawModel::new(machine.clone()),
             server: MultiTenantServer::new(machine, power_cap),
             lc_truth,
-            lc_fitted,
-            policy,
-            config: ManagerConfig::default(),
-            margin: ManagerConfig::default().initial_margin,
+            manager: ServerManager::new(lc_fitted, policy, ManagerConfig::default()),
             tenants,
             capper: MultiPowerCapper::default(),
             meter: PowerMeter::new(meter_noise, seed),
@@ -107,17 +103,10 @@ impl SpatialServerSim {
     /// (carrying the capper's DVFS/quota state per tenant).
     pub fn on_manager_tick(&mut self, now_s: f64) {
         self.current_load_rps = self.trace.load_at(now_s) * self.lc_truth.peak_load_rps();
-        if let Some(slack) = self.last_slack {
-            if slack < self.config.min_slack {
-                self.margin *= self.config.margin_up;
-            } else if slack > self.config.high_slack {
-                self.margin *= self.config.margin_down;
-            }
-            let (lo, hi) = self.config.margin_bounds;
-            self.margin = self.margin.clamp(lo, hi);
-        }
-        let target = self.current_load_rps * self.margin;
-        let Ok((c, w)) = self.policy.allocate(&self.lc_fitted, target) else {
+        let Ok((c, w)) = self
+            .manager
+            .plan_analytic(self.current_load_rps, self.last_slack)
+        else {
             return;
         };
         let machine = self.lc_truth.machine().clone();

@@ -9,7 +9,7 @@
 //! | Economics framework | [`core`] | Cobb-Douglas indirect utility, demand solver, preference vectors, model fitting, indifference curves, Edgeworth box |
 //! | Server substrate | [`simserver`] | Simulated Xeon E5-2650: core/way/DVFS/quota knobs, power model, noisy meter, telemetry |
 //! | Workload models | [`workloads`] | Ground-truth LC apps (img-dnn, sphinx, xapian, tpcc) and BE apps (lstm, rnn, graph, pbzip), load traces, profiler |
-//! | Server management | [`manager`] | POM power-optimized controller, Heracles-style baseline, 100 ms power capper |
+//! | Server management | [`manager`] | Control plane (`ServerController` trait + `ControlMode` state machine), POM power-optimized controller, Heracles-style baseline, 100 ms power capper |
 //! | Cluster placement | [`cluster`] | Performance matrix, Hungarian / simplex-LP / exhaustive / random solvers |
 //! | Fault injection | [`faults`] | Seeded fault plans (brownouts, crashes, telemetry dropouts, model drift), eviction ordering, re-admission backoff |
 //! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience |
@@ -53,12 +53,15 @@ pub mod prelude {
         Scenario as FaultScenario,
     };
     pub use pocolo_manager::{
-        BeJob, BeQueue, CapAction, LcPolicy, ManagerConfig, PowerCapper, QueueDiscipline,
-        ServerManager,
+        BeGuard, BeIntent, BeJob, BeQueue, CapAction, ControlDecision, ControlInput, ControlMode,
+        DecisionRecord, GovernorConfig, HeraclesController, LcPolicy, ManagerConfig, ModeMachine,
+        PocoloController, PowerCapper, PrimaryDirective, QueueDiscipline, ResilienceParams,
+        ServerController, ServerManager,
     };
     pub use pocolo_sim::experiment::{
-        run_experiment, run_experiment_with, run_level_sweep, run_policy_sweeps, ExperimentConfig,
-        ExperimentResult, FittedCluster, Policy,
+        run_experiment, run_experiment_traced, run_experiment_with, run_level_sweep,
+        run_policy_sweeps, DecisionTrace, ExperimentConfig, ExperimentResult, FittedCluster,
+        Policy,
     };
     pub use pocolo_sim::rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};
     pub use pocolo_sim::{
