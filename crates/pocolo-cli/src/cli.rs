@@ -17,6 +17,10 @@ COMMANDS:
     convexity --app <name>   screen an app for framework suitability (§V-G)
     place                    compute the power-optimized placement
     simulate --policy <p>    run the 10-90% sweep under a policy
+    clusterd                 run the POColo cluster daemon for one experiment
+    agentd --connect <addr>  run one POM agent against a cluster daemon
+    demo-net                 drive the experiment over real loopback TCP and
+                             verify parity against the in-process engine
     tco                      amortized monthly TCO comparison
     table2                   Table II: LC application characteristics
     help                     this text
@@ -32,6 +36,12 @@ OPTIONS:
                        optional schedule seed as <scenario>:<seed>
     --no-resilience    respond to faults naively (no degraded mode)
     --decision-log <path>  dump per-tick controller decisions as JSON lines
+    --listen <addr>    clusterd bind address           (default: 127.0.0.1:7700)
+    --connect <addr>   agentd: cluster daemon address  (default: 127.0.0.1:7700)
+    --agent <name>     agentd: stable identity         (default: agent-<pid>)
+    --lease-ttl-ms <n> clusterd/demo-net heartbeat lease TTL  (default: 1000)
+    --kill-agent       demo-net: kill one agent mid-run to exercise lease
+                       expiry -> degraded fallback -> re-registration
     --json             machine-readable output";
 
 /// Parsed command line.
@@ -57,6 +67,16 @@ pub struct Options {
     pub no_resilience: bool,
     /// `--decision-log` (path for the JSON-lines decision trace).
     pub decision_log: Option<String>,
+    /// `--listen` (clusterd bind address).
+    pub listen: String,
+    /// `--connect` (agentd cluster-daemon address).
+    pub connect: String,
+    /// `--agent` (agentd identity).
+    pub agent: Option<String>,
+    /// `--lease-ttl-ms` (heartbeat lease TTL).
+    pub lease_ttl_ms: u64,
+    /// `--kill-agent` (demo-net failure-path exercise).
+    pub kill_agent: bool,
     /// `--json`.
     pub json: bool,
 }
@@ -81,6 +101,11 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         faults: None,
         no_resilience: false,
         decision_log: None,
+        listen: "127.0.0.1:7700".into(),
+        connect: "127.0.0.1:7700".into(),
+        agent: None,
+        lease_ttl_ms: 1000,
+        kill_agent: false,
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -139,6 +164,36 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                         .clone(),
                 )
             }
+            "--listen" => {
+                opts.listen = it
+                    .next()
+                    .ok_or_else(|| "--listen needs an address".to_string())?
+                    .clone()
+            }
+            "--connect" => {
+                opts.connect = it
+                    .next()
+                    .ok_or_else(|| "--connect needs an address".to_string())?
+                    .clone()
+            }
+            "--agent" => {
+                opts.agent = Some(
+                    it.next()
+                        .ok_or_else(|| "--agent needs a name".to_string())?
+                        .clone(),
+                )
+            }
+            "--lease-ttl-ms" => {
+                opts.lease_ttl_ms = it
+                    .next()
+                    .ok_or_else(|| "--lease-ttl-ms needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--lease-ttl-ms: {e}"))?;
+                if opts.lease_ttl_ms == 0 {
+                    return Err("--lease-ttl-ms must be positive".into());
+                }
+            }
+            "--kill-agent" => opts.kill_agent = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -156,6 +211,76 @@ fn solver_of(name: &str) -> Result<Solver, String> {
     }
 }
 
+fn policy_of(opts: &Options) -> Result<Policy, String> {
+    match opts.policy.as_str() {
+        "random" => Ok(Policy::Random { seed: opts.seed }),
+        "heracles" => Ok(Policy::Heracles { seed: opts.seed }),
+        "pom" => Ok(Policy::Pom { seed: opts.seed }),
+        "pocolo" => Ok(Policy::Pocolo {
+            solver: solver_of(&opts.solver)?,
+        }),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+fn experiment_of(opts: &Options) -> Result<ExperimentConfig, String> {
+    if opts.dwell.is_nan() || opts.dwell <= 0.0 {
+        return Err("--dwell must be positive".into());
+    }
+    let faults: Option<FaultSpec> = match opts.faults.as_deref() {
+        Some(raw) => Some(raw.parse()?),
+        None => None,
+    };
+    Ok(ExperimentConfig {
+        dwell_s: opts.dwell,
+        seed: opts.seed,
+        parallelism: opts.parallelism,
+        faults,
+        resilience: !opts.no_resilience,
+        ..ExperimentConfig::default()
+    })
+}
+
+fn format_result(result: &ExperimentResult, config: &ExperimentConfig, json: bool) -> String {
+    if json {
+        return pocolo_json::to_string_pretty(result);
+    }
+    let mut out = format!(
+        "{}: BE throughput {:.4}, power utilization {:.1}%, capping {:.1}%, worst SLO violation {:.1}%\n",
+        result.policy,
+        result.summary.avg_be_throughput,
+        100.0 * result.summary.avg_power_utilization,
+        100.0 * result.summary.avg_capping_frac,
+        100.0 * result.summary.worst_violation_frac,
+    );
+    if let Some(spec) = &config.faults {
+        let _ = writeln!(
+            out,
+            "  faults: {spec} ({}) — SLO violations during faults {:.1}%, \
+             time to recover {:.1} s, evictions {}",
+            if config.resilience {
+                "degraded-mode response"
+            } else {
+                "naive response"
+            },
+            100.0 * result.summary.slo_violation_frac_during_fault,
+            result.summary.time_to_recover_s,
+            result.summary.evictions,
+        );
+    }
+    for p in &result.pairs {
+        let _ = writeln!(
+            out,
+            "  {:>8} + {:<6} thpt {:.4}  util {:.1}%",
+            p.lc,
+            p.be,
+            p.metrics.be_throughput_avg,
+            100.0 * p.metrics.power_utilization()
+        );
+    }
+    out.trim_end().to_string()
+}
+
 /// Executes the parsed command, returning the text to print.
 ///
 /// # Errors
@@ -170,6 +295,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "convexity" => cmd_convexity(&opts),
         "place" => cmd_place(&opts),
         "simulate" => cmd_simulate(&opts),
+        "clusterd" => cmd_clusterd(&opts),
+        "agentd" => cmd_agentd(&opts),
+        "demo-net" => cmd_demo_net(&opts),
         "tco" => cmd_tco(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -333,30 +461,14 @@ fn cmd_place(opts: &Options) -> Result<String, String> {
 }
 
 fn cmd_simulate(opts: &Options) -> Result<String, String> {
-    let policy = match opts.policy.as_str() {
-        "random" => Policy::Random { seed: opts.seed },
-        "heracles" => Policy::Heracles { seed: opts.seed },
-        "pom" => Policy::Pom { seed: opts.seed },
-        "pocolo" => Policy::Pocolo {
-            solver: solver_of(&opts.solver)?,
-        },
-        other => return Err(format!("unknown policy {other:?}")),
-    };
-    if opts.dwell.is_nan() || opts.dwell <= 0.0 {
-        return Err("--dwell must be positive".into());
+    let policy = policy_of(opts)?;
+    let config = experiment_of(opts)?;
+    // Fail fast on an unwritable log path — before the sweep runs, not
+    // after it has burned minutes of simulation.
+    if let Some(path) = &opts.decision_log {
+        std::fs::File::create(path)
+            .map_err(|e| format!("cannot write decision log {path}: {e}"))?;
     }
-    let faults: Option<FaultSpec> = match opts.faults.as_deref() {
-        Some(raw) => Some(raw.parse()?),
-        None => None,
-    };
-    let config = ExperimentConfig {
-        dwell_s: opts.dwell,
-        seed: opts.seed,
-        parallelism: opts.parallelism,
-        faults,
-        resilience: !opts.no_resilience,
-        ..ExperimentConfig::default()
-    };
     let result = match &opts.decision_log {
         Some(path) => {
             let fitted = FittedCluster::fit(&config.profiler);
@@ -366,43 +478,125 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
         }
         None => run_experiment(policy, &config),
     };
+    Ok(format_result(&result, &config, opts.json))
+}
+
+fn cmd_clusterd(opts: &Options) -> Result<String, String> {
+    use pocolo::net::{default_fit, ClusterConfig, Clusterd, RunSpec};
+    let policy = policy_of(opts)?;
+    let config = experiment_of(opts)?;
+    let listen: std::net::SocketAddr = opts
+        .listen
+        .parse()
+        .map_err(|e| format!("--listen {:?}: {e}", opts.listen))?;
+    let fitted = default_fit();
+    let run = RunSpec::plan(policy, &config, fitted);
+    let mut clusterd = Clusterd::spawn(ClusterConfig {
+        listen,
+        lease_ttl: std::time::Duration::from_millis(opts.lease_ttl_ms),
+        run,
+    })
+    .map_err(|e| e.to_string())?;
+    // Stderr so scripts capturing stdout still see only the result.
+    eprintln!("clusterd listening on {}", clusterd.local_addr());
+    let deadline = std::time::Duration::from_secs(24 * 3600);
+    if !clusterd.wait_done(deadline) {
+        return Err("clusterd: experiment did not complete within 24 h".into());
+    }
+    let result = clusterd
+        .result()
+        .ok_or_else(|| "clusterd: finished without full results".to_string())?;
+    clusterd.shutdown();
+    Ok(format_result(&result, &config, opts.json))
+}
+
+fn cmd_agentd(opts: &Options) -> Result<String, String> {
+    use pocolo::net::{run_agent, AgentConfig};
+    let connect: std::net::SocketAddr = opts
+        .connect
+        .parse()
+        .map_err(|e| format!("--connect {:?}: {e}", opts.connect))?;
+    let identity = opts
+        .agent
+        .clone()
+        .unwrap_or_else(|| format!("agent-{}", std::process::id()));
+    let report =
+        run_agent(&AgentConfig::new(connect, identity.clone())).map_err(|e| e.to_string())?;
     if opts.json {
-        return Ok(pocolo_json::to_string_pretty(&result));
+        return Ok(pocolo_json::to_string_pretty(&pocolo_json::json!({
+            "agent": identity,
+            "server": report.server,
+            "degraded": report.degraded,
+            "epochs": report.epochs,
+            "completed": report.completed,
+        })));
+    }
+    Ok(format!(
+        "{identity}: ran server {} for {} epochs ({}{})",
+        report.server,
+        report.epochs,
+        if report.completed {
+            "completed"
+        } else {
+            "aborted"
+        },
+        if report.degraded {
+            ", degraded re-run"
+        } else {
+            ""
+        },
+    ))
+}
+
+fn cmd_demo_net(opts: &Options) -> Result<String, String> {
+    use pocolo::net::{run_demo, DemoConfig};
+    let policy = policy_of(opts)?;
+    let experiment = experiment_of(opts)?;
+    let mut config = DemoConfig::new(policy, experiment);
+    config.lease_ttl = std::time::Duration::from_millis(opts.lease_ttl_ms);
+    if opts.kill_agent {
+        config.kill_after_epochs = Some(3);
+    }
+    let report = run_demo(&config).map_err(|e| e.to_string())?;
+    // The demo is a verification gate, not a tour: any divergence from
+    // the in-process engine is a hard error (nonzero exit for CI).
+    if opts.kill_agent {
+        if !report.degraded_parity() {
+            return Err("demo-net: degraded slot diverged from its in-process reference".into());
+        }
+        if !report.cap_respected() {
+            return Err("demo-net: a slot exceeded its in-process reference peak power".into());
+        }
+    } else if !report.parity() {
+        return Err("demo-net: wire path diverged from the in-process engine".into());
+    }
+    if opts.json {
+        return Ok(pocolo_json::to_string_pretty(&pocolo_json::json!({
+            "parity": report.parity(),
+            "placement": report.placement.clone(),
+            "degraded_slots": report.degraded_slots.clone(),
+            "reregistrations": report.reregistrations,
+            "killed_slot": report.killed.as_ref().map(|k| k.server),
+            "wire": report.wire.clone(),
+        })));
     }
     let mut out = format!(
-        "{}: BE throughput {:.4}, power utilization {:.1}%, capping {:.1}%, worst SLO violation {:.1}%\n",
-        result.policy,
-        result.summary.avg_be_throughput,
-        100.0 * result.summary.avg_power_utilization,
-        100.0 * result.summary.avg_capping_frac,
-        100.0 * result.summary.worst_violation_frac,
+        "loopback wire path verified against the in-process engine ({})\n",
+        if opts.kill_agent {
+            "failure path: kill -> lease expiry -> degraded -> rejoin"
+        } else {
+            "clean run: bit-exact parity"
+        }
     );
-    if let Some(spec) = &config.faults {
+    if let Some(dead) = &report.killed {
         let _ = writeln!(
             out,
-            "  faults: {spec} ({}) — SLO violations during faults {:.1}%, \
-             time to recover {:.1} s, evictions {}",
-            if config.resilience {
-                "degraded-mode response"
-            } else {
-                "naive response"
-            },
-            100.0 * result.summary.slo_violation_frac_during_fault,
-            result.summary.time_to_recover_s,
-            result.summary.evictions,
+            "  killed agent on server {} after {} epochs; re-registrations: {}",
+            dead.server, dead.epochs, report.reregistrations
         );
     }
-    for p in &result.pairs {
-        let _ = writeln!(
-            out,
-            "  {:>8} + {:<6} thpt {:.4}  util {:.1}%",
-            p.lc,
-            p.be,
-            p.metrics.be_throughput_avg,
-            100.0 * p.metrics.power_utilization()
-        );
-    }
-    Ok(out.trim_end().to_string())
+    out.push_str(&format_result(&report.wire, &config.experiment, false));
+    Ok(out)
 }
 
 /// Serializes every [`DecisionRecord`] as one compact JSON object per
@@ -648,6 +842,111 @@ mod tests {
         assert!(run(&argv("simulate --policy warp")).is_err());
         assert!(run(&argv("simulate --dwell -1")).is_err());
         assert!(run(&argv("place --solver quantum")).is_err());
+    }
+
+    #[test]
+    fn unknown_faults_scenario_is_a_one_line_error() {
+        let err = run(&argv("simulate --dwell 2 --faults meteor")).unwrap_err();
+        assert!(
+            err.contains("meteor"),
+            "error names the bad scenario: {err}"
+        );
+        assert!(!err.contains('\n'), "error is one line: {err:?}");
+    }
+
+    #[test]
+    fn unwritable_decision_log_fails_before_the_run() {
+        let started = std::time::Instant::now();
+        let err = run(&argv(
+            "simulate --policy pocolo --decision-log /no/such/dir/x.jsonl",
+        ))
+        .unwrap_err();
+        assert!(err.contains("decision log"), "{err}");
+        assert!(!err.contains('\n'), "error is one line: {err:?}");
+        // Pre-flight check, not post-run: the default 20 s dwell sweep
+        // never started.
+        assert!(started.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn decision_log_schema_is_stable() {
+        let path = std::env::temp_dir().join("pocolo_cli_decision_schema_test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        run(&argv(&format!(
+            "simulate --policy pocolo --dwell 2 --decision-log {path_str}"
+        )))
+        .unwrap();
+        // The decision log is a stable external interface: every line is
+        // one JSON object whose field names and order are the published
+        // schema. Renaming or reordering a field is a breaking change and
+        // must update this snapshot.
+        const SCHEMA: [&str; 15] = [
+            "server",
+            "lc",
+            "be",
+            "t_s",
+            "mode",
+            "load_rps",
+            "slack",
+            "measured_w",
+            "effective_cap_w",
+            "budget_w",
+            "cores",
+            "ways",
+            "governor_armed",
+            "escalated",
+            "ducked",
+        ];
+        let log = std::fs::read_to_string(&path).unwrap();
+        assert!(log.lines().count() > 20, "trace covers the sweep");
+        for line in log.lines() {
+            let v: pocolo_json::Value = pocolo_json::from_str(line).expect("line parses");
+            let keys: Vec<&str> = v
+                .as_object()
+                .expect("line is an object")
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect();
+            assert_eq!(keys, SCHEMA, "decision-log schema drifted");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_net_flags() {
+        let o = parse(&argv(
+            "demo-net --listen 0.0.0.0:9 --connect 10.0.0.1:7700 --agent rack3 \
+             --lease-ttl-ms 250 --kill-agent",
+        ))
+        .unwrap();
+        assert_eq!(o.listen, "0.0.0.0:9");
+        assert_eq!(o.connect, "10.0.0.1:7700");
+        assert_eq!(o.agent.as_deref(), Some("rack3"));
+        assert_eq!(o.lease_ttl_ms, 250);
+        assert!(o.kill_agent);
+        assert!(parse(&argv("agentd --connect")).is_err());
+        assert!(parse(&argv("clusterd --lease-ttl-ms 0")).is_err());
+        assert!(parse(&argv("clusterd --lease-ttl-ms soon")).is_err());
+    }
+
+    #[test]
+    fn daemons_reject_bad_addresses() {
+        assert!(run(&argv("clusterd --listen not-an-addr")).is_err());
+        assert!(run(&argv("agentd --connect not-an-addr")).is_err());
+        assert!(run(&argv("demo-net --policy warp")).is_err());
+        assert!(run(&argv("demo-net --faults meteor")).is_err());
+    }
+
+    #[test]
+    fn demo_net_loopback_quick_run() {
+        let out = run(&argv("demo-net --policy pocolo --dwell 2 --seed 1")).unwrap();
+        assert!(out.contains("bit-exact parity"), "{out}");
+        assert!(out.contains("POColo"));
+        let json = run(&argv("demo-net --policy random --dwell 2 --seed 1 --json")).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
+        assert_eq!(v["parity"].as_bool(), Some(true));
+        assert_eq!(v["placement"].as_array().unwrap().len(), 4);
+        assert_eq!(v["reregistrations"].as_u64(), Some(0));
     }
 
     #[test]

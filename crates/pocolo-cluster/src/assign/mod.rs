@@ -37,6 +37,42 @@ pub enum Solver {
     MaxMinFair,
 }
 
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Solver::Hungarian => f.write_str("hungarian"),
+            Solver::Lp => f.write_str("lp"),
+            Solver::Exhaustive => f.write_str("exhaustive"),
+            Solver::Random { seed } => write!(f, "random:{seed}"),
+            Solver::MaxMinFair => f.write_str("fair"),
+        }
+    }
+}
+
+impl std::str::FromStr for Solver {
+    type Err = String;
+
+    /// Parses the [`Display`](Solver#impl-Display-for-Solver) form:
+    /// `hungarian`, `lp`, `exhaustive`, `fair`, or `random:<seed>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hungarian" => Ok(Solver::Hungarian),
+            "lp" => Ok(Solver::Lp),
+            "exhaustive" => Ok(Solver::Exhaustive),
+            "fair" => Ok(Solver::MaxMinFair),
+            other => match other.strip_prefix("random:") {
+                Some(seed) => seed
+                    .parse()
+                    .map(|seed| Solver::Random { seed })
+                    .map_err(|_| format!("bad random-solver seed {seed:?}")),
+                None => Err(format!(
+                    "unknown solver {other:?} (want hungarian, lp, exhaustive, fair, or random:<seed>)"
+                )),
+            },
+        }
+    }
+}
+
 /// A placement: `pairs[(be_row, server_col)]` plus its total value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {

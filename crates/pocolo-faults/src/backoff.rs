@@ -1,4 +1,8 @@
-//! Exponential re-admission backoff for evicted best-effort apps.
+//! Exponential re-admission backoff for evicted best-effort apps, and the
+//! bounded, jittered retry schedule the wire layer uses for reconnects.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Exponential backoff schedule: each eviction of a best-effort app waits
 /// longer than the last before re-admission is attempted, up to a cap.
@@ -68,6 +72,98 @@ impl ReadmissionBackoff {
     }
 }
 
+/// Bounded exponential retry with deterministic jitter: the schedule a
+/// network client follows when a peer is unreachable.
+///
+/// Each draw returns the next wait in seconds, growing by `factor` up to
+/// `max_s`, with a symmetric relative jitter of up to `jitter_frac` drawn
+/// from a seeded RNG — so a fleet of agents restarting together does not
+/// reconnect in lockstep, yet every schedule replays bit-identically for
+/// a given seed. After `max_attempts` draws the policy is exhausted and
+/// [`RetryPolicy::next_delay_s`] returns `None`.
+///
+/// ```
+/// use pocolo_faults::RetryPolicy;
+/// let mut r = RetryPolicy::new(0.1, 2.0, 1.0, 3, 0.0, 7);
+/// assert_eq!(r.next_delay_s(), Some(0.1));
+/// assert_eq!(r.next_delay_s(), Some(0.2));
+/// assert_eq!(r.next_delay_s(), Some(0.4));
+/// assert_eq!(r.next_delay_s(), None); // exhausted
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    backoff: ReadmissionBackoff,
+    max_attempts: usize,
+    attempts: usize,
+    jitter_frac: f64,
+    rng: StdRng,
+}
+
+impl RetryPolicy {
+    /// Creates a retry schedule starting at `base_s` seconds, multiplying
+    /// by `factor` per attempt, clamped to `max_s`, allowing at most
+    /// `max_attempts` draws, with up to ±`jitter_frac` relative jitter
+    /// seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid shapes as [`ReadmissionBackoff::new`],
+    /// or if `jitter_frac` is not within `[0, 1)`.
+    pub fn new(
+        base_s: f64,
+        factor: f64,
+        max_s: f64,
+        max_attempts: usize,
+        jitter_frac: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter_frac),
+            "jitter fraction must be in [0, 1), got {jitter_frac}"
+        );
+        RetryPolicy {
+            backoff: ReadmissionBackoff::new(base_s, factor, max_s),
+            max_attempts,
+            attempts: 0,
+            jitter_frac,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A conservative default for loopback/LAN reconnects: 100 ms base,
+    /// doubling to a 2 s ceiling, 8 attempts, 20 % jitter.
+    pub fn reconnect(seed: u64) -> Self {
+        RetryPolicy::new(0.1, 2.0, 2.0, 8, 0.2, seed)
+    }
+
+    /// Attempts drawn so far.
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// Draws the next wait in seconds, or `None` once the attempt budget
+    /// is spent.
+    pub fn next_delay_s(&mut self) -> Option<f64> {
+        if self.attempts >= self.max_attempts {
+            return None;
+        }
+        self.attempts += 1;
+        let base = self.backoff.next_delay();
+        if self.jitter_frac == 0.0 {
+            return Some(base);
+        }
+        let jitter = self.rng.gen_range(-self.jitter_frac..self.jitter_frac);
+        Some(base * (1.0 + jitter))
+    }
+
+    /// Restores the full attempt budget and the base delay (a successful
+    /// exchange earns a clean slate).
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+        self.backoff.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +200,46 @@ mod tests {
     #[should_panic(expected = "must be >= base")]
     fn rejects_max_below_base() {
         let _ = ReadmissionBackoff::new(5.0, 2.0, 1.0);
+    }
+
+    #[test]
+    fn retry_policy_is_bounded_and_jitter_stays_in_band() {
+        let mut r = RetryPolicy::new(1.0, 2.0, 8.0, 5, 0.25, 42);
+        let mut expected_base = [1.0, 2.0, 4.0, 8.0, 8.0].into_iter();
+        while let Some(d) = r.next_delay_s() {
+            let base = expected_base.next().unwrap();
+            assert!(
+                (d - base).abs() <= 0.25 * base + 1e-12,
+                "delay {d} strayed from base {base}"
+            );
+        }
+        assert_eq!(r.attempts(), 5);
+        assert_eq!(r.next_delay_s(), None, "budget stays spent");
+    }
+
+    #[test]
+    fn retry_policy_replays_bit_identically_per_seed() {
+        let draw = |seed: u64| {
+            let mut r = RetryPolicy::reconnect(seed);
+            std::iter::from_fn(|| r.next_delay_s()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4), "different seeds draw different jitter");
+    }
+
+    #[test]
+    fn retry_policy_reset_restores_budget() {
+        let mut r = RetryPolicy::new(1.0, 2.0, 4.0, 2, 0.0, 1);
+        assert_eq!(r.next_delay_s(), Some(1.0));
+        assert_eq!(r.next_delay_s(), Some(2.0));
+        assert_eq!(r.next_delay_s(), None);
+        r.reset();
+        assert_eq!(r.next_delay_s(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn retry_policy_rejects_bad_jitter() {
+        let _ = RetryPolicy::new(1.0, 2.0, 4.0, 3, 1.0, 1);
     }
 }

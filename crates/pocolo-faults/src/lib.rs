@@ -41,7 +41,7 @@ mod backoff;
 mod plan;
 mod scenario;
 
-pub use backoff::ReadmissionBackoff;
+pub use backoff::{ReadmissionBackoff, RetryPolicy};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use scenario::{FaultSpec, Scenario};
 

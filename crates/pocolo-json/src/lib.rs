@@ -17,7 +17,7 @@ use std::fmt;
 
 mod parse;
 
-pub use parse::{from_str, ParseError};
+pub use parse::{from_str, ParseError, MAX_DEPTH};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]

@@ -24,11 +24,17 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser will descend into. Deeper
+/// documents return a typed [`ParseError`] instead of overflowing the
+/// stack — the wire path feeds this parser untrusted bytes.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document.
 pub fn from_str(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.parse_value()?;
@@ -42,6 +48,7 @@ pub fn from_str(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -71,10 +78,28 @@ impl Parser<'_> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("maximum nesting depth exceeded"));
+        }
+        Ok(())
+    }
+
     fn parse_value(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.parse_object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.parse_array();
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Value::String(self.parse_string()?)),
             Some(b't') => self.parse_keyword("true", Value::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
@@ -226,18 +251,26 @@ impl Parser<'_> {
         Ok(code)
     }
 
+    fn eat_digits(&mut self) -> usize {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
     fn parse_number(&mut self) -> Result<Value, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-            self.pos += 1;
+        if self.eat_digits() == 0 {
+            return Err(self.error("expected digit in number"));
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
-            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(self.error("expected digit after decimal point"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -245,15 +278,20 @@ impl Parser<'_> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(self.error("expected digit in exponent"));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number"))?;
-        text.parse::<f64>()
-            .map(Value::Number)
-            .map_err(|_| self.error("invalid number"))
+        let n: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        // The writer never emits non-finite numbers (they serialize as
+        // null), so a document whose literal overflows f64 is malformed
+        // rather than silently infinite.
+        if !n.is_finite() {
+            return Err(self.error("number out of range"));
+        }
+        Ok(Value::Number(n))
     }
 }
 
@@ -302,5 +340,148 @@ mod tests {
     fn empty_containers() {
         assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
         assert_eq!(from_str("[ ]").unwrap(), Value::Array(vec![]));
+    }
+
+    #[test]
+    fn rejects_lone_and_unpaired_surrogates() {
+        // Lone high surrogate, high followed by non-escape, and a low
+        // half outside the surrogate range must all fail typed.
+        assert!(from_str("\"\\uD83D\"").is_err());
+        assert!(from_str("\"\\uD83Dx\"").is_err());
+        assert!(from_str("\"\\uD83D\\u0041\"").is_err());
+        // Lone low surrogate.
+        assert!(from_str("\"\\uDE00\"").is_err());
+        // Truncated escape at end of input.
+        assert!(from_str("\"\\uD83D\\u").is_err());
+        assert!(from_str("\"\\u12").is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_number_literals() {
+        for bad in ["1.", "-", "-.", "1e", "1e+", "1E-", ".5", "1.e3"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+        // The strict grammar still accepts the full shape.
+        assert_eq!(from_str("-12.5e-2").unwrap(), Value::Number(-0.125));
+    }
+
+    #[test]
+    fn rejects_numbers_that_overflow_f64() {
+        let e = from_str("1e999").unwrap_err();
+        assert!(e.message.contains("out of range"), "got: {e}");
+        assert!(from_str("-1e999").is_err());
+        // Underflow to zero is representable, not an error.
+        assert_eq!(from_str("1e-999").unwrap(), Value::Number(0.0));
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_stack_overflow() {
+        let deep = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        assert!(from_str(&deep(super::MAX_DEPTH)).is_ok());
+        let e = from_str(&deep(super::MAX_DEPTH + 1)).unwrap_err();
+        assert!(e.message.contains("nesting depth"), "got: {e}");
+        // Far past the limit: still a clean error (would overflow the
+        // stack without the guard).
+        assert!(from_str(&deep(100_000)).is_err());
+        // Mixed object/array nesting counts against the same budget.
+        let mixed = "{\"a\":".repeat(super::MAX_DEPTH) + "1" + &"}".repeat(super::MAX_DEPTH);
+        assert!(from_str(&mixed).is_ok());
+        let mixed =
+            "{\"a\":".repeat(super::MAX_DEPTH + 1) + "1" + &"}".repeat(super::MAX_DEPTH + 1);
+        assert!(from_str(&mixed).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Writes `s` as a JSON string using an explicit `\uXXXX` escape for
+    /// every char (surrogate pairs for astral-plane chars), exercising
+    /// the escape decoder rather than the raw-chunk fast path.
+    fn fully_escaped(s: &str) -> String {
+        let mut out = String::from("\"");
+        let mut units = [0u16; 2];
+        for c in s.chars() {
+            for u in c.encode_utf16(&mut units) {
+                out.push_str(&format!("\\u{u:04x}"));
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    fn arb_unicode_string() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0u32..0x11_0000, 0..24).prop_map(|codes| {
+            codes
+                .into_iter()
+                .filter_map(char::from_u32) // drops the surrogate gap
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Every unicode string survives escape-encoding → parse,
+        /// including astral-plane chars that need surrogate pairs.
+        #[test]
+        fn unicode_escapes_round_trip(s in arb_unicode_string()) {
+            let parsed = from_str(&fully_escaped(&s)).unwrap();
+            prop_assert_eq!(parsed, Value::String(s));
+        }
+
+        /// Writer → parser round-trip over the raw-char path too.
+        #[test]
+        fn writer_strings_round_trip(s in arb_unicode_string()) {
+            let doc = Value::String(s.clone()).to_compact_string();
+            prop_assert_eq!(from_str(&doc).unwrap(), Value::String(s));
+        }
+
+        /// Any nesting depth up to the limit parses; anything past it is
+        /// a typed error, never a crash.
+        #[test]
+        fn nesting_depth_is_exact(depth in 1usize..=2 * MAX_DEPTH) {
+            let doc = "[".repeat(depth) + &"]".repeat(depth);
+            let r = from_str(&doc);
+            if depth <= MAX_DEPTH {
+                prop_assert!(r.is_ok());
+            } else {
+                prop_assert!(r.unwrap_err().message.contains("nesting depth"));
+            }
+        }
+
+        /// Finite f64s of any bit pattern round-trip exactly through the
+        /// compact writer and the parser.
+        #[test]
+        fn extreme_numbers_round_trip(bits in proptest::prelude::any::<u64>()) {
+            let n = f64::from_bits(bits);
+            if n.is_finite() {
+                let doc = Value::Number(n).to_compact_string();
+                let back = from_str(&doc).unwrap();
+                prop_assert_eq!(back, Value::Number(n));
+            }
+        }
+
+        /// Arbitrary bytes never panic the parser — they parse or they
+        /// return a typed error.
+        #[test]
+        fn arbitrary_input_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+            let s = String::from_utf8_lossy(&bytes);
+            let _ = from_str(&s);
+        }
+
+        /// JSON-alphabet soup reaches deeper into the grammar than raw
+        /// bytes do; it must also never panic.
+        #[test]
+        fn structural_soup_never_panics(picks in proptest::collection::vec(0usize..20, 0..48)) {
+            const ALPHABET: [&str; 20] = [
+                "{", "}", "[", "]", "\"", ",", ":", "0", "9", "-",
+                ".", "e", "E", "+", "\\u", "\\", "true", "null", " ", "1",
+            ];
+            let s: String = picks.into_iter().map(|i| ALPHABET[i]).collect();
+            let _ = from_str(&s);
+        }
     }
 }

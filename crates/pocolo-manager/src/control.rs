@@ -18,6 +18,16 @@
 //! - [`HeraclesController`] — a power-oblivious incremental-growth
 //!   baseline: grow a core and a way on low (or unknown) slack, trim on
 //!   verified headroom, never consult the power model.
+//!
+//! This boundary is what makes the distributed runtime (`pocolo-net`)
+//! possible without a second control implementation: a remote POM agent
+//! is just another backend. It builds the same [`ControlInput`]
+//! snapshots from its local simulation, runs the same controller, and
+//! actuates the same [`ControlDecision`]s — only telemetry summaries
+//! and final metrics cross the wire, never control policy. The
+//! degraded-slot takeover after a lease expiry likewise reuses
+//! [`HeraclesController`] as the blind fallback, so the failure path
+//! exercises a controller this module already unit-tests.
 
 use std::fmt;
 

@@ -1,0 +1,264 @@
+//! The POM agent daemon: one process (or thread) per server slot.
+//!
+//! An agent registers with the cluster daemon, receives its slot and the
+//! full [`RunSpec`](crate::wire::RunSpec), rebuilds the simulation
+//! backend locally, and drives
+//! it through [`run_server_projection`] — the exact per-server event
+//! queue the in-process engine fans out. After every manager epoch it
+//! ships telemetry (which renews its lease) and applies any budget
+//! directive from the ack. On completion it delivers its final metrics.
+//!
+//! Every wire exchange tolerates one transparent reconnect under the
+//! bounded jittered [`RetryPolicy`]; a dead cluster daemon surfaces as a
+//! typed [`NetError`], never a panic.
+
+use std::net::SocketAddr;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use pocolo_faults::RetryPolicy;
+use pocolo_sim::experiment::FittedCluster;
+use pocolo_sim::{compile_fault_plan, run_server_projection, ServerFaultAction, ServerFaultEvent};
+use pocolo_workloads::profiler::ProfilerConfig;
+
+use crate::client::RpcClient;
+use crate::error::NetError;
+use crate::wire::Message;
+
+/// The fitted models every agent (and the loopback harness) shares.
+///
+/// [`FittedCluster::fit`] is deterministic in the profiler defaults, so
+/// the wire protocol never ships models: both sides of the connection fit
+/// their own copy and agree bit-for-bit. Cached per process because the
+/// fit is the most expensive step of agent start-up.
+pub fn default_fit() -> &'static FittedCluster {
+    static FIT: OnceLock<FittedCluster> = OnceLock::new();
+    FIT.get_or_init(|| FittedCluster::fit(&ProfilerConfig::default()))
+}
+
+/// Configuration of one agent daemon.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Cluster daemon address.
+    pub connect: SocketAddr,
+    /// Stable agent identity; re-registering under the same identity
+    /// after a restart reclaims the same slot (degraded).
+    pub agent: String,
+    /// Socket connect/read/write deadline.
+    pub io_timeout: Duration,
+    /// Seed for the jittered reconnect schedule (derived from the agent
+    /// identity by [`AgentConfig::new`] so a restarting fleet staggers).
+    pub retry_seed: u64,
+    /// Test/demo kill switch: abandon the run (without completing or
+    /// deregistering) after this many control epochs, as if the process
+    /// died mid-run.
+    pub die_after_epochs: Option<u64>,
+}
+
+impl AgentConfig {
+    /// An agent with default deadlines and an identity-derived retry seed.
+    pub fn new(connect: SocketAddr, agent: impl Into<String>) -> Self {
+        let agent = agent.into();
+        let retry_seed = agent.bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        AgentConfig {
+            connect,
+            agent,
+            io_timeout: Duration::from_secs(5),
+            retry_seed,
+            die_after_epochs: None,
+        }
+    }
+}
+
+/// What one agent run accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentReport {
+    /// The slot the daemon assigned.
+    pub server: usize,
+    /// Whether the slot ran under the degraded fallback controller.
+    pub degraded: bool,
+    /// Control epochs driven (telemetry frames sent).
+    pub epochs: u64,
+    /// False when the kill switch abandoned the run mid-flight.
+    pub completed: bool,
+}
+
+/// One request/response exchange that survives a single broken
+/// connection: on a transport error the agent reconnects under a fresh
+/// bounded retry schedule and replays the request once. Application-level
+/// (`Remote`) errors are not retried — the daemon meant them.
+fn exchange(
+    client: &mut RpcClient,
+    config: &AgentConfig,
+    request: &Message,
+) -> Result<Message, NetError> {
+    match client.call(request) {
+        Ok(reply) => Ok(reply),
+        Err(e @ NetError::Remote(_)) => Err(e),
+        Err(_) => {
+            let mut retry = RetryPolicy::reconnect(config.retry_seed ^ 0x9e37_79b9);
+            *client = RpcClient::connect(config.connect, &mut retry, config.io_timeout)?;
+            client.call(request)
+        }
+    }
+}
+
+/// Runs one agent to completion (or until its kill switch fires).
+///
+/// # Errors
+///
+/// Returns a [`NetError`] when the cluster daemon is unreachable past the
+/// retry budget, replies out of protocol, or reports an application
+/// error (e.g. no free slot).
+pub fn run_agent(config: &AgentConfig) -> Result<AgentReport, NetError> {
+    let mut retry = RetryPolicy::reconnect(config.retry_seed);
+    let mut client = RpcClient::connect(config.connect, &mut retry, config.io_timeout)?;
+    let register = Message::Register {
+        agent: config.agent.clone(),
+    };
+    let (server, degraded, run) = match exchange(&mut client, config, &register)? {
+        Message::Welcome {
+            server,
+            degraded,
+            run,
+        } => (server, degraded, *run),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected welcome, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    if server >= run.n_servers() {
+        return Err(NetError::Protocol(format!(
+            "daemon assigned slot {server} of a {}-server run",
+            run.n_servers()
+        )));
+    }
+
+    let fitted = default_fit();
+    let mut sim = run.slot_spec(server, degraded).build(fitted);
+    // The fault timeline is compiled locally from the spec string: it is
+    // deterministic in (scenario, seed, duration, placement), so this
+    // agent's events match the in-process engine's event-for-event.
+    let events: Vec<ServerFaultEvent> = match &run.faults {
+        Some(spec) => {
+            let (timeline, _) = compile_fault_plan(
+                spec,
+                run.seed,
+                run.duration_s,
+                fitted,
+                &run.placement,
+                run.resilience,
+            );
+            timeline.server_events(server).to_vec()
+        }
+        None => Vec::new(),
+    };
+
+    let mut epochs: u64 = 0;
+    let mut killed = false;
+    let mut last_cap_factor = 1.0_f64;
+    let mut wire_failure: Option<NetError> = None;
+    run_server_projection(
+        &mut sim,
+        &events,
+        run.manager_period_s,
+        run.capper_period_s,
+        run.duration_s,
+        |now_s, sim| {
+            if config.die_after_epochs.is_some_and(|limit| epochs >= limit) {
+                killed = true;
+                return false;
+            }
+            let telemetry = Message::Telemetry {
+                server,
+                epoch: epochs,
+                t_s: now_s,
+                power_w: sim.true_power().0,
+                slack: sim.lc_slack(),
+                be_throughput: sim.be_throughput(),
+            };
+            epochs += 1;
+            match exchange(&mut client, config, &telemetry) {
+                Ok(Message::TelemetryAck { cap_factor }) => {
+                    // Budget push is opt-in: parity runs carry the cap
+                    // schedule inside the fault timeline instead, at
+                    // exact event times.
+                    if run.push_budget && cap_factor != last_cap_factor {
+                        sim.apply_fault(&ServerFaultAction::SetCapFactor(cap_factor), now_s);
+                        last_cap_factor = cap_factor;
+                    }
+                    true
+                }
+                Ok(other) => {
+                    wire_failure = Some(NetError::Protocol(format!(
+                        "expected telemetry ack, got {}",
+                        other.type_name()
+                    )));
+                    false
+                }
+                Err(e) => {
+                    wire_failure = Some(e);
+                    false
+                }
+            }
+        },
+    );
+    if let Some(e) = wire_failure {
+        return Err(e);
+    }
+    if killed {
+        return Ok(AgentReport {
+            server,
+            degraded,
+            epochs,
+            completed: false,
+        });
+    }
+
+    let complete = Message::Complete {
+        server,
+        metrics: Box::new(sim.metrics().clone()),
+    };
+    match exchange(&mut client, config, &complete)? {
+        Message::CompleteAck => Ok(AgentReport {
+            server,
+            degraded,
+            epochs,
+            completed: true,
+        }),
+        other => Err(NetError::Protocol(format!(
+            "expected completion ack, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_seeds_differ_per_identity() {
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let a = AgentConfig::new(addr, "agent-0");
+        let b = AgentConfig::new(addr, "agent-1");
+        assert_ne!(a.retry_seed, b.retry_seed);
+        assert_eq!(a.retry_seed, AgentConfig::new(addr, "agent-0").retry_seed);
+    }
+
+    #[test]
+    fn unreachable_daemon_is_a_typed_error() {
+        let mut config = AgentConfig::new("127.0.0.1:1".parse().unwrap(), "agent-x");
+        config.io_timeout = Duration::from_millis(20);
+        // Shrink the retry budget so the test stays fast.
+        let err = {
+            let mut retry = RetryPolicy::new(0.001, 1.0, 0.001, 2, 0.0, config.retry_seed);
+            RpcClient::connect(config.connect, &mut retry, config.io_timeout).unwrap_err()
+        };
+        assert!(matches!(err, NetError::Exhausted { .. }), "got {err}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Blocking RPC client: connect with bounded jittered retry, then strict
+//! request/response exchanges under read/write deadlines.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use pocolo_faults::RetryPolicy;
+
+use crate::error::NetError;
+use crate::wire::{read_frame, write_frame, Message};
+
+/// Connects under `retry`'s schedule, sleeping each jittered delay, until
+/// a connection lands or the attempt budget is spent.
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    retry: &mut RetryPolicy,
+    io_timeout: Duration,
+) -> Result<TcpStream, NetError> {
+    loop {
+        match TcpStream::connect_timeout(&addr, io_timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(io_timeout))?;
+                stream.set_write_timeout(Some(io_timeout))?;
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(_) => match retry.next_delay_s() {
+                Some(delay_s) => std::thread::sleep(Duration::from_secs_f64(delay_s)),
+                None => {
+                    return Err(NetError::Exhausted {
+                        attempts: retry.attempts(),
+                        what: format!("connect to {addr}"),
+                    })
+                }
+            },
+        }
+    }
+}
+
+/// One strict request/response connection to the cluster daemon.
+#[derive(Debug)]
+pub struct RpcClient {
+    stream: TcpStream,
+}
+
+impl RpcClient {
+    /// Wraps an established, deadline-configured stream.
+    pub fn new(stream: TcpStream) -> Self {
+        RpcClient { stream }
+    }
+
+    /// Connects with the given retry schedule and deadlines.
+    pub fn connect(
+        addr: SocketAddr,
+        retry: &mut RetryPolicy,
+        io_timeout: Duration,
+    ) -> Result<Self, NetError> {
+        Ok(RpcClient::new(connect_with_retry(addr, retry, io_timeout)?))
+    }
+
+    /// Sends a request and blocks for the single reply. A peer `Error`
+    /// reply surfaces as [`NetError::Remote`].
+    pub fn call(&mut self, request: &Message) -> Result<Message, NetError> {
+        write_frame(&mut self.stream, &request.to_value())?;
+        let reply = read_frame(&mut self.stream)?;
+        match Message::from_value(&reply)? {
+            Message::Error { message } => Err(NetError::Remote(message)),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_retry_surfaces_attempt_count() {
+        // A port from TEST-NET that nothing listens on, with an
+        // aggressive schedule so the test stays fast.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut retry = RetryPolicy::new(0.001, 1.0, 0.001, 3, 0.0, 1);
+        let err = connect_with_retry(addr, &mut retry, Duration::from_millis(20)).unwrap_err();
+        match err {
+            NetError::Exhausted { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("expected exhaustion, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The POColo cluster daemon: slot registry, heartbeat leases, placement
+//! push, and result aggregation.
+//!
+//! The daemon is the passive side of the protocol: it solves the
+//! placement once (via [`RunSpec::plan`]), hands each registering agent
+//! a slot plus the full run spec, renews a slot's lease on every
+//! telemetry frame, and aggregates the final metrics. A reaper thread
+//! expires leases: a slot whose agent goes silent flips to *degraded*,
+//! and the next registration of that slot (same agent identity restarted,
+//! or a fresh one) is told to run the blind incremental-control fallback
+//! — the same degradation path the in-process resilience layer takes
+//! when telemetry cannot be trusted.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pocolo_sim::experiment::{ExperimentResult, PairResult};
+use pocolo_sim::{ClusterSummary, Policy, ServerMetrics};
+
+use crate::error::NetError;
+use crate::server::{Handler, Server};
+use crate::wire::{Message, RunSpec};
+
+/// Lease/registry state of one server slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotState {
+    /// No agent has claimed this slot yet.
+    Vacant,
+    /// An agent holds the slot and its lease is current.
+    Live {
+        /// The owning agent's identity.
+        agent: String,
+    },
+    /// The lease expired (or the owner re-registered after dying): the
+    /// slot must be re-run under the degraded fallback controller.
+    Degraded {
+        /// The previous owner, if any.
+        agent: Option<String>,
+    },
+    /// Final metrics have been delivered.
+    Done,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    last_seen: Instant,
+    /// Count of times this slot was handed out after a failure.
+    reregistrations: usize,
+    /// The slot passed through Degraded at least once.
+    was_degraded: bool,
+    metrics: Option<ServerMetrics>,
+}
+
+#[derive(Debug)]
+struct Registry {
+    slots: Vec<Slot>,
+    /// Live budget directive broadcast on every telemetry ack.
+    cap_factor: f64,
+}
+
+impl Registry {
+    fn new(n: usize) -> Registry {
+        Registry {
+            slots: (0..n)
+                .map(|_| Slot {
+                    state: SlotState::Vacant,
+                    last_seen: Instant::now(),
+                    reregistrations: 0,
+                    was_degraded: false,
+                    metrics: None,
+                })
+                .collect(),
+            cap_factor: 1.0,
+        }
+    }
+
+    fn count(&self, f: impl Fn(&SlotState) -> bool) -> usize {
+        self.slots.iter().filter(|s| f(&s.state)).count()
+    }
+
+    /// Assigns a slot to `agent`: their previous slot if they ever held
+    /// one (idempotent re-registration), else the lowest slot that is
+    /// vacant or degraded. Returns `(server, degraded)`.
+    fn assign(&mut self, agent: &str) -> Option<(usize, bool)> {
+        let owned = self.slots.iter().position(|s| match &s.state {
+            SlotState::Live { agent: a } => a == agent,
+            SlotState::Degraded { agent: a } => a.as_deref() == Some(agent),
+            _ => false,
+        });
+        let (idx, rejoin) = match owned {
+            // A re-register of a live or degraded slot means the agent
+            // died and restarted: the partial run is unobservable, so the
+            // slot re-runs under the degraded fallback.
+            Some(idx) => (idx, true),
+            None => {
+                let vacant = self
+                    .slots
+                    .iter()
+                    .position(|s| matches!(s.state, SlotState::Vacant))
+                    .or_else(|| {
+                        self.slots
+                            .iter()
+                            .position(|s| matches!(s.state, SlotState::Degraded { .. }))
+                    })?;
+                (
+                    vacant,
+                    matches!(self.slots[vacant].state, SlotState::Degraded { .. }),
+                )
+            }
+        };
+        let slot = &mut self.slots[idx];
+        if rejoin {
+            slot.reregistrations += 1;
+            slot.was_degraded = true;
+        }
+        slot.state = SlotState::Live {
+            agent: agent.to_string(),
+        };
+        slot.last_seen = Instant::now();
+        Some((idx, rejoin))
+    }
+
+    fn renew(&mut self, server: usize) -> Result<(), NetError> {
+        let slot = self
+            .slots
+            .get_mut(server)
+            .ok_or_else(|| NetError::Protocol(format!("no slot {server}")))?;
+        if matches!(slot.state, SlotState::Live { .. }) {
+            slot.last_seen = Instant::now();
+        }
+        Ok(())
+    }
+
+    fn complete(&mut self, server: usize, metrics: ServerMetrics) -> Result<(), NetError> {
+        let slot = self
+            .slots
+            .get_mut(server)
+            .ok_or_else(|| NetError::Protocol(format!("no slot {server}")))?;
+        slot.metrics = Some(metrics);
+        slot.state = SlotState::Done;
+        Ok(())
+    }
+
+    /// Expires live leases older than `ttl`.
+    fn reap(&mut self, ttl: Duration) {
+        let now = Instant::now();
+        for slot in &mut self.slots {
+            if let SlotState::Live { agent } = &slot.state {
+                if now.duration_since(slot.last_seen) > ttl {
+                    slot.was_degraded = true;
+                    slot.state = SlotState::Degraded {
+                        agent: Some(agent.clone()),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Cluster daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Address to listen on (port 0 for ephemeral).
+    pub listen: SocketAddr,
+    /// Heartbeat lease TTL: a slot silent for longer flips to degraded.
+    pub lease_ttl: Duration,
+    /// The run pushed to every registering agent.
+    pub run: RunSpec,
+}
+
+/// A running cluster daemon.
+#[derive(Debug)]
+pub struct Clusterd {
+    server: Server,
+    registry: Arc<Mutex<Registry>>,
+    run: RunSpec,
+    reaper_stop: Arc<AtomicBool>,
+    reaper: Option<std::thread::JoinHandle<()>>,
+}
+
+struct ClusterHandler {
+    registry: Arc<Mutex<Registry>>,
+    run: RunSpec,
+}
+
+impl Handler for ClusterHandler {
+    fn handle(&self, request: Message) -> Result<Message, NetError> {
+        let mut reg = self.registry.lock().expect("registry lock");
+        match request {
+            Message::Register { agent } => {
+                let (server, degraded) = reg
+                    .assign(&agent)
+                    .ok_or_else(|| NetError::Protocol("no free slot to assign".into()))?;
+                Ok(Message::Welcome {
+                    server,
+                    degraded,
+                    run: Box::new(self.run.clone()),
+                })
+            }
+            Message::Telemetry { server, .. } => {
+                reg.renew(server)?;
+                Ok(Message::TelemetryAck {
+                    cap_factor: reg.cap_factor,
+                })
+            }
+            Message::Complete { server, metrics } => {
+                reg.complete(server, *metrics)?;
+                Ok(Message::CompleteAck)
+            }
+            Message::Status => Ok(Message::StatusReport {
+                expected: reg.slots.len(),
+                live: reg.count(|s| matches!(s, SlotState::Live { .. })),
+                degraded: reg.count(|s| matches!(s, SlotState::Degraded { .. })),
+                done: reg.count(|s| matches!(s, SlotState::Done)),
+            }),
+            Message::Shutdown => Ok(Message::ShutdownAck),
+            other => Err(NetError::Protocol(format!(
+                "cluster daemon cannot handle {:?} requests",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Clusterd {
+    /// Binds and starts serving, including the lease reaper thread.
+    pub fn spawn(config: ClusterConfig) -> Result<Clusterd, NetError> {
+        let registry = Arc::new(Mutex::new(Registry::new(config.run.n_servers())));
+        let handler: Arc<dyn Handler> = Arc::new(ClusterHandler {
+            registry: Arc::clone(&registry),
+            run: config.run.clone(),
+        });
+        let server = Server::spawn(config.listen, handler)?;
+        let reaper_stop = Arc::new(AtomicBool::new(false));
+        let reaper = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&reaper_stop);
+            let ttl = config.lease_ttl;
+            // Check a few times per TTL so expiry latency stays a small
+            // fraction of the lease itself.
+            let tick = ttl.checked_div(4).unwrap_or(Duration::from_millis(25));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    registry.lock().expect("registry lock").reap(ttl);
+                }
+            })
+        };
+        Ok(Clusterd {
+            server,
+            registry,
+            run: config.run,
+            reaper_stop,
+            reaper: Some(reaper),
+        })
+    }
+
+    /// The daemon's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Sets the live budget directive broadcast on telemetry acks.
+    pub fn set_cap_factor(&self, cap_factor: f64) {
+        self.registry.lock().expect("registry lock").cap_factor = cap_factor;
+    }
+
+    /// Slot states, for harnesses and status displays.
+    pub fn slot_states(&self) -> Vec<SlotState> {
+        let reg = self.registry.lock().expect("registry lock");
+        reg.slots.iter().map(|s| s.state.clone()).collect()
+    }
+
+    /// Slots that passed through the degraded state at least once.
+    pub fn degraded_history(&self) -> Vec<usize> {
+        let reg = self.registry.lock().expect("registry lock");
+        reg.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.was_degraded)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total failure re-registrations across all slots.
+    pub fn reregistrations(&self) -> usize {
+        let reg = self.registry.lock().expect("registry lock");
+        reg.slots.iter().map(|s| s.reregistrations).sum()
+    }
+
+    /// Blocks until every slot is done (polling) or the deadline passes.
+    pub fn wait_done(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        loop {
+            {
+                let reg = self.registry.lock().expect("registry lock");
+                if reg.count(|s| matches!(s, SlotState::Done)) == reg.slots.len() {
+                    return true;
+                }
+            }
+            if start.elapsed() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Assembles the experiment result from delivered metrics, in the
+    /// same shape the in-process engine returns. `None` until every slot
+    /// is done.
+    pub fn result(&self) -> Option<ExperimentResult> {
+        let reg = self.registry.lock().expect("registry lock");
+        let metrics: Option<Vec<ServerMetrics>> =
+            reg.slots.iter().map(|s| s.metrics.clone()).collect();
+        let metrics = metrics?;
+        let pairs: Vec<PairResult> = metrics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| PairResult {
+                lc: self.run.lc[i].clone(),
+                be: self.run.placement[i].name().to_string(),
+                metrics: m.clone(),
+            })
+            .collect();
+        let summary = ClusterSummary::aggregate(&metrics)?;
+        Some(ExperimentResult {
+            policy: self.run.policy.name().to_string(),
+            pairs,
+            summary,
+        })
+    }
+
+    /// The policy this daemon is evaluating.
+    pub fn policy(&self) -> Policy {
+        self.run.policy
+    }
+
+    /// Stops the reaper and the frame server.
+    pub fn shutdown(&mut self) {
+        self.reaper_stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.reaper.take() {
+            let _ = t.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Drop for Clusterd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry4() -> Registry {
+        Registry::new(4)
+    }
+
+    #[test]
+    fn registration_fills_slots_in_order() {
+        let mut reg = registry4();
+        assert_eq!(reg.assign("a"), Some((0, false)));
+        assert_eq!(reg.assign("b"), Some((1, false)));
+        assert_eq!(reg.assign("c"), Some((2, false)));
+        assert_eq!(reg.assign("d"), Some((3, false)));
+        assert_eq!(reg.assign("e"), None, "cluster is full");
+    }
+
+    #[test]
+    fn reregistration_is_idempotent_and_degrades() {
+        let mut reg = registry4();
+        assert_eq!(reg.assign("a"), Some((0, false)));
+        // The same identity re-registering means the agent restarted: it
+        // keeps its slot but must run degraded.
+        assert_eq!(reg.assign("a"), Some((0, true)));
+        assert_eq!(reg.slots[0].reregistrations, 1);
+        assert!(reg.slots[0].was_degraded);
+        // Other agents are unaffected.
+        assert_eq!(reg.assign("b"), Some((1, false)));
+    }
+
+    #[test]
+    fn lease_expiry_flips_live_to_degraded_and_hands_the_slot_on() {
+        let mut reg = registry4();
+        reg.assign("a");
+        reg.slots[0].last_seen = Instant::now() - Duration::from_secs(60);
+        reg.reap(Duration::from_millis(50));
+        assert!(matches!(
+            reg.slots[0].state,
+            SlotState::Degraded { agent: Some(ref a) } if a == "a"
+        ));
+        // A fresh agent picks up the degraded slot before vacant ones
+        // are exhausted... actually vacant slots go first.
+        assert_eq!(reg.assign("b"), Some((1, false)));
+        reg.assign("c");
+        reg.assign("d");
+        // Cluster otherwise full: the degraded slot is handed out.
+        assert_eq!(reg.assign("e"), Some((0, true)));
+    }
+
+    #[test]
+    fn renew_keeps_a_lease_alive() {
+        let mut reg = registry4();
+        reg.assign("a");
+        reg.slots[0].last_seen = Instant::now() - Duration::from_millis(40);
+        reg.renew(0).unwrap();
+        reg.reap(Duration::from_millis(50));
+        assert!(matches!(reg.slots[0].state, SlotState::Live { .. }));
+        assert!(reg.renew(9).is_err(), "unknown slot is a typed error");
+    }
+
+    #[test]
+    fn done_slots_are_never_reaped_or_reassigned() {
+        let mut reg = registry4();
+        reg.assign("a");
+        reg.complete(0, ServerMetrics::new(pocolo_core::Watts(100.0)))
+            .unwrap();
+        reg.slots[0].last_seen = Instant::now() - Duration::from_secs(60);
+        reg.reap(Duration::from_millis(1));
+        assert!(matches!(reg.slots[0].state, SlotState::Done));
+        reg.assign("b");
+        reg.assign("c");
+        reg.assign("d");
+        assert_eq!(reg.assign("e"), None, "done slot is not handed out");
+    }
+}

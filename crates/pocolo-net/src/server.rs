@@ -1,0 +1,211 @@
+//! Blocking thread-per-connection frame server.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::wire::{read_frame, write_frame, Message};
+
+/// Per-connection request handler: a message in, a reply out. Returning
+/// an `Err` sends a protocol-level `Error` reply and keeps the
+/// connection open — the peer decides whether to continue.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one request.
+    fn handle(&self, request: Message) -> Result<Message, NetError>;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Message) -> Result<Message, NetError> + Send + Sync + 'static,
+{
+    fn handle(&self, request: Message) -> Result<Message, NetError> {
+        self(request)
+    }
+}
+
+/// A running frame server. Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves each
+    /// connection on its own thread until [`Server::shutdown`].
+    pub fn spawn(addr: SocketAddr, handler: Arc<dyn Handler>) -> Result<Server, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                let stop_conn = Arc::clone(&stop_accept);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, handler.as_ref(), &stop_conn);
+                });
+            }
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. Established
+    /// connections drain on their own threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `incoming()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: a strict read-request/write-reply loop that
+/// ends on EOF, a dead socket, or server shutdown. Malformed frames get
+/// an `Error` reply rather than killing the daemon.
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &dyn Handler,
+    stop: &AtomicBool,
+) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    // A read deadline bounds how long a half-dead peer can pin this
+    // thread; timeouts just re-check the shutdown flag.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let request = match read_frame(&mut stream) {
+            Ok(v) => v,
+            Err(NetError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(NetError::Io(_)) => return Ok(()), // peer went away
+            Err(e) => {
+                // Bad bytes: answer with a typed error, then keep going.
+                let reply = Message::Error {
+                    message: e.to_string(),
+                };
+                write_frame(&mut stream, &reply.to_value())?;
+                continue;
+            }
+        };
+        let reply = match Message::from_value(&request) {
+            Ok(msg) => handler.handle(msg).unwrap_or_else(|e| Message::Error {
+                message: e.to_string(),
+            }),
+            Err(e) => Message::Error {
+                message: e.to_string(),
+            },
+        };
+        let stop_after = matches!(reply, Message::ShutdownAck);
+        write_frame(&mut stream, &reply.to_value())?;
+        if stop_after {
+            stop.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use pocolo_faults::RetryPolicy;
+
+    fn echo_server() -> Server {
+        let handler: Arc<dyn Handler> = Arc::new(|req: Message| match req {
+            Message::Status => Ok(Message::StatusReport {
+                expected: 4,
+                live: 4,
+                degraded: 0,
+                done: 0,
+            }),
+            Message::Shutdown => Ok(Message::ShutdownAck),
+            other => Err(NetError::Protocol(format!(
+                "unexpected {}",
+                other.type_name()
+            ))),
+        });
+        Server::spawn("127.0.0.1:0".parse().unwrap(), handler).unwrap()
+    }
+
+    #[test]
+    fn request_reply_over_loopback() {
+        let mut server = echo_server();
+        let mut retry = RetryPolicy::reconnect(1);
+        let mut client =
+            RpcClient::connect(server.local_addr(), &mut retry, Duration::from_secs(2)).unwrap();
+        let reply = client.call(&Message::Status).unwrap();
+        assert!(matches!(reply, Message::StatusReport { expected: 4, .. }));
+        // A handler error comes back typed, and the connection survives.
+        let err = client.call(&Message::CompleteAck).unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)), "got {err}");
+        let reply = client.call(&Message::Status).unwrap();
+        assert!(matches!(reply, Message::StatusReport { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_get_an_error_reply_not_a_crash() {
+        use std::io::{Read, Write};
+        let mut server = echo_server();
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        // A syntactically valid frame holding invalid JSON.
+        raw.write_all(&3u32.to_be_bytes()).unwrap();
+        raw.write_all(b"]]]").unwrap();
+        let mut len = [0u8; 4];
+        raw.read_exact(&mut len).unwrap();
+        let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
+        raw.read_exact(&mut body).unwrap();
+        let text = std::str::from_utf8(&body).unwrap();
+        assert!(text.contains("error"), "got {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rpc_stops_the_server() {
+        let server_ref = echo_server();
+        let addr = server_ref.local_addr();
+        let mut retry = RetryPolicy::reconnect(2);
+        let mut client = RpcClient::connect(addr, &mut retry, Duration::from_secs(2)).unwrap();
+        let reply = client.call(&Message::Shutdown).unwrap();
+        assert_eq!(reply, Message::ShutdownAck);
+        drop(server_ref); // joins the (now-stopped) accept loop
+    }
+}

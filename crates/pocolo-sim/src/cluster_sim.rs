@@ -170,6 +170,33 @@ fn run_one_server(
     capper_period_s: f64,
     duration_s: f64,
 ) {
+    run_server_projection(
+        server,
+        faults,
+        manager_period_s,
+        capper_period_s,
+        duration_s,
+        |_, _| true,
+    );
+}
+
+/// Advances a single server through its own event queue — the projection
+/// of the shared cluster queue onto one server's events — invoking
+/// `on_epoch(now_s, server)` after every manager tick. That hook is the
+/// natural control-epoch cadence for a remote agent: telemetry goes out
+/// (and directives come back) between manager decisions, and because the
+/// queue below is byte-for-byte the one [`ClusterSim::run_with`] fans
+/// out, a wire-driven slot replays the in-process engine bit-identically.
+/// Returning `false` from the hook abandons the projection (an agent
+/// dying mid-run); the engine stops with whatever state has accumulated.
+pub fn run_server_projection(
+    server: &mut ServerSim,
+    faults: &[crate::faults::ServerFaultEvent],
+    manager_period_s: f64,
+    capper_period_s: f64,
+    duration_s: f64,
+    mut on_epoch: impl FnMut(f64, &mut ServerSim) -> bool,
+) {
     enum Tick {
         Manager,
         Capper,
@@ -193,6 +220,9 @@ fn run_one_server(
             Tick::Manager => {
                 server.on_manager_tick(now);
                 engine.schedule_in(manager_period_s, Tick::Manager);
+                if !on_epoch(now, server) {
+                    return;
+                }
             }
             Tick::Capper => {
                 server.on_capper_tick(capper_period_s);

@@ -90,6 +90,13 @@ pub struct ExperimentConfig {
     pub resilience: bool,
 }
 
+impl ExperimentConfig {
+    /// Total duration of the nine-level paper sweep this config drives.
+    pub fn sweep_duration_s(&self) -> f64 {
+        9.0 * self.dwell_s
+    }
+}
+
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig {
@@ -332,7 +339,7 @@ pub fn run_policy_sweeps(
 /// Cluster-wide eviction ranks for the current placement: each server's
 /// co-runner is ranked by its performance-matrix value ascending, so the
 /// *lowest*-value pairing is shed first under pressure.
-fn eviction_ranks(fitted: &FittedCluster, placement: &[BeApp]) -> Vec<usize> {
+pub fn eviction_ranks(fitted: &FittedCluster, placement: &[BeApp]) -> Vec<usize> {
     let matrix =
         match PerfMatrixBuilder::new().build(&fitted.be_profiles(), &fitted.server_profiles()) {
             Ok(m) => m,
@@ -416,6 +423,139 @@ fn schedule_brownout_migrations(
     }
 }
 
+/// Compiles the per-server fault timeline and eviction ranks for a run:
+/// the plan drawn from the spec's seed (falling back to `base_seed`),
+/// plus — when `resilience` is armed — the up-front brownout replan
+/// migrations. Deterministic in its arguments, so the in-process engine
+/// and a remote agent that compiles its own copy agree event-for-event.
+pub fn compile_fault_plan(
+    spec: &FaultSpec,
+    base_seed: u64,
+    duration_s: f64,
+    fitted: &FittedCluster,
+    placement: &[BeApp],
+    resilience: bool,
+) -> (FaultTimeline, Vec<usize>) {
+    let n = placement.len();
+    let fault_seed = spec.seed.unwrap_or(base_seed);
+    let plan = spec.scenario.plan(fault_seed, duration_s, n);
+    let mut timeline = FaultTimeline::compile(&plan, n);
+    let ranks = eviction_ranks(fitted, placement);
+    if resilience {
+        schedule_brownout_migrations(
+            &mut timeline,
+            &plan,
+            fitted,
+            placement,
+            &ResilienceConfig::default(),
+        );
+    }
+    (timeline, ranks)
+}
+
+/// Everything one server slot needs to rebuild its [`ServerSim`]
+/// bit-identically on either side of a process boundary. The in-process
+/// engine and the wire-path agent both construct their backends through
+/// this spec, so the two paths cannot drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSpec {
+    /// Server index (in [`LcApp::ALL`] order).
+    pub server: usize,
+    /// The policy governing controller choice and proactive BE planning.
+    pub policy: Policy,
+    /// The best-effort co-runner placed on this server.
+    pub be: BeApp,
+    /// Cluster-wide eviction rank of this pairing (ascending
+    /// performance-matrix value; only consulted when resilience is armed).
+    pub rank: usize,
+    /// Load trace driving the primary.
+    pub trace: LoadTrace,
+    /// Relative power-meter noise.
+    pub meter_noise: f64,
+    /// Base experiment seed; the slot derives its own RNG stream from it.
+    pub seed: u64,
+    /// Whether faults are injected this run (arms the fault physics even
+    /// when the resilient response is disabled).
+    pub faulted: bool,
+    /// Whether the degraded-mode response is armed.
+    pub resilience: bool,
+    /// Record per-epoch controller decisions for tracing.
+    pub record_decisions: bool,
+}
+
+impl SlotSpec {
+    /// Builds the server backend this spec describes from locally-fitted
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range for the fitted cluster.
+    pub fn build(&self, fitted: &FittedCluster) -> ServerSim {
+        assert!(
+            self.server < fitted.lc.len(),
+            "slot {} out of range for a {}-server cluster",
+            self.server,
+            fitted.lc.len()
+        );
+        let (_, truth, fit) = &fitted.lc[self.server];
+        let i = self.server;
+        let be_truth = fitted
+            .be
+            .iter()
+            .find(|(a, _, _)| *a == self.be)
+            .map(|(_, t, _)| t.clone());
+        let lc_policy = match self.policy {
+            // Power-oblivious baseline: a feasible indifference-curve
+            // point chosen without regard to power, re-drawn every
+            // control epoch.
+            Policy::Random { seed } => LcPolicy::heracles_random(seed ^ (i as u64)),
+            // The incremental controller never consults the policy.
+            Policy::Heracles { .. } | Policy::Pom { .. } | Policy::Pocolo { .. } => {
+                LcPolicy::PowerOptimized
+            }
+        };
+        let be_fitted = fitted
+            .be
+            .iter()
+            .find(|(a, _, _)| *a == self.be)
+            .map(|(_, _, f)| f.clone());
+        let sim = ServerSim::new(
+            truth.clone(),
+            fit.clone(),
+            be_truth,
+            lc_policy,
+            self.trace.clone(),
+            truth.provisioned_power(),
+            self.meter_noise,
+            self.seed ^ ((i as u64) << 8),
+        );
+        let sim = match (self.policy, be_fitted) {
+            // Power-optimized policies plan the secondary proactively
+            // with the fitted model; the baselines are purely reactive.
+            (Policy::Pom { .. } | Policy::Pocolo { .. }, Some(bf)) => sim.with_proactive_be(bf),
+            _ => sim,
+        };
+        // The controller swap must precede resilience arming, which
+        // configures whichever controller is installed.
+        let sim = match self.policy {
+            Policy::Heracles { .. } => sim.with_incremental_control(),
+            _ => sim,
+        };
+        let sim = if !self.faulted {
+            sim
+        } else if self.resilience {
+            sim.with_resilience(ResilienceConfig::default(), self.rank)
+        } else {
+            sim.with_fault_physics()
+        };
+        if self.record_decisions {
+            sim.with_decision_log()
+        } else {
+            sim
+        }
+    }
+}
+
 /// One server's decision trace from a traced run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTrace {
@@ -481,86 +621,32 @@ fn run_with_trace_recorded(
 ) -> (ExperimentResult, Vec<DecisionTrace>) {
     let placement = fitted.placement(policy);
     let n = fitted.lc.len();
-    let resilience_cfg = ResilienceConfig::default();
     let (timeline, ranks) = match &config.faults {
-        Some(spec) => {
-            let fault_seed = spec.seed.unwrap_or(config.seed);
-            let plan = spec.scenario.plan(fault_seed, duration_s, n);
-            let mut timeline = FaultTimeline::compile(&plan, n);
-            let ranks = eviction_ranks(fitted, &placement);
-            if config.resilience {
-                schedule_brownout_migrations(
-                    &mut timeline,
-                    &plan,
-                    fitted,
-                    &placement,
-                    &resilience_cfg,
-                );
-            }
-            (timeline, ranks)
-        }
+        Some(spec) => compile_fault_plan(
+            spec,
+            config.seed,
+            duration_s,
+            fitted,
+            &placement,
+            config.resilience,
+        ),
         None => (FaultTimeline::empty(n), vec![0; n]),
     };
-    let servers: Vec<ServerSim> = fitted
-        .lc
-        .iter()
-        .enumerate()
-        .map(|(i, (_, truth, fit))| {
-            let be_app = placement[i];
-            let be_truth = fitted
-                .be
-                .iter()
-                .find(|(a, _, _)| *a == be_app)
-                .map(|(_, t, _)| t.clone());
-            let lc_policy = match policy {
-                // Power-oblivious baseline: a feasible indifference-curve
-                // point chosen without regard to power, re-drawn every
-                // control epoch.
-                Policy::Random { seed } => LcPolicy::heracles_random(seed ^ (i as u64)),
-                // The incremental controller never consults the policy.
-                Policy::Heracles { .. } | Policy::Pom { .. } | Policy::Pocolo { .. } => {
-                    LcPolicy::PowerOptimized
-                }
-            };
-            let be_fitted = fitted
-                .be
-                .iter()
-                .find(|(a, _, _)| *a == be_app)
-                .map(|(_, _, f)| f.clone());
-            let sim = ServerSim::new(
-                truth.clone(),
-                fit.clone(),
-                be_truth,
-                lc_policy,
-                trace.clone(),
-                truth.provisioned_power(),
-                config.meter_noise,
-                config.seed ^ ((i as u64) << 8),
-            );
-            let sim = match (policy, be_fitted) {
-                // Power-optimized policies plan the secondary proactively
-                // with the fitted model; the baselines are purely reactive.
-                (Policy::Pom { .. } | Policy::Pocolo { .. }, Some(bf)) => sim.with_proactive_be(bf),
-                _ => sim,
-            };
-            // The controller swap must precede resilience arming, which
-            // configures whichever controller is installed.
-            let sim = match policy {
-                Policy::Heracles { .. } => sim.with_incremental_control(),
-                _ => sim,
-            };
-            let sim = if config.faults.is_none() {
-                sim
-            } else if config.resilience {
-                sim.with_resilience(resilience_cfg.clone(), ranks[i])
-            } else {
-                sim.with_fault_physics()
-            };
-            if record_decisions {
-                sim.with_decision_log()
-            } else {
-                sim
+    let servers: Vec<ServerSim> = (0..n)
+        .map(|i| {
+            SlotSpec {
+                server: i,
+                policy,
+                be: placement[i],
+                rank: ranks[i],
+                trace: trace.clone(),
+                meter_noise: config.meter_noise,
+                seed: config.seed,
+                faulted: config.faults.is_some(),
+                resilience: config.resilience,
+                record_decisions,
             }
+            .build(fitted)
         })
         .collect();
     let mut cluster = ClusterSim::new(servers, config.manager_period_s, config.capper_period_s)

@@ -32,11 +32,11 @@ pub mod rebalance;
 pub mod server_sim;
 pub mod spatial_sim;
 
-pub use cluster_sim::ClusterSim;
+pub use cluster_sim::{run_server_projection, ClusterSim};
 pub use engine::{Engine, EventEntry};
 pub use experiment::{
-    run_experiment, run_experiment_traced, DecisionTrace, ExperimentConfig, ExperimentResult,
-    Policy,
+    compile_fault_plan, eviction_ranks, run_experiment, run_experiment_traced, DecisionTrace,
+    ExperimentConfig, ExperimentResult, FittedCluster, Policy, SlotSpec,
 };
 pub use faults::{FaultTimeline, ResilienceConfig, ServerFaultAction, ServerFaultEvent};
 pub use metrics::{ClusterSummary, ServerMetrics};

@@ -13,6 +13,7 @@
 //! | Cluster placement | [`cluster`] | Performance matrix, Hungarian / simplex-LP / exhaustive / random solvers |
 //! | Fault injection | [`faults`] | Seeded fault plans (brownouts, crashes, telemetry dropouts, model drift), eviction ordering, re-admission backoff |
 //! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience |
+//! | Distributed runtime | [`net`] | Length-prefixed JSON wire protocol over TCP, POM agent + POColo cluster daemons, heartbeat leases, loopback parity harness |
 //! | Cost analysis | [`tco`] | Hamilton-style amortized monthly TCO |
 //!
 //! # Quickstart
@@ -33,6 +34,7 @@ pub use pocolo_cluster as cluster;
 pub use pocolo_core as core;
 pub use pocolo_faults as faults;
 pub use pocolo_manager as manager;
+pub use pocolo_net as net;
 pub use pocolo_sim as sim;
 pub use pocolo_simserver as simserver;
 pub use pocolo_tco as tco;
