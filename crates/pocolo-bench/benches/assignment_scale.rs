@@ -1,0 +1,52 @@
+//! Criterion harness over the fleet-scale assignment scenarios: cold
+//! ε-scaled auction, warm-started replan, and single-fault incremental
+//! repair at 1k×100 through 10k×500. The JSON baseline comes from the
+//! `assignment_scale` *binary* (the criterion shim has no programmatic
+//! median export); this harness exists for interactive `cargo bench` runs
+//! and to keep the scenarios compiling under `cargo bench --no-run`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pocolo_bench::assignment_scale::{fault_delta, synthetic_matrix, STANDARD_SIZES};
+use pocolo_cluster::assign::auction::{self, AuctionConfig};
+use pocolo_cluster::assign::sparse::SparseCandidates;
+use std::hint::black_box;
+
+fn assignment_scale(c: &mut Criterion) {
+    let cfg = AuctionConfig::default();
+    let mut group = c.benchmark_group("assignment_scale");
+    for &(m, n) in &STANDARD_SIZES {
+        let matrix = synthetic_matrix(m, n, 0xBE_EC5);
+        let mut cands = SparseCandidates::build(&matrix, SparseCandidates::default_k(n));
+        let prev =
+            auction::solve_with_candidates(&matrix, &mut cands, &cfg).expect("reference solve");
+        let delta = fault_delta(&prev);
+        let patched = matrix.patched(&delta).expect("patched matrix");
+        let size = format!("{n}x{m}");
+
+        group.bench_with_input(BenchmarkId::new("cold", &size), &matrix, |b, matrix| {
+            b.iter(|| auction::solve(black_box(matrix), &cfg).expect("cold solve"))
+        });
+        group.bench_with_input(BenchmarkId::new("warm", &size), &matrix, |b, matrix| {
+            b.iter(|| {
+                let mut c = cands.clone();
+                auction::solve_warm(black_box(matrix), &mut c, &prev.prices, &cfg)
+                    .expect("warm solve")
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental", &size),
+            &patched,
+            |b, patched| {
+                b.iter(|| {
+                    let mut c = cands.clone();
+                    auction::solve_incremental(black_box(patched), &mut c, &prev, &delta, &cfg)
+                        .expect("incremental repair")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, assignment_scale);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fleet-scale assignment baseline driver.
+//!
+//! - `--smoke`: the CI gate — 1k×100 cold solve + single-fault repair,
+//!   correctness asserted via the certified gap and operation counters.
+//! - default: sweeps the standard sizes (1k×100 → 10k×500) and writes
+//!   `BENCH_assignment.json` (solver, n, m, median ns), the standing perf
+//!   baseline recorded in EXPERIMENTS.md §Micro-benchmarks.
+//!
+//! `--iters <N>` overrides the samples per scenario (default 5).
+
+use pocolo_bench::assignment_scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        assignment_scale::smoke();
+        return;
+    }
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--iters wants a positive integer"))
+        .unwrap_or(5);
+    let report = assignment_scale::run_standard(iters);
+    let path = "BENCH_assignment.json";
+    std::fs::write(path, pocolo_json::to_string_pretty(&report))
+        .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    println!("wrote {path} ({} rows)", report.rows.len());
+}

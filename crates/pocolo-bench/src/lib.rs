@@ -17,5 +17,6 @@
 
 #![warn(missing_docs)]
 
+pub mod assignment_scale;
 pub mod common;
 pub mod figures;

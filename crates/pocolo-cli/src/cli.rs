@@ -28,7 +28,8 @@ COMMANDS:
 OPTIONS:
     --app <name>       img-dnn | sphinx | xapian | tpcc | lstm | rnn | graph | pbzip
     --policy <p>       random | heracles | pom | pocolo    (default: pocolo)
-    --solver <s>       lp | hungarian | exhaustive | fair   (default: lp)
+    --solver <s>       lp | hungarian | exhaustive | fair | auction[:<eps>]
+                       (default: lp; auction is the sparse fleet-scale path)
     --dwell <seconds>  seconds per load level          (default: 20)
     --seed <n>         RNG seed                        (default: 1)
     --parallelism <p>  serial | auto | <threads>       (default: auto)
@@ -202,13 +203,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
 }
 
 fn solver_of(name: &str) -> Result<Solver, String> {
-    match name {
-        "lp" => Ok(Solver::Lp),
-        "hungarian" => Ok(Solver::Hungarian),
-        "exhaustive" => Ok(Solver::Exhaustive),
-        "fair" => Ok(Solver::MaxMinFair),
-        other => Err(format!("unknown solver {other:?}")),
-    }
+    // Same grammar as the wire format: hungarian, lp, exhaustive, fair,
+    // random:<seed>, auction, auction:<eps>.
+    name.parse()
 }
 
 fn policy_of(opts: &Options) -> Result<Policy, String> {
@@ -842,6 +839,20 @@ mod tests {
         assert!(run(&argv("simulate --policy warp")).is_err());
         assert!(run(&argv("simulate --dwell -1")).is_err());
         assert!(run(&argv("place --solver quantum")).is_err());
+    }
+
+    #[test]
+    fn malformed_auction_eps_is_a_one_line_error() {
+        let err = run(&argv("place --solver auction:zero")).unwrap_err();
+        assert!(
+            err.contains("auction eps"),
+            "error names the bad eps: {err}"
+        );
+        assert!(!err.contains('\n'), "error is one line: {err:?}");
+        assert!(run(&argv("place --solver auction:-0.5")).is_err());
+        // Well-formed variants parse and place.
+        assert!(run(&argv("place --solver auction")).is_ok());
+        assert!(run(&argv("place --solver auction:0.01")).is_ok());
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn admit_and_place(matrix: &PerfMatrix) -> Result<AdmissionDecision, Cluster
     let rejected: Vec<usize> = (0..rows).filter(|r| !admitted.contains(r)).collect();
     let total = matrix.assignment_value(&pairs);
     Ok(AdmissionDecision {
-        placement: Assignment { pairs, total },
+        placement: Assignment::new(pairs, total),
         rejected,
     })
 }

@@ -129,7 +129,7 @@ pub fn solve_max_min_fair(matrix: &PerfMatrix) -> Result<Assignment, ClusterErro
         "bottleneck threshold violated"
     );
     let total = matrix.assignment_value(&pairs);
-    Ok(Assignment { pairs, total })
+    Ok(Assignment::new(pairs, total))
 }
 
 #[cfg(test)]

@@ -107,7 +107,7 @@ pub fn solve_max(matrix: &PerfMatrix) -> Assignment {
     let row_to_col = hungarian_min(&cost);
     let pairs: Vec<(usize, usize)> = row_to_col.into_iter().enumerate().collect();
     let total = matrix.assignment_value(&pairs);
-    Assignment { pairs, total }
+    Assignment::new(pairs, total)
 }
 
 #[cfg(test)]

@@ -4,12 +4,18 @@
 //! that maximizes the overall cluster performance" and cites the Hungarian
 //! method and randomization as standard alternatives (§IV-B, refs
 //! \[28–30\]). All of them are implemented here from scratch, plus the
-//! exhaustive search used as the oracle in Fig. 14.
+//! exhaustive search used as the oracle in Fig. 14 and the sparse
+//! forward-auction path ([`auction`]) that scales replans to 10k-server
+//! fleets.
 
+pub mod auction;
 pub mod fairness;
 pub mod hungarian;
 pub mod search;
 pub mod simplex;
+pub mod sparse;
+
+use std::sync::OnceLock;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,8 +24,14 @@ use rand::SeedableRng;
 use crate::error::ClusterError;
 use crate::matrix::PerfMatrix;
 
+/// Below these dimensions the auction's pruning/scaling machinery costs
+/// more than an exact dense solve, so `Solver::Auction` silently falls
+/// back to Hungarian (DESIGN.md §8).
+const AUCTION_DENSE_ROWS: usize = 6;
+const AUCTION_DENSE_COLS: usize = 8;
+
 /// Which algorithm to use for placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Solver {
     /// Exact O(n³) Kuhn-Munkres.
     Hungarian,
@@ -35,6 +47,12 @@ pub enum Solver {
     /// Max-min fair: maximize the worst co-runner's throughput first, then
     /// the total (the fairness objective the paper's POColo trades away).
     MaxMinFair,
+    /// Sparse forward auction with ε-scaling: total within ε·rows of the
+    /// optimum, scales to 10k-server fleets ([`auction`]).
+    Auction {
+        /// Per-row optimality tolerance.
+        eps: f64,
+    },
 }
 
 impl std::fmt::Display for Solver {
@@ -45,6 +63,7 @@ impl std::fmt::Display for Solver {
             Solver::Exhaustive => f.write_str("exhaustive"),
             Solver::Random { seed } => write!(f, "random:{seed}"),
             Solver::MaxMinFair => f.write_str("fair"),
+            Solver::Auction { eps } => write!(f, "auction:{eps}"),
         }
     }
 }
@@ -53,82 +72,161 @@ impl std::str::FromStr for Solver {
     type Err = String;
 
     /// Parses the [`Display`](Solver#impl-Display-for-Solver) form:
-    /// `hungarian`, `lp`, `exhaustive`, `fair`, or `random:<seed>`.
+    /// `hungarian`, `lp`, `exhaustive`, `fair`, `random:<seed>`, or
+    /// `auction` / `auction:<eps>`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "hungarian" => Ok(Solver::Hungarian),
             "lp" => Ok(Solver::Lp),
             "exhaustive" => Ok(Solver::Exhaustive),
             "fair" => Ok(Solver::MaxMinFair),
-            other => match other.strip_prefix("random:") {
-                Some(seed) => seed
-                    .parse()
-                    .map(|seed| Solver::Random { seed })
-                    .map_err(|_| format!("bad random-solver seed {seed:?}")),
-                None => Err(format!(
-                    "unknown solver {other:?} (want hungarian, lp, exhaustive, fair, or random:<seed>)"
-                )),
-            },
+            "auction" => Ok(Solver::Auction {
+                eps: auction::DEFAULT_EPS,
+            }),
+            other => {
+                if let Some(seed) = other.strip_prefix("random:") {
+                    return seed
+                        .parse()
+                        .map(|seed| Solver::Random { seed })
+                        .map_err(|_| format!("bad random-solver seed {seed:?}"));
+                }
+                if let Some(eps) = other.strip_prefix("auction:") {
+                    return match eps.parse::<f64>() {
+                        Ok(e) if e.is_finite() && e > 0.0 => Ok(Solver::Auction { eps: e }),
+                        _ => Err(format!(
+                            "bad auction eps {eps:?} (want a positive number, e.g. auction:0.001)"
+                        )),
+                    };
+                }
+                Err(format!(
+                    "unknown solver {other:?} (want hungarian, lp, exhaustive, fair, random:<seed>, or auction:<eps>)"
+                ))
+            }
         }
     }
 }
 
 /// A placement: `pairs[(be_row, server_col)]` plus its total value.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Built through [`Assignment::new`], which sorts `pairs` by row — the
+/// sort order is what makes [`Assignment::server_for`] a binary search.
+/// The column index behind [`Assignment::app_on`] is built once on first
+/// use; if you mutate `pairs` in place, do it before the first `app_on`
+/// call.
+#[derive(Debug, Clone)]
 pub struct Assignment {
     /// `(row, col)` pairs, sorted by row.
     pub pairs: Vec<(usize, usize)>,
     /// Sum of matrix entries over the pairs.
     pub total: f64,
+    /// Lazily-built `(col, row)` pairs sorted by col, for `app_on`.
+    col_index: OnceLock<Vec<(usize, usize)>>,
+}
+
+impl PartialEq for Assignment {
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs == other.pairs && self.total == other.total
+    }
 }
 
 impl Assignment {
-    /// The server column assigned to best-effort row `row`, if any.
-    pub fn server_for(&self, row: usize) -> Option<usize> {
-        self.pairs.iter().find(|&&(r, _)| r == row).map(|&(_, c)| c)
+    /// Builds an assignment, sorting `pairs` by row.
+    pub fn new(mut pairs: Vec<(usize, usize)>, total: f64) -> Self {
+        pairs.sort_unstable();
+        Assignment {
+            pairs,
+            total,
+            col_index: OnceLock::new(),
+        }
     }
 
-    /// The best-effort row placed on server `col`, if any.
+    /// The server column assigned to best-effort row `row`, if any.
+    /// O(log pairs) — called per-tick in placement hot paths.
+    pub fn server_for(&self, row: usize) -> Option<usize> {
+        self.pairs
+            .binary_search_by_key(&row, |&(r, _)| r)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// The best-effort row placed on server `col`, if any. O(log pairs)
+    /// after a build-once column index.
     pub fn app_on(&self, col: usize) -> Option<usize> {
-        self.pairs.iter().find(|&&(_, c)| c == col).map(|&(r, _)| r)
+        let index = self.col_index.get_or_init(|| {
+            let mut by_col: Vec<(usize, usize)> = self.pairs.iter().map(|&(r, c)| (c, r)).collect();
+            by_col.sort_unstable();
+            by_col
+        });
+        index
+            .binary_search_by_key(&col, |&(c, _)| c)
+            .ok()
+            .map(|i| index[i].1)
     }
 }
 
 /// Solves the placement problem with the chosen algorithm.
 ///
+/// Disabled (faulted-out) columns are handled natively by the auction
+/// path and projected out before any dense solver runs, so no solver ever
+/// places an app on a server that left the fleet.
+///
 /// # Errors
 ///
-/// Returns [`ClusterError::TooManyApps`] when rows exceed columns, and
-/// solver-specific errors ([`ClusterError::Infeasible`] /
+/// Returns [`ClusterError::TooManyApps`] when rows exceed enabled
+/// columns, and solver-specific errors ([`ClusterError::Infeasible`] /
 /// [`ClusterError::Unbounded`] from the LP).
 pub fn solve(matrix: &PerfMatrix, solver: Solver) -> Result<Assignment, ClusterError> {
-    if matrix.rows() > matrix.cols() {
+    if matrix.rows() > matrix.enabled_cols() {
         return Err(ClusterError::TooManyApps {
             apps: matrix.rows(),
-            servers: matrix.cols(),
+            servers: matrix.enabled_cols(),
         });
     }
-    let mut assignment = match solver {
+    if let Solver::Auction { eps } = solver {
+        // Fleet-scale instances take the sparse path; tiny ones fall
+        // through to the dense Hungarian fallback below.
+        if matrix.rows() > AUCTION_DENSE_ROWS || matrix.cols() > AUCTION_DENSE_COLS {
+            return auction::solve(matrix, &auction::AuctionConfig::with_eps(eps))
+                .map(|sol| sol.assignment);
+        }
+    }
+    match matrix.compact_enabled()? {
+        None => solve_dense(matrix, solver),
+        Some((compact, col_map)) => {
+            let a = solve_dense(&compact, solver)?;
+            let pairs: Vec<(usize, usize)> =
+                a.pairs.iter().map(|&(r, c)| (r, col_map[c])).collect();
+            Ok(Assignment::new(pairs, a.total))
+        }
+    }
+}
+
+/// Dense dispatch over a fully-enabled matrix.
+fn solve_dense(matrix: &PerfMatrix, solver: Solver) -> Result<Assignment, ClusterError> {
+    let assignment = match solver {
         Solver::Hungarian => hungarian::solve_max(matrix),
         Solver::Lp => simplex::solve_assignment_lp(matrix)?,
         Solver::Exhaustive => search::exhaustive_max(matrix),
         Solver::MaxMinFair => fairness::solve_max_min_fair(matrix)?,
+        // Small-instance fallback: exact, deterministic, cheaper than the
+        // auction's scaling schedule at these sizes.
+        Solver::Auction { .. } => hungarian::solve_max(matrix),
         Solver::Random { seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut cols: Vec<usize> = (0..matrix.cols()).collect();
             cols.shuffle(&mut rng);
             let pairs: Vec<(usize, usize)> = (0..matrix.rows()).map(|r| (r, cols[r])).collect();
             let total = matrix.assignment_value(&pairs);
-            Assignment { pairs, total }
+            Assignment::new(pairs, total)
         }
     };
-    assignment.pairs.sort_unstable();
     Ok(assignment)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::MatrixDelta;
 
     fn matrix(values: Vec<Vec<f64>>) -> PerfMatrix {
         let rows = values.len();
@@ -212,6 +310,58 @@ mod tests {
     }
 
     #[test]
+    fn disabled_columns_excluded_from_dense_solvers() {
+        // Column 1 holds the best value for both rows; disabling it must
+        // push every solver elsewhere — and count against feasibility.
+        let m = matrix(vec![vec![0.1, 0.9, 0.5], vec![0.2, 0.8, 0.3]]);
+        let faulted = m.patched(&MatrixDelta::new().disable_column(1)).unwrap();
+        for solver in [
+            Solver::Hungarian,
+            Solver::Lp,
+            Solver::Exhaustive,
+            Solver::MaxMinFair,
+            Solver::Auction {
+                eps: auction::DEFAULT_EPS,
+            },
+        ] {
+            let a = solve(&faulted, solver).unwrap();
+            assert!(
+                a.pairs.iter().all(|&(_, c)| c != 1),
+                "{solver} used a disabled column: {a:?}"
+            );
+            assert_eq!(a.pairs.len(), 2);
+        }
+        let dead = m
+            .patched(&MatrixDelta::new().disable_column(0).disable_column(1))
+            .unwrap();
+        assert!(matches!(
+            solve(&dead, Solver::Hungarian),
+            Err(ClusterError::TooManyApps {
+                apps: 2,
+                servers: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn auction_small_instance_falls_back_to_exact() {
+        let m = matrix(vec![
+            vec![0.9, 0.2, 0.3],
+            vec![0.4, 0.8, 0.2],
+            vec![0.3, 0.3, 0.7],
+        ]);
+        let a = solve(
+            &m,
+            Solver::Auction {
+                eps: auction::DEFAULT_EPS,
+            },
+        )
+        .unwrap();
+        let e = solve(&m, Solver::Exhaustive).unwrap();
+        assert!((a.total - e.total).abs() < 1e-9, "fallback is exact");
+    }
+
+    #[test]
     fn accessors() {
         let m = matrix(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
         let a = solve(&m, Solver::Hungarian).unwrap();
@@ -219,6 +369,74 @@ mod tests {
         assert_eq!(a.app_on(1), Some(1));
         assert_eq!(a.server_for(9), None);
         assert_eq!(a.app_on(9), None);
+    }
+
+    #[test]
+    fn indexed_accessors_agree_with_linear_scan() {
+        // A sparse rectangular placement exercises the binary search and
+        // the built-once column index off the hot path.
+        let pairs = vec![(0, 7), (1, 3), (2, 11), (5, 0), (9, 4)];
+        let a = Assignment::new(pairs.clone(), 1.0);
+        for row in 0..12 {
+            let want = pairs.iter().find(|&&(r, _)| r == row).map(|&(_, c)| c);
+            assert_eq!(a.server_for(row), want, "server_for({row})");
+        }
+        for col in 0..12 {
+            let want = pairs.iter().find(|&&(_, c)| c == col).map(|&(r, _)| r);
+            assert_eq!(a.app_on(col), want, "app_on({col})");
+        }
+    }
+
+    #[test]
+    fn new_sorts_pairs_by_row() {
+        let a = Assignment::new(vec![(2, 0), (0, 2), (1, 1)], 3.0);
+        assert_eq!(a.pairs, vec![(0, 2), (1, 1), (2, 0)]);
+        assert_eq!(a.server_for(2), Some(0));
+    }
+
+    #[test]
+    fn solver_display_from_str_round_trips() {
+        let solvers = [
+            Solver::Hungarian,
+            Solver::Lp,
+            Solver::Exhaustive,
+            Solver::MaxMinFair,
+            Solver::Random { seed: 42 },
+            Solver::Auction { eps: 0.001 },
+            Solver::Auction { eps: 0.25 },
+        ];
+        for s in solvers {
+            let text = s.to_string();
+            let back: Solver = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, s, "{text} did not round-trip");
+        }
+        // Bare `auction` means the default ε.
+        assert_eq!(
+            "auction".parse::<Solver>().unwrap(),
+            Solver::Auction {
+                eps: auction::DEFAULT_EPS
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_solver_strings_fail_fast() {
+        for bad in [
+            "quantum",
+            "auction:",
+            "auction:zero",
+            "auction:-1",
+            "auction:nan",
+            "random:x",
+        ] {
+            let err = bad.parse::<Solver>().unwrap_err();
+            assert!(!err.is_empty(), "{bad} should not parse");
+            assert!(!err.contains('\n'), "one-line error for {bad}: {err:?}");
+        }
+        assert!(
+            "auction:0".parse::<Solver>().is_err(),
+            "eps must be positive"
+        );
     }
 
     #[test]

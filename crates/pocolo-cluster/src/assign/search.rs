@@ -24,10 +24,7 @@ pub fn exhaustive_max(matrix: &PerfMatrix) -> Assignment {
         &mut best,
         &mut best_pairs,
     );
-    Assignment {
-        pairs: best_pairs,
-        total: best,
-    }
+    Assignment::new(best_pairs, best)
 }
 
 fn search(

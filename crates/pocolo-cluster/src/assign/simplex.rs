@@ -325,7 +325,7 @@ pub fn solve_assignment_lp(matrix: &PerfMatrix) -> Result<Assignment, ClusterErr
         pairs.push((r, c));
     }
     let total = matrix.assignment_value(&pairs);
-    Ok(Assignment { pairs, total })
+    Ok(Assignment::new(pairs, total))
 }
 
 #[cfg(test)]

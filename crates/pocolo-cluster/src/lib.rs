@@ -13,9 +13,14 @@
 //!    indirect utility inside that box.
 //! 2. [`assign`] solves the assignment: an exact **Hungarian** algorithm, a
 //!    from-scratch two-phase **simplex LP** (the paper uses an LP solver),
-//!    **exhaustive** permutation search (the Fig. 14 oracle) and **random**
-//!    placement (the baseline).
-//! 3. [`placement::ClusterManager`] glues the two together.
+//!    **exhaustive** permutation search (the Fig. 14 oracle), **random**
+//!    placement (the baseline), and the sparse **auction** path
+//!    ([`assign::auction`] + [`assign::sparse`]) that scales cold solves
+//!    and incremental repairs to 10k-server fleets.
+//! 3. [`placement::ClusterManager`] glues the two together;
+//!    [`placement::PlacementPlan`] carries the warm state (candidate
+//!    lists, dual prices) that lets steady-state replans touch only the
+//!    dirtied rows and columns of the matrix ([`matrix::MatrixDelta`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,11 +33,13 @@ pub mod perfmatrix;
 pub mod placement;
 
 pub use admission::{admit_and_place, AdmissionDecision};
+pub use assign::auction::{AuctionConfig, AuctionSolution, AuctionStats};
+pub use assign::sparse::SparseCandidates;
 pub use assign::{Assignment, Solver};
 pub use error::ClusterError;
-pub use matrix::PerfMatrix;
+pub use matrix::{ColumnEdit, MatrixDelta, PerfMatrix};
 pub use perfmatrix::{
     estimate_on_path, estimate_pair_throughput, ExpansionPath, ExpansionStep, PerfMatrixBuilder,
     ServerProfile,
 };
-pub use placement::ClusterManager;
+pub use placement::{migration_diff, ClusterManager, PlacementPlan};

@@ -14,7 +14,7 @@ use pocolo_core::units::Watts;
 use pocolo_core::utility::IndirectUtility;
 
 use crate::error::ClusterError;
-use crate::matrix::PerfMatrix;
+use crate::matrix::{MatrixDelta, PerfMatrix};
 
 /// A latency-critical server as the cluster manager sees it: the fitted
 /// model of its primary app, its provisioned power cap, and the primary's
@@ -266,6 +266,60 @@ impl PerfMatrixBuilder {
             values,
         )
     }
+
+    /// Re-estimates only the given columns of `current` against (possibly
+    /// updated) server profiles and returns the [`MatrixDelta`] between the
+    /// old and freshly-estimated values — the input to the incremental
+    /// replan path. Expansion paths are recomputed for the listed columns
+    /// only, so a single-server cap de-rate costs one path, not a full
+    /// matrix rebuild.
+    ///
+    /// Columns currently disabled in `current` (faulted-out servers) are
+    /// skipped: rebuilding must not silently re-admit them. Unchanged
+    /// columns produce no edit.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shape mismatches between `current`, `be_apps`, and
+    /// `servers`; propagates estimation failures.
+    pub fn rebuild_columns(
+        &self,
+        be_apps: &[(String, IndirectUtility)],
+        servers: &[ServerProfile],
+        cols: &[usize],
+        current: &PerfMatrix,
+    ) -> Result<MatrixDelta, ClusterError> {
+        if servers.len() != current.cols() || be_apps.len() != current.rows() {
+            return Err(ClusterError::InvalidMatrix(format!(
+                "rebuild over {}x{} inputs against a {}x{} matrix",
+                be_apps.len(),
+                servers.len(),
+                current.rows(),
+                current.cols()
+            )));
+        }
+        let mut delta = MatrixDelta::new();
+        for &col in cols {
+            if col >= current.cols() {
+                return Err(ClusterError::InvalidMatrix(format!(
+                    "rebuild column {col} out of range ({} cols)",
+                    current.cols()
+                )));
+            }
+            if current.is_col_disabled(col) {
+                continue;
+            }
+            let path = ExpansionPath::compute(&servers[col], &self.load_levels)?;
+            let mut column = Vec::with_capacity(be_apps.len());
+            for (_, be) in be_apps {
+                column.push(estimate_on_path(be, &path)?);
+            }
+            if current.col_iter(col).zip(&column).any(|(a, &b)| a != b) {
+                delta = delta.set_column(col, column);
+            }
+        }
+        Ok(delta)
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +432,43 @@ mod tests {
             assert!(step.sub_space.len() == servers[1].utility.space().len());
             assert!(step.lc_alloc.amounts().iter().all(|&a| a > 0.0));
         }
+    }
+
+    #[test]
+    fn rebuild_columns_finds_exactly_the_derated_column() {
+        use pocolo_core::utility::min_power_solves_on_thread;
+        let (bes, servers) = fitted_cluster();
+        let builder = PerfMatrixBuilder::new();
+        let m = builder.build(&bes, &servers).unwrap();
+        let mut derated = servers.clone();
+        derated[1].power_cap -= Watts(30.0);
+        // Even when asked to check every column, only the de-rated one
+        // produces an edit.
+        let delta = builder
+            .rebuild_columns(&bes, &derated, &[0, 1, 2, 3], &m)
+            .unwrap();
+        assert_eq!(delta.dirty_cols().collect::<Vec<_>>(), vec![1]);
+        // Patching the old matrix reproduces a from-scratch rebuild.
+        let fresh = builder.build(&bes, &derated).unwrap();
+        assert_eq!(m.patched(&delta).unwrap(), fresh);
+        // Rebuilding one column pays one expansion path, not four.
+        let levels = builder.load_levels().len() as u64;
+        let before = min_power_solves_on_thread();
+        builder.rebuild_columns(&bes, &derated, &[1], &m).unwrap();
+        assert_eq!(min_power_solves_on_thread() - before, levels);
+        // Disabled columns are skipped, never re-admitted.
+        let faulted = m
+            .patched(&crate::matrix::MatrixDelta::new().disable_column(1))
+            .unwrap();
+        let skip = builder
+            .rebuild_columns(&bes, &derated, &[1], &faulted)
+            .unwrap();
+        assert!(skip.is_empty());
+        // Shape mismatches are rejected.
+        assert!(builder
+            .rebuild_columns(&bes, &derated[..2], &[0], &m)
+            .is_err());
+        assert!(builder.rebuild_columns(&bes, &derated, &[9], &m).is_err());
     }
 
     #[test]

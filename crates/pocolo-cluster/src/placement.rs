@@ -3,10 +3,84 @@
 
 use pocolo_core::utility::IndirectUtility;
 
+use crate::assign::auction::{self, AuctionConfig, AuctionSolution};
+use crate::assign::sparse::SparseCandidates;
 use crate::assign::{self, Assignment, Solver};
 use crate::error::ClusterError;
-use crate::matrix::PerfMatrix;
+use crate::matrix::{MatrixDelta, PerfMatrix};
 use crate::perfmatrix::{PerfMatrixBuilder, ServerProfile};
+
+/// The `(be, server)` pairs of `new` that are not already in `old` — the
+/// migrations a replan implies. Both pair lists are sorted by row
+/// ([`Assignment::new`] guarantees it), so this is a linear merge, not the
+/// O(n²) `contains` scan it replaces.
+pub fn migration_diff(old: &Assignment, new: &Assignment) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    for &(row, col) in &new.pairs {
+        while i < old.pairs.len() && old.pairs[i].0 < row {
+            i += 1;
+        }
+        if i < old.pairs.len() && old.pairs[i] == (row, col) {
+            continue;
+        }
+        out.push((row, col));
+    }
+    out
+}
+
+/// A solved sparse placement plus everything needed to repair it
+/// incrementally: the matrix it was solved on, the candidate lists, and
+/// the auction's dual prices. Produced by [`ClusterManager::plan_sparse`];
+/// replans mutate it in place through [`PlacementPlan::apply_delta`].
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    matrix: PerfMatrix,
+    cands: SparseCandidates,
+    solution: AuctionSolution,
+    eps: f64,
+}
+
+impl PlacementPlan {
+    /// The current placement.
+    pub fn assignment(&self) -> &Assignment {
+        &self.solution.assignment
+    }
+
+    /// The matrix the current placement was solved on.
+    pub fn matrix(&self) -> &PerfMatrix {
+        &self.matrix
+    }
+
+    /// The full auction solution (prices, certification, op counters).
+    pub fn solution(&self) -> &AuctionSolution {
+        &self.solution
+    }
+
+    /// Repairs the plan after a matrix change, re-bidding only the rows
+    /// the delta dirties (warm-started from the previous prices). Returns
+    /// the migration intents: pairs of the new placement not already in
+    /// the old one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates patching and solver failures; on error the plan is
+    /// unchanged.
+    pub fn apply_delta(
+        &mut self,
+        delta: &MatrixDelta,
+    ) -> Result<Vec<(usize, usize)>, ClusterError> {
+        let patched = self.matrix.patched(delta)?;
+        let cfg = AuctionConfig::with_eps(self.eps);
+        let mut cands = self.cands.clone();
+        let next = auction::solve_incremental(&patched, &mut cands, &self.solution, delta, &cfg)?;
+        let intents = migration_diff(&self.solution.assignment, &next.assignment);
+        self.matrix = patched;
+        self.cands = cands;
+        self.solution = next;
+        Ok(intents)
+    }
+}
 
 /// Cluster-level placement engine.
 ///
@@ -117,10 +191,7 @@ impl ClusterManager {
         if fresh.total > incumbent_total * (1.0 + hysteresis) {
             Ok(fresh)
         } else {
-            Ok(Assignment {
-                pairs: incumbent.pairs.clone(),
-                total: incumbent_total,
-            })
+            Ok(Assignment::new(incumbent.pairs.clone(), incumbent_total))
         }
     }
 
@@ -146,12 +217,106 @@ impl ClusterManager {
         solver: Solver,
     ) -> Result<Vec<(usize, usize)>, ClusterError> {
         let replan = self.replan_under_budget(cap_factor, incumbent, hysteresis, solver)?;
-        Ok(replan
-            .pairs
+        Ok(migration_diff(incumbent, &replan))
+    }
+
+    /// Solves the placement through the sparse auction path and returns a
+    /// [`PlacementPlan`] that later replans can repair incrementally
+    /// instead of re-solving from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix and solver failures.
+    pub fn plan_sparse(&self, eps: f64) -> Result<PlacementPlan, ClusterError> {
+        let matrix = self.performance_matrix()?;
+        let mut cands =
+            SparseCandidates::build(&matrix, SparseCandidates::default_k(matrix.cols()));
+        let cfg = AuctionConfig::with_eps(eps);
+        let solution = auction::solve_with_candidates(&matrix, &mut cands, &cfg)?;
+        Ok(PlacementPlan {
+            matrix,
+            cands,
+            solution,
+            eps,
+        })
+    }
+
+    /// Repairs `plan` after per-server faults: the given columns leave the
+    /// fleet, their BE tenants are re-bid onto the survivors, every other
+    /// pair stays put unless the eviction cascade moves it. Returns the
+    /// migration intents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates patching and solver failures ([`ClusterError::TooManyApps`]
+    /// when the survivors cannot host every BE app).
+    pub fn replan_after_faults(
+        &self,
+        plan: &mut PlacementPlan,
+        faulted_cols: &[usize],
+    ) -> Result<Vec<(usize, usize)>, ClusterError> {
+        let mut delta = MatrixDelta::new();
+        for &col in faulted_cols {
+            delta = delta.disable_column(col);
+        }
+        plan.apply_delta(&delta)
+    }
+
+    /// Incremental counterpart of [`ClusterManager::replan_under_budget`]:
+    /// re-estimates only the columns the cap change actually dirties
+    /// (via [`PerfMatrixBuilder::rebuild_columns`]) and repairs the plan's
+    /// assignment from its previous prices. The same hysteresis rule
+    /// applies: if the repaired placement does not beat the incumbent by
+    /// more than `hysteresis` on the patched matrix, the incumbent pairs
+    /// are kept and no migrations are emitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation and solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_factor` is outside `(0, 1]` or `hysteresis` is
+    /// negative.
+    pub fn replan_under_budget_incremental(
+        &self,
+        plan: &mut PlacementPlan,
+        cap_factor: f64,
+        hysteresis: f64,
+    ) -> Result<Vec<(usize, usize)>, ClusterError> {
+        assert!(
+            cap_factor > 0.0 && cap_factor <= 1.0,
+            "cap factor must be in (0, 1], got {cap_factor}"
+        );
+        assert!(
+            hysteresis >= 0.0 && hysteresis.is_finite(),
+            "hysteresis must be non-negative, got {hysteresis}"
+        );
+        let shrunk: Vec<ServerProfile> = self
+            .servers
             .iter()
-            .filter(|pair| !incumbent.pairs.contains(pair))
-            .copied()
-            .collect())
+            .map(|s| ServerProfile {
+                label: s.label.clone(),
+                utility: s.utility.clone(),
+                power_cap: s.power_cap * cap_factor,
+                peak_load: s.peak_load,
+            })
+            .collect();
+        let all_cols: Vec<usize> = (0..plan.matrix.cols()).collect();
+        let delta =
+            self.builder
+                .rebuild_columns(&self.be_apps, &shrunk, &all_cols, &plan.matrix)?;
+        let incumbent = plan.solution.assignment.clone();
+        let intents = plan.apply_delta(&delta)?;
+        let incumbent_total = plan.matrix.assignment_value(&incumbent.pairs);
+        if plan.solution.assignment.total > incumbent_total * (1.0 + hysteresis) {
+            Ok(intents)
+        } else {
+            // Hysteresis keeps the incumbent; the repaired prices stay as
+            // warm-start state for the next replan.
+            plan.solution.assignment = Assignment::new(incumbent.pairs, incumbent_total);
+            Ok(Vec::new())
+        }
     }
 }
 
@@ -327,6 +492,102 @@ mod tests {
         for pair in &intents {
             assert!(!bad.pairs.contains(pair));
         }
+    }
+
+    #[test]
+    fn migration_diff_matches_contains_filter() {
+        let old = Assignment::new(vec![(0, 3), (1, 1), (2, 0), (4, 2)], 1.0);
+        let new = Assignment::new(vec![(0, 3), (1, 2), (3, 1), (4, 0)], 1.0);
+        let expected: Vec<_> = new
+            .pairs
+            .iter()
+            .filter(|p| !old.pairs.contains(p))
+            .copied()
+            .collect();
+        assert_eq!(migration_diff(&old, &new), expected);
+        assert!(migration_diff(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn sparse_plan_matches_exact_placement() {
+        let mgr = manager();
+        let exact = mgr.place(Solver::Hungarian).unwrap();
+        let plan = mgr.plan_sparse(1e-3).unwrap();
+        assert!(plan.solution().certified);
+        assert!(
+            plan.assignment().total >= exact.total - 1e-3 * 4.0 - 1e-9,
+            "sparse {} vs exact {}",
+            plan.assignment().total,
+            exact.total
+        );
+    }
+
+    #[test]
+    fn fault_replan_evicts_only_whats_needed() {
+        let mgr = manager();
+        let plan = mgr.plan_sparse(1e-3).unwrap();
+        let faulted = plan.assignment().server_for(0).unwrap();
+        // 4 BE apps on 3 surviving servers is infeasible — and must say so.
+        let err = mgr.replan_after_faults(&mut plan.clone(), &[faulted]);
+        assert!(matches!(err, Err(ClusterError::TooManyApps { .. })));
+        // Drop a BE row first, then the fault is repairable.
+        let mut small = ClusterManager::new(mgr.be_apps()[..3].to_vec(), mgr.servers().to_vec());
+        small.builder = mgr.builder.clone();
+        let mut plan3 = small.plan_sparse(1e-3).unwrap();
+        let victim_col = plan3.assignment().server_for(0).unwrap();
+        let intents = small
+            .replan_after_faults(&mut plan3, &[victim_col])
+            .unwrap();
+        assert!(plan3.matrix().is_col_disabled(victim_col));
+        assert!(plan3
+            .assignment()
+            .pairs
+            .iter()
+            .all(|&(_, c)| c != victim_col));
+        // Row 0 had to move, so it appears in the intents.
+        assert!(intents.iter().any(|&(r, _)| r == 0), "intents: {intents:?}");
+        // The repair touched only the dirtied rows.
+        assert!(plan3.solution().stats.dirty_rows <= 3);
+    }
+
+    #[test]
+    fn incremental_budget_replan_agrees_with_dense_path() {
+        let mgr = manager();
+        let mut plan = mgr.plan_sparse(1e-3).unwrap();
+        let incumbent = plan.assignment().clone();
+        // Full budget: nothing dirties, nothing migrates.
+        let none = mgr
+            .replan_under_budget_incremental(&mut plan, 1.0, 0.0)
+            .unwrap();
+        assert!(none.is_empty());
+        assert_eq!(plan.assignment().pairs, incumbent.pairs);
+        // Shrunk budget, zero hysteresis: totals match the dense replan
+        // within the auction tolerance.
+        let dense = mgr
+            .replan_under_budget(0.6, &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        let intents = mgr
+            .replan_under_budget_incremental(&mut plan, 0.6, 0.0)
+            .unwrap();
+        assert!(
+            plan.assignment().total >= dense.total - 2.0 * 1e-3 * 4.0 - 1e-9,
+            "incremental {} vs dense {}",
+            plan.assignment().total,
+            dense.total
+        );
+        assert_eq!(
+            intents,
+            migration_diff(&incumbent, plan.assignment()),
+            "intents are the pair diff"
+        );
+        // Huge hysteresis keeps the (shrunk-matrix) incumbent: no intents.
+        let mut plan2 = mgr.plan_sparse(1e-3).unwrap();
+        let kept_pairs = plan2.assignment().pairs.clone();
+        let kept = mgr
+            .replan_under_budget_incremental(&mut plan2, 0.6, 1e6)
+            .unwrap();
+        assert!(kept.is_empty());
+        assert_eq!(plan2.assignment().pairs, kept_pairs);
     }
 
     #[test]

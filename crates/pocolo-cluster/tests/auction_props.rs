@@ -1,0 +1,126 @@
+//! Property tests for the sparse auction path: on random dense matrices
+//! up to 64×96, the auction total stays within the ε·rows band of the
+//! exact Hungarian optimum, and an incremental repair after a matrix
+//! delta lands in the same band as a cold solve on the patched matrix.
+//!
+//! The auction is ε-approximate and path-dependent, so "equals a cold
+//! solve" is asserted the only way it is well-defined: both totals sit
+//! within ε·rows of the patched matrix's exact optimum, which also bounds
+//! them within 2·ε·rows of each other.
+
+use pocolo_cluster::assign::auction::{self, AuctionConfig};
+use pocolo_cluster::assign::hungarian;
+use pocolo_cluster::assign::sparse::SparseCandidates;
+use pocolo_cluster::matrix::{MatrixDelta, PerfMatrix};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> PerfMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    PerfMatrix::new(
+        (0..rows).map(|i| format!("be{i}")).collect(),
+        (0..cols).map(|j| format!("lc{j}")).collect(),
+        values,
+    )
+    .expect("random matrix is well-formed")
+}
+
+/// Perfect matching: every row placed once, no column reused, no
+/// disabled column assigned.
+fn assert_valid(matrix: &PerfMatrix, pairs: &[(usize, usize)]) {
+    assert_eq!(pairs.len(), matrix.rows());
+    let mut used = vec![false; matrix.cols()];
+    for (i, &(row, col)) in pairs.iter().enumerate() {
+        assert_eq!(row, i, "pairs sorted by row");
+        assert!(!matrix.is_col_disabled(col), "assigned a disabled column");
+        assert!(!used[col], "column {col} assigned twice");
+        used[col] = true;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auction_total_within_eps_of_hungarian(
+        rows in 1usize..=64,
+        extra in 0usize..=95,
+        seed in any::<u64>(),
+    ) {
+        let cols = (rows + extra).clamp(rows, 96);
+        let matrix = random_matrix(rows, cols, seed);
+        let cfg = AuctionConfig::default();
+        let sol = auction::solve(&matrix, &cfg).expect("auction solve");
+        assert_valid(&matrix, &sol.assignment.pairs);
+        prop_assert!(sol.certified, "solve must certify its gap");
+        let exact = hungarian::solve_max(&matrix);
+        let bound = cfg.eps * rows as f64 + 1e-9 * rows as f64;
+        prop_assert!(
+            sol.assignment.total >= exact.total - bound,
+            "auction {} below hungarian {} by more than {bound}",
+            sol.assignment.total,
+            exact.total
+        );
+        prop_assert!(
+            sol.assignment.total <= exact.total + bound,
+            "auction {} exceeds the exact optimum {}",
+            sol.assignment.total,
+            exact.total
+        );
+    }
+
+    #[test]
+    fn incremental_matches_cold_solve_on_patched_matrix(
+        rows in 1usize..=64,
+        extra in 0usize..=95,
+        seed in any::<u64>(),
+        edited in any::<u32>(),
+    ) {
+        let cols = (rows + extra).clamp(rows, 96);
+        let matrix = random_matrix(rows, cols, seed);
+        let cfg = AuctionConfig::default();
+        let mut cands = SparseCandidates::build(&matrix, SparseCandidates::default_k(cols));
+        let prev = auction::solve_with_candidates(&matrix, &mut cands, &cfg)
+            .expect("reference solve");
+
+        // Rewrite one column's values; additionally disable the column
+        // hosting row 0 when a spare column exists (the fault path).
+        let victim = edited as usize % cols;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDE17A);
+        let fresh: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut delta = MatrixDelta::new().set_column(victim, fresh);
+        if cols > rows {
+            let faulted = prev.assignment.server_for(0).expect("row 0 placed");
+            if faulted != victim {
+                delta = delta.disable_column(faulted);
+            }
+        }
+        let patched = matrix.patched(&delta).expect("patched matrix");
+
+        let inc = auction::solve_incremental(&patched, &mut cands, &prev, &delta, &cfg)
+            .expect("incremental repair");
+        assert_valid(&patched, &inc.assignment.pairs);
+        prop_assert!(inc.certified, "repair must certify its gap");
+
+        // Through the dispatcher so the disabled column is projected out.
+        let exact = pocolo_cluster::assign::solve(&patched, pocolo_cluster::assign::Solver::Hungarian)
+            .expect("exact solve on patched");
+        let bound = cfg.eps * rows as f64 + 1e-9 * rows as f64;
+        prop_assert!(
+            inc.assignment.total >= exact.total - bound,
+            "incremental {} below patched optimum {} by more than {bound}",
+            inc.assignment.total,
+            exact.total
+        );
+        let cold = auction::solve(&patched, &cfg).expect("cold solve on patched");
+        prop_assert!(
+            (inc.assignment.total - cold.assignment.total).abs() <= 2.0 * bound,
+            "incremental {} and cold {} disagree beyond 2·ε·rows",
+            inc.assignment.total,
+            cold.assignment.total
+        );
+    }
+}

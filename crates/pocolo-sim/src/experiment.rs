@@ -21,7 +21,7 @@ use crate::parallel::{self, Parallelism};
 use crate::server_sim::ServerSim;
 
 /// The policies of §V-D, plus the incremental-growth baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
     /// Random placement + power-oblivious (Heracles-style) server
     /// management. The paper's baseline.
@@ -392,10 +392,7 @@ fn schedule_brownout_migrations(
                 .map(|row| (row, server))
         })
         .collect();
-    let incumbent = Assignment {
-        total: matrix.assignment_value(&pairs),
-        pairs,
-    };
+    let incumbent = Assignment::new(pairs.clone(), matrix.assignment_value(&pairs));
     for event in plan.events() {
         let FaultKind::BrownoutStart { cap_factor } = &event.kind else {
             continue;
