@@ -1,0 +1,30 @@
+//! Criterion harness over sharded traffic generation: one flash-crowd
+//! peak tick at 250k → 4M users, 1 vs 8 shards. The JSON baseline comes
+//! from the `traffic_throughput` *binary* (the criterion shim has no
+//! programmatic median export); this harness exists for interactive
+//! `cargo bench` runs and to keep the scenarios compiling under
+//! `cargo bench --no-run`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pocolo_bench::traffic_scale::{generator, STANDARD_USERS};
+use pocolo_sim::parallel::Parallelism;
+use std::hint::black_box;
+
+fn traffic_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_throughput");
+    for &users in &STANDARD_USERS {
+        let gen = generator(users, 0xF1_0C5);
+        for (label, shards, par) in [
+            ("serial", 1usize, Parallelism::Serial),
+            ("sharded8", 8usize, Parallelism::Auto),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, users), &gen, |b, gen| {
+                b.iter(|| black_box(gen).tick(8, shards, par))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, traffic_throughput);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Traffic-generation throughput driver.
+//!
+//! - `--smoke`: the CI gate — shard/merge digests equal at 1/3/8 shards
+//!   and volume within 6σ of the analytic rate, timing-independent.
+//! - default: sweeps 250k → 4M users at 1/4/8 shards and writes
+//!   `BENCH_traffic.json` (users, shards, requests, median ns, req/s),
+//!   asserting million-user generation sustains ≥ 10M requests/s.
+//!
+//! `--iters <N>` overrides the samples per configuration (default 5).
+
+use pocolo_bench::traffic_scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        traffic_scale::smoke();
+        return;
+    }
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--iters wants a positive integer"))
+        .unwrap_or(5);
+    let report = traffic_scale::run_standard(iters);
+    let path = "BENCH_traffic.json";
+    std::fs::write(path, pocolo_json::to_string_pretty(&report))
+        .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+    println!("wrote {path} ({} rows)", report.rows.len());
+}

@@ -20,3 +20,4 @@
 pub mod assignment_scale;
 pub mod common;
 pub mod figures;
+pub mod traffic_scale;

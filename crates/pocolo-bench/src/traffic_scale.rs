@@ -1,0 +1,209 @@
+//! Traffic-generation throughput baseline.
+//!
+//! The engine's systems claim: synthesizing the request stream of a
+//! million-user population costs a fraction of a simulated second per
+//! tick, i.e. generation sustains ≥ 10 M requests/s. This module measures
+//! the sharded generator in isolation — no queues, no fitting — and lands
+//! the numbers in `BENCH_traffic.json`, the crate's second standing perf
+//! baseline next to `BENCH_assignment.json`.
+//!
+//! The `--smoke` entry point ([`smoke`]) stays timing-independent for CI:
+//! it gates on the shard/merge contract (digests equal at 1, 3 and 8
+//! shards, serial vs threaded) and on the analytic arrival rate, never on
+//! wall-clock.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pocolo_sim::parallel::Parallelism;
+use pocolo_traffic::{MixKind, TrafficGen, TrafficMix};
+
+/// Request rate per simulated user, requests per second.
+pub const RPS_PER_USER: f64 = 10.0;
+
+/// LC slot peak loads mirroring the in-tree fleet (img-dnn, sphinx,
+/// xapian, tpcc).
+pub const PEAKS: [f64; 4] = [3500.0, 10.0, 4000.0, 8000.0];
+
+/// User populations the standard report sweeps.
+pub const STANDARD_USERS: [u64; 3] = [250_000, 1_000_000, 4_000_000];
+
+/// Shard counts the standard report sweeps at each population.
+pub const STANDARD_SHARDS: [usize; 3] = [1, 4, 8];
+
+/// The throughput floor the standard report asserts: generated requests
+/// per wall-clock second, best configuration per population.
+pub const TARGET_REQUESTS_PER_S: f64 = 10_000_000.0;
+
+/// A flash-crowd generator at `users`, deterministic in `seed`.
+pub fn generator(users: u64, seed: u64) -> TrafficGen {
+    let mix = TrafficMix::plan(MixKind::FlashCrowd, seed, 16.0);
+    TrafficGen::new(mix, seed, users, RPS_PER_USER, 1.0, &PEAKS)
+}
+
+/// Median wall-clock nanoseconds of `iters` runs of `f`.
+pub fn median_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One `BENCH_traffic.json` row.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Simulated users.
+    pub users: u64,
+    /// Generator shards.
+    pub shards: usize,
+    /// Requests in the measured tick.
+    pub requests: u64,
+    /// Median wall-clock nanoseconds over [`ThroughputReport::iters`]
+    /// runs.
+    pub median_ns: u64,
+    /// Generated requests per wall-clock second at the median.
+    pub requests_per_s: f64,
+}
+
+pocolo_json::impl_to_json!(BenchRow {
+    users,
+    shards,
+    requests,
+    median_ns,
+    requests_per_s,
+});
+
+/// The standing perf baseline written to `BENCH_traffic.json`.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Request rate per user.
+    pub rps_per_user: f64,
+    /// Samples per configuration; rows carry the median.
+    pub iters: usize,
+    /// One row per (users, shards).
+    pub rows: Vec<BenchRow>,
+}
+
+pocolo_json::impl_to_json!(ThroughputReport {
+    rps_per_user,
+    iters,
+    rows
+});
+
+/// Measures one (users, shards) configuration on the flash-crowd peak
+/// tick (the heaviest tick of the mix).
+pub fn run_case(users: u64, shards: usize, iters: usize) -> BenchRow {
+    let gen = generator(users, 0xF1_0C5);
+    // Tick 8 of 16 sits inside the flash-crowd hold: worst-case volume.
+    let tick = 8u64;
+    let requests = gen.tick(tick, shards, Parallelism::Auto).len() as u64;
+    let ns = median_ns(iters, || gen.tick(tick, shards, Parallelism::Auto));
+    BenchRow {
+        users,
+        shards,
+        requests,
+        median_ns: ns,
+        requests_per_s: requests as f64 / (ns as f64 / 1e9),
+    }
+}
+
+/// Runs the standard sweep and returns the baseline report.
+///
+/// # Panics
+///
+/// Panics (failing the bench run) if no sharding configuration at the
+/// million-user population reaches [`TARGET_REQUESTS_PER_S`].
+pub fn run_standard(iters: usize) -> ThroughputReport {
+    let mut rows = Vec::new();
+    for &users in &STANDARD_USERS {
+        println!("traffic_scale: {users} users ({iters} samples per shard count)...");
+        for &shards in &STANDARD_SHARDS {
+            let row = run_case(users, shards, iters);
+            println!(
+                "  shards {:>2}: {:>9} requests, median {:>12} ns, {:>7.1}M req/s",
+                row.shards,
+                row.requests,
+                row.median_ns,
+                row.requests_per_s / 1e6
+            );
+            rows.push(row);
+        }
+    }
+    let best_at_million = rows
+        .iter()
+        .filter(|r| r.users == 1_000_000)
+        .map(|r| r.requests_per_s)
+        .fold(0.0, f64::max);
+    assert!(
+        best_at_million >= TARGET_REQUESTS_PER_S,
+        "million-user generation reached only {:.1}M req/s (target {:.0}M)",
+        best_at_million / 1e6,
+        TARGET_REQUESTS_PER_S / 1e6
+    );
+    ThroughputReport {
+        rps_per_user: RPS_PER_USER,
+        iters,
+        rows,
+    }
+}
+
+/// The CI gate, timing-independent: the shard/merge contract holds at
+/// engine scale and the generated volume tracks the analytic rate.
+///
+/// # Panics
+///
+/// Panics (failing the CI step) if batches diverge across shard counts or
+/// thread fan-outs, or the tick's volume strays outside a 6-sigma band of
+/// the analytic expectation.
+pub fn smoke() {
+    let users = 1_000_000u64;
+    let gen = generator(users, 0xF1_0C5);
+    for tick in [0u64, 5, 8] {
+        let one = gen.tick(tick, 1, Parallelism::Serial);
+        let three = gen.tick(tick, 3, Parallelism::Fixed(2));
+        let eight = gen.tick(tick, 8, Parallelism::Auto);
+        assert_eq!(one.digest(), three.digest(), "tick {tick}: 1 vs 3 shards");
+        assert_eq!(one.digest(), eight.digest(), "tick {tick}: 1 vs 8 shards");
+        assert_eq!(&one, &eight, "tick {tick}: lane-level divergence");
+
+        let expected = gen.expected_requests(tick);
+        let got = one.len() as f64;
+        let sigma = expected.sqrt();
+        assert!(
+            (got - expected).abs() < 6.0 * sigma + 64.0,
+            "tick {tick}: generated {got} vs analytic {expected} (sigma {sigma})"
+        );
+        println!(
+            "traffic smoke tick {tick}: {} requests, digest {:016x} (1 = 3 = 8 shards)",
+            one.len(),
+            one.digest()
+        );
+    }
+    println!("traffic-scale smoke: PASS");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_gate_passes() {
+        smoke();
+    }
+
+    #[test]
+    fn run_case_is_internally_consistent() {
+        let row = run_case(50_000, 4, 1);
+        assert_eq!(row.users, 50_000);
+        assert_eq!(row.shards, 4);
+        assert!(row.requests > 0);
+        assert!(row.median_ns > 0);
+        let recomputed = row.requests as f64 / (row.median_ns as f64 / 1e9);
+        assert!((row.requests_per_s - recomputed).abs() < 1e-6);
+    }
+}

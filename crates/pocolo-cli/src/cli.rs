@@ -21,6 +21,8 @@ COMMANDS:
     agentd --connect <addr>  run one POM agent against a cluster daemon
     demo-net                 drive the experiment over real loopback TCP and
                              verify parity against the in-process engine
+    demo-traffic             synthesize open-loop traffic through the fleet's
+                             LC slots with online utility refit
     tco                      amortized monthly TCO comparison
     table2                   Table II: LC application characteristics
     help                     this text
@@ -33,8 +35,15 @@ OPTIONS:
     --dwell <seconds>  seconds per load level          (default: 20)
     --seed <n>         RNG seed                        (default: 1)
     --parallelism <p>  serial | auto | <threads>       (default: auto)
-    --faults <spec>    inject faults: brownout | crash | chaos, with an
-                       optional schedule seed as <scenario>:<seed>
+    --faults <spec>    inject faults: brownout | crash | chaos | surge, with
+                       an optional schedule seed as <scenario>:<seed>
+    --traffic <spec>   demo-traffic mix: steady | diurnal | flashcrowd |
+                       regional, with an optional seed as <mix>:<seed>
+                       (default: flashcrowd)
+    --shards <n>       demo-traffic generator shards    (default: 1)
+    --users <n>        demo-traffic simulated users     (default: 1000000)
+    --ticks <n>        demo-traffic simulated ticks     (default: 10)
+    --online-fit       demo-traffic: adopt online refits and replan on drift
     --no-resilience    respond to faults naively (no degraded mode)
     --decision-log <path>  dump per-tick controller decisions as JSON lines
     --listen <addr>    clusterd bind address           (default: 127.0.0.1:7700)
@@ -78,6 +87,16 @@ pub struct Options {
     pub lease_ttl_ms: u64,
     /// `--kill-agent` (demo-net failure-path exercise).
     pub kill_agent: bool,
+    /// `--traffic` (raw `<mix>[:<seed>]` spec).
+    pub traffic: Option<String>,
+    /// `--shards` (traffic generator shards).
+    pub shards: usize,
+    /// `--users` (simulated user population).
+    pub users: u64,
+    /// `--ticks` (simulated ticks).
+    pub ticks: u64,
+    /// `--online-fit` (adopt refitted models).
+    pub online_fit: bool,
     /// `--json`.
     pub json: bool,
 }
@@ -107,6 +126,11 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         agent: None,
         lease_ttl_ms: 1000,
         kill_agent: false,
+        traffic: None,
+        shards: 1,
+        users: 1_000_000,
+        ticks: 10,
+        online_fit: false,
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -195,6 +219,44 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--kill-agent" => opts.kill_agent = true,
+            "--traffic" => {
+                opts.traffic = Some(
+                    it.next()
+                        .ok_or_else(|| "--traffic needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--shards" => {
+                opts.shards = it
+                    .next()
+                    .ok_or_else(|| "--shards needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+            }
+            "--users" => {
+                opts.users = it
+                    .next()
+                    .ok_or_else(|| "--users needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--users: {e}"))?;
+                if opts.users == 0 {
+                    return Err("--users must be positive".into());
+                }
+            }
+            "--ticks" => {
+                opts.ticks = it
+                    .next()
+                    .ok_or_else(|| "--ticks needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--ticks: {e}"))?;
+                if opts.ticks == 0 {
+                    return Err("--ticks must be positive".into());
+                }
+            }
+            "--online-fit" => opts.online_fit = true,
             "--json" => opts.json = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -295,6 +357,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "clusterd" => cmd_clusterd(&opts),
         "agentd" => cmd_agentd(&opts),
         "demo-net" => cmd_demo_net(&opts),
+        "demo-traffic" => cmd_demo_traffic(&opts),
         "tco" => cmd_tco(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -624,6 +687,55 @@ fn write_decision_log(path: &str, traces: &[DecisionTrace]) -> Result<(), String
         }
     }
     std::fs::write(path, out).map_err(|e| format!("cannot write decision log {path}: {e}"))
+}
+
+fn cmd_demo_traffic(opts: &Options) -> Result<String, String> {
+    let spec: TrafficSpec = opts.traffic.as_deref().unwrap_or("flashcrowd").parse()?;
+    let mut config = TrafficConfig::new(spec);
+    config.users = opts.users;
+    config.ticks = opts.ticks;
+    config.shards = opts.shards;
+    config.parallelism = opts.parallelism;
+    config.online_fit = opts.online_fit;
+    config.seed = opts.seed;
+    config.faults = match opts.faults.as_deref() {
+        Some(raw) => Some(raw.parse()?),
+        None => None,
+    };
+    let report = run_traffic(&config);
+    // Wall-clock throughput goes to stderr: stdout must be identical
+    // across shard counts so CI can diff it byte-for-byte.
+    eprintln!(
+        "generated {} requests in {:.3} s ({:.1}M req/s) across {} shard(s)",
+        report.requests,
+        report.gen_seconds,
+        report.gen_requests_per_s / 1e6,
+        report.shards,
+    );
+    if opts.json {
+        return Ok(pocolo_json::to_string_pretty(&report));
+    }
+    let mut out = format!(
+        "{} mix: {} requests over {} ticks ({} users), digest {}\n\
+         SLO-violating traffic {:.2}%; refits {}, replans {}, migrations {}\n",
+        report.mix,
+        report.requests,
+        report.ticks,
+        report.users,
+        report.digest,
+        100.0 * report.slo_violation_frac,
+        report.refits,
+        report.replans,
+        report.migrations,
+    );
+    for s in &report.slots {
+        let _ = writeln!(
+            out,
+            "  {:>8} req {:>10}  violating {:>10}  worst p99 {:>9.2} ms  final {}c/{}w",
+            s.app, s.requests, s.violations, s.worst_p99_ms, s.cores, s.ways
+        );
+    }
+    Ok(out.trim_end().to_string())
 }
 
 fn cmd_tco(opts: &Options) -> Result<String, String> {
@@ -958,6 +1070,57 @@ mod tests {
         assert_eq!(v["parity"].as_bool(), Some(true));
         assert_eq!(v["placement"].as_array().unwrap().len(), 4);
         assert_eq!(v["reregistrations"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn parse_traffic_flags() {
+        let o = parse(&argv(
+            "demo-traffic --traffic diurnal:9 --shards 8 --users 50000 --ticks 6 --online-fit",
+        ))
+        .unwrap();
+        assert_eq!(o.traffic.as_deref(), Some("diurnal:9"));
+        assert_eq!(o.shards, 8);
+        assert_eq!(o.users, 50_000);
+        assert_eq!(o.ticks, 6);
+        assert!(o.online_fit);
+        assert!(parse(&argv("demo-traffic --shards 0")).is_err());
+        assert!(parse(&argv("demo-traffic --users 0")).is_err());
+        assert!(parse(&argv("demo-traffic --ticks 0")).is_err());
+        assert!(parse(&argv("demo-traffic --traffic")).is_err());
+    }
+
+    #[test]
+    fn demo_traffic_rejects_bad_specs() {
+        let err = run(&argv("demo-traffic --traffic tsunami")).unwrap_err();
+        assert!(err.contains("tsunami"), "error names the bad mix: {err}");
+        assert!(!err.contains('\n'), "error is one line: {err:?}");
+        assert!(run(&argv("demo-traffic --faults meteor")).is_err());
+    }
+
+    #[test]
+    fn demo_traffic_stdout_is_shard_invariant() {
+        // The CI gate in miniature: the deterministic report (stdout) must
+        // not depend on how generation was sharded or threaded.
+        let base = "demo-traffic --traffic flashcrowd:7 --users 20000 --ticks 4 --seed 3";
+        let one = run(&argv(&format!("{base} --shards 1 --parallelism serial"))).unwrap();
+        let eight = run(&argv(&format!("{base} --shards 8"))).unwrap();
+        assert_eq!(one, eight);
+        assert!(one.contains("digest"), "{one}");
+        let json = run(&argv(&format!("{base} --shards 3 --json"))).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
+        assert_eq!(v["slots"].as_array().unwrap().len(), 4);
+        assert_eq!(v["mix"].as_str(), Some("flashcrowd"));
+        assert!(v["digest"].as_str().is_some());
+    }
+
+    #[test]
+    fn demo_traffic_online_fit_runs_surge() {
+        let out = run(&argv(
+            "demo-traffic --traffic flashcrowd:7 --faults surge:7 --users 20000 --ticks 6 \
+             --online-fit --shards 2",
+        ))
+        .unwrap();
+        assert!(out.contains("refits"), "{out}");
     }
 
     #[test]

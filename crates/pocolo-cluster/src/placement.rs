@@ -318,6 +318,60 @@ impl ClusterManager {
             Ok(Vec::new())
         }
     }
+
+    /// Adopts a freshly refitted utility model for server `col` and
+    /// repairs the plan around it. This is the online-refit hook used by
+    /// `pocolo-traffic`: when an [`OnlineFitter`] drifts far enough from
+    /// the model a column was planned with, the stale column — and only
+    /// that column — is re-estimated under the current power budget
+    /// (`cap_factor` of each server's provisioned cap, `1.0` outside a
+    /// brownout) and the assignment is repaired from its previous prices.
+    ///
+    /// Returns the migration intents the repair produced (often empty:
+    /// a refit that confirms the incumbent moves nothing).
+    ///
+    /// [`OnlineFitter`]: pocolo_core::fit::OnlineFitter
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation and solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `cap_factor` is outside
+    /// `(0, 1]`.
+    pub fn replan_after_refit(
+        &mut self,
+        plan: &mut PlacementPlan,
+        col: usize,
+        utility: IndirectUtility,
+        cap_factor: f64,
+    ) -> Result<Vec<(usize, usize)>, ClusterError> {
+        assert!(
+            col < self.servers.len(),
+            "column {col} out of range for {} servers",
+            self.servers.len()
+        );
+        assert!(
+            cap_factor > 0.0 && cap_factor <= 1.0,
+            "cap factor must be in (0, 1], got {cap_factor}"
+        );
+        self.servers[col].utility = utility;
+        let scaled: Vec<ServerProfile> = self
+            .servers
+            .iter()
+            .map(|s| ServerProfile {
+                label: s.label.clone(),
+                utility: s.utility.clone(),
+                power_cap: s.power_cap * cap_factor,
+                peak_load: s.peak_load,
+            })
+            .collect();
+        let delta = self
+            .builder
+            .rebuild_columns(&self.be_apps, &scaled, &[col], &plan.matrix)?;
+        plan.apply_delta(&delta)
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +642,34 @@ mod tests {
             .unwrap();
         assert!(kept.is_empty());
         assert_eq!(plan2.assignment().pairs, kept_pairs);
+    }
+
+    #[test]
+    fn refit_replan_swaps_one_column_and_repairs() {
+        let mut mgr = manager();
+        let mut plan = mgr.plan_sparse(1e-3).unwrap();
+        let incumbent = plan.assignment().clone();
+        // Re-adopting the same model changes no estimates, so the repair
+        // must keep the incumbent and move nothing.
+        let same = mgr.servers()[1].utility.clone();
+        let none = mgr.replan_after_refit(&mut plan, 1, same, 1.0).unwrap();
+        assert!(none.is_empty(), "unchanged model migrated: {none:?}");
+        assert_eq!(plan.assignment().pairs, incumbent.pairs);
+        // A genuinely different model (another server's fit) dirties only
+        // that column; intents, if any, are the pair diff.
+        let other = mgr.servers()[2].utility.clone();
+        let intents = mgr.replan_after_refit(&mut plan, 1, other, 0.7).unwrap();
+        assert_eq!(intents, migration_diff(&incumbent, plan.assignment()));
+        assert!(plan.solution().stats.dirty_rows <= mgr.be_apps().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn refit_replan_rejects_bad_column() {
+        let mut mgr = manager();
+        let mut plan = mgr.plan_sparse(1e-3).unwrap();
+        let u = mgr.servers()[0].utility.clone();
+        let _ = mgr.replan_after_refit(&mut plan, 99, u, 1.0);
     }
 
     #[test]

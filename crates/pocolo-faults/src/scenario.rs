@@ -18,11 +18,21 @@ pub enum Scenario {
     /// Everything at once: brownout, a crash, a cluster-wide telemetry
     /// dropout, and model drift.
     Chaos,
+    /// Traffic surprise and power fault simultaneously: a mid-run
+    /// brownout window timed to overlap a flash-crowd peak (the
+    /// `pocolo-traffic` flashcrowd mix ramps around 30 % of the run),
+    /// with model drift as the crowd's request profile shifts.
+    Surge,
 }
 
 impl Scenario {
     /// All named scenarios, in display order.
-    pub const ALL: [Scenario; 3] = [Scenario::Brownout, Scenario::Crash, Scenario::Chaos];
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Brownout,
+        Scenario::Crash,
+        Scenario::Chaos,
+        Scenario::Surge,
+    ];
 
     /// The scenario's CLI name.
     pub fn name(&self) -> &'static str {
@@ -30,6 +40,7 @@ impl Scenario {
             Scenario::Brownout => "brownout",
             Scenario::Crash => "crash",
             Scenario::Chaos => "chaos",
+            Scenario::Surge => "surge",
         }
     }
 
@@ -54,6 +65,7 @@ impl Scenario {
             Scenario::Brownout => 0xB0u64,
             Scenario::Crash => 0xC4,
             Scenario::Chaos => 0xCA,
+            Scenario::Surge => 0x5E,
         };
         let mut rng = StdRng::seed_from_u64(seed ^ (tag << 56));
         let d = duration_s;
@@ -76,6 +88,16 @@ impl Scenario {
                     .with_telemetry_dropout(None, 0.65 * d, 0.20 * d)
                     .with_model_drift(None, 0.50 * d, drift)
             }
+            Scenario::Surge => {
+                // The window sits over the flashcrowd mix's ramp+hold
+                // (~30-70 % of the run), so the power shortfall lands
+                // while demand is at its peak.
+                let factor = rng.gen_range(0.58..0.72);
+                let drift = rng.gen_range(0.15..0.30);
+                FaultPlan::new(seed)
+                    .with_brownout(0.32 * d, 0.38 * d, factor)
+                    .with_model_drift(None, 0.32 * d, drift)
+            }
         }
     }
 }
@@ -95,7 +117,7 @@ impl FromStr for Scenario {
             .copied()
             .find(|sc| sc.name() == s)
             .ok_or_else(|| {
-                format!("unknown fault scenario {s:?} (expected brownout | crash | chaos)")
+                format!("unknown fault scenario {s:?} (expected brownout | crash | chaos | surge)")
             })
     }
 }
@@ -217,6 +239,27 @@ mod tests {
         assert!(has(|k| matches!(k, FaultKind::ServerCrash { .. })));
         assert!(has(|k| matches!(k, FaultKind::TelemetryFreezeStart { .. })));
         assert!(has(|k| matches!(k, FaultKind::ModelDrift { .. })));
+    }
+
+    #[test]
+    fn surge_overlaps_brownout_with_drift() {
+        let plan = Scenario::Surge.plan(7, 100.0, 4);
+        let has = |pred: fn(&FaultKind) -> bool| plan.events().iter().any(|e| pred(&e.kind));
+        assert!(has(|k| matches!(k, FaultKind::BrownoutStart { .. })));
+        assert!(has(|k| matches!(k, FaultKind::BrownoutEnd)));
+        assert!(has(|k| matches!(k, FaultKind::ModelDrift { .. })));
+        assert!(!has(|k| matches!(k, FaultKind::ServerCrash { .. })));
+        // The brownout window covers the flash-crowd hold: starts in
+        // [0.32, 0.33) of the run and stretches well past the midpoint.
+        let start = plan.events()[0].at_s;
+        assert!((31.0..34.0).contains(&start), "start {start}");
+        let end = plan
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::BrownoutEnd))
+            .unwrap()
+            .at_s;
+        assert!(end > 60.0, "end {end}");
     }
 
     #[test]

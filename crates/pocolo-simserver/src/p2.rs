@@ -140,13 +140,16 @@ impl P2Quantile {
             + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
-    /// Current estimate, or `None` before any sample arrives. With fewer
-    /// than five samples the exact small-sample quantile is returned.
+    /// Current estimate, or `None` before any sample arrives. With five or
+    /// fewer samples the exact sorted-sample quantile is returned — the
+    /// marker heights are only initial positions until the first P²
+    /// adjustment runs, so reporting the middle marker at exactly five
+    /// samples would answer every `q` with the median.
     pub fn estimate(&self) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
-        if self.initial.len() < 5 {
+        if self.count <= 5 {
             let mut sorted = self.initial.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             return Some(crate::telemetry::percentile_of_sorted(&sorted, self.q));
@@ -214,6 +217,70 @@ mod tests {
         est.observe(2.0);
         assert_eq!(est.estimate(), Some(2.0));
         assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn small_sample_matches_exact_quantiles() {
+        // Regression for the n < 5-marker regime: before the P² markers
+        // exist, every estimate must equal the exact quantile of the
+        // sorted samples seen so far — across the whole q range, for
+        // every prefix length, regardless of arrival order.
+        let stream = [7.5, -2.0, 31.0, 0.25];
+        for q in [0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let mut est = P2Quantile::new(q);
+            assert_eq!(est.estimate(), None);
+            for n in 1..=stream.len() {
+                est.observe(stream[n - 1]);
+                let mut prefix = stream[..n].to_vec();
+                let exact = exact_quantile(&mut prefix, q);
+                let got = est.estimate().unwrap();
+                assert!(
+                    (got - exact).abs() < 1e-12,
+                    "q={q} n={n}: estimate {got} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fifth_sample_stays_exact() {
+        // Regression: at exactly five samples the estimator used to
+        // report its middle marker — the median — for every quantile. The
+        // exact path must hold until a sixth sample lets P² adjust.
+        let stream = [10.0, 20.0, 30.0, 40.0, 50.0];
+        for q in [0.05, 0.5, 0.99] {
+            let mut est = P2Quantile::new(q);
+            for x in stream {
+                est.observe(x);
+            }
+            let mut all = stream.to_vec();
+            let exact = exact_quantile(&mut all, q);
+            let got = est.estimate().unwrap();
+            assert!(
+                (got - exact).abs() < 1e-12,
+                "q={q} at n=5: estimate {got} vs exact {exact}"
+            );
+        }
+        // In particular p99 of five samples is near the max, not the
+        // median.
+        let mut est = P2Quantile::new(0.99);
+        for x in stream {
+            est.observe(x);
+        }
+        assert!(est.estimate().unwrap() > 49.0);
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_pad_the_small_sample_window() {
+        // NaN/inf are skipped entirely: they must not advance the count
+        // toward the P² regime nor perturb the exact estimates.
+        let mut est = P2Quantile::new(0.5);
+        est.observe(f64::NAN);
+        est.observe(1.0);
+        est.observe(f64::INFINITY);
+        est.observe(3.0);
+        assert_eq!(est.count(), 2);
+        assert_eq!(est.estimate(), Some(2.0));
     }
 
     #[test]

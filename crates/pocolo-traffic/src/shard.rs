@@ -1,0 +1,356 @@
+//! Sharded open-loop request generation with a deterministic merge.
+//!
+//! # The shard/merge contract
+//!
+//! Generation is defined over [`LOGICAL_STREAMS`] fixed *logical streams*,
+//! not over shards. Stream `s` at tick `k` owns its own RNG, seeded purely
+//! from `(seed, s, k)` — never from which shard ran it, never from the
+//! previous tick. A run with `n` shards hands stream `s` to shard
+//! `s mod n` and merges the per-stream sub-batches back in stream order,
+//! so the merged batch is **bit-identical for every shard count** — the
+//! same contract [`pocolo_sim::parallel::map`] gives the experiment
+//! pipeline, witnessed here by [`RequestBatch::digest`].
+//!
+//! Per-stream work is fanned out through `parallel::map` itself, so the
+//! execution knobs compose: `--shards` fixes the deterministic
+//! decomposition, `--parallelism` fixes how many OS threads run it.
+
+use pocolo_sim::parallel::{self, Parallelism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::batch::RequestBatch;
+use crate::mix::{TrafficMix, REGIONS};
+
+/// Fixed number of logical RNG streams requests are drawn from. Shard
+/// counts that do not divide it are fine; counts above it leave shards
+/// idle.
+pub const LOGICAL_STREAMS: usize = 64;
+
+/// Golden-ratio multiplier decorrelating `(stream, tick)` seed indices.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Everything a tick's generation needs, precomputed once per tick and
+/// shared read-only across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickShape {
+    /// Cluster-wide arrival rate this tick, requests/second.
+    pub rate_rps: f64,
+    /// Cumulative region distribution (last element = 1).
+    pub region_cum: [f64; REGIONS],
+    /// Cumulative LC-slot distribution (last element = 1).
+    pub slot_cum: Vec<f64>,
+}
+
+/// The sharded open-loop request generator.
+#[derive(Debug, Clone)]
+pub struct TrafficGen {
+    mix: TrafficMix,
+    seed: u64,
+    users: u64,
+    rps_per_user: f64,
+    tick_s: f64,
+    /// Peak request rate of each LC slot (requests/s); the base share of
+    /// traffic a slot attracts is proportional to its peak.
+    slot_peaks: Vec<f64>,
+    /// Home region per slot (slot `i` serves region `i mod REGIONS`).
+    slot_region: Vec<usize>,
+}
+
+impl TrafficGen {
+    /// A generator for `users` simulated users each issuing up to
+    /// `rps_per_user` requests/second at full demand, split across LC
+    /// slots proportionally to `slot_peaks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users`, `rps_per_user` or `tick_s` is not positive, if
+    /// `slot_peaks` is empty, holds a non-positive peak, or has more than
+    /// `u16::MAX` slots.
+    pub fn new(
+        mix: TrafficMix,
+        seed: u64,
+        users: u64,
+        rps_per_user: f64,
+        tick_s: f64,
+        slot_peaks: &[f64],
+    ) -> Self {
+        assert!(users > 0, "need at least one user");
+        assert!(
+            rps_per_user.is_finite() && rps_per_user > 0.0,
+            "per-user rate must be positive"
+        );
+        assert!(
+            tick_s.is_finite() && tick_s > 0.0,
+            "tick length must be positive"
+        );
+        assert!(!slot_peaks.is_empty(), "need at least one LC slot");
+        assert!(
+            slot_peaks.len() <= usize::from(u16::MAX),
+            "slot ids are u16"
+        );
+        assert!(
+            slot_peaks.iter().all(|&p| p.is_finite() && p > 0.0),
+            "slot peaks must be positive"
+        );
+        let slot_region = (0..slot_peaks.len()).map(|i| i % REGIONS).collect();
+        TrafficGen {
+            mix,
+            seed,
+            users,
+            rps_per_user,
+            tick_s,
+            slot_peaks: slot_peaks.to_vec(),
+            slot_region,
+        }
+    }
+
+    /// The mix driving the generator.
+    pub fn mix(&self) -> &TrafficMix {
+        &self.mix
+    }
+
+    /// Simulated users.
+    pub fn users(&self) -> u64 {
+        self.users
+    }
+
+    /// Tick length, seconds.
+    pub fn tick_s(&self) -> f64 {
+        self.tick_s
+    }
+
+    /// Number of LC slots traffic is split over.
+    pub fn n_slots(&self) -> usize {
+        self.slot_peaks.len()
+    }
+
+    /// Expected requests in tick `tick_idx` (the analytic Poisson mean).
+    pub fn expected_requests(&self, tick_idx: u64) -> f64 {
+        self.shape_at(tick_idx).rate_rps * self.tick_s
+    }
+
+    /// Precomputes the tick's arrival rate and sampling distributions:
+    /// cluster rate from the mix multiplier, region weights from skew and
+    /// flash crowds, and slot weights as `peak share × home-region heat`.
+    pub fn shape_at(&self, tick_idx: u64) -> TickShape {
+        let t = tick_idx as f64 * self.tick_s;
+        let rate_rps = self.users as f64 * self.rps_per_user * self.mix.rate_multiplier_at(t);
+        let region_w = self.mix.region_weights_at(t);
+
+        let mut region_cum = [0.0f64; REGIONS];
+        let mut acc = 0.0;
+        for (cum, &w) in region_cum.iter_mut().zip(&region_w) {
+            acc += w;
+            *cum = acc;
+        }
+        region_cum[REGIONS - 1] = 1.0;
+
+        let weights: Vec<f64> = self
+            .slot_peaks
+            .iter()
+            .zip(&self.slot_region)
+            .map(|(&peak, &region)| peak * region_w[region] * REGIONS as f64)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut slot_cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            slot_cum.push(acc);
+        }
+        *slot_cum.last_mut().expect("at least one slot") = 1.0;
+
+        TickShape {
+            rate_rps,
+            region_cum,
+            slot_cum,
+        }
+    }
+
+    /// Generates tick `tick_idx` split over `shards` shards, fanned out
+    /// with `parallelism`, and returns the merged batch. Bit-identical for
+    /// every `(shards, parallelism)` combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn tick(&self, tick_idx: u64, shards: usize, parallelism: Parallelism) -> RequestBatch {
+        assert!(shards > 0, "need at least one shard");
+        let shape = self.shape_at(tick_idx);
+        let per_shard: Vec<Vec<RequestBatch>> = parallel::map(
+            parallelism,
+            (0..shards).collect(),
+            |shard: usize| -> Vec<RequestBatch> {
+                (shard..LOGICAL_STREAMS)
+                    .step_by(shards)
+                    .map(|stream| self.gen_stream(stream, tick_idx, &shape))
+                    .collect()
+            },
+        );
+        let total: usize = per_shard.iter().flatten().map(RequestBatch::len).sum();
+        let mut merged = RequestBatch::with_capacity(total);
+        for stream in 0..LOGICAL_STREAMS {
+            merged.append(&per_shard[stream % shards][stream / shards]);
+        }
+        merged
+    }
+
+    /// Generates one logical stream's sub-batch for one tick. The RNG is
+    /// seeded purely from `(seed, stream, tick_idx)` — shard-count and
+    /// history independent by construction.
+    fn gen_stream(&self, stream: usize, tick_idx: u64, shape: &TickShape) -> RequestBatch {
+        let index = tick_idx
+            .wrapping_mul(LOGICAL_STREAMS as u64)
+            .wrapping_add(stream as u64);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(SEED_MIX));
+        let lambda = shape.rate_rps * self.tick_s / LOGICAL_STREAMS as f64;
+        let n = poisson(&mut rng, lambda);
+        let tick_us = (self.tick_s * 1e6) as u32;
+        let mut batch = RequestBatch::with_capacity(n);
+        for _ in 0..n {
+            let arrival = rng.gen_range(0..tick_us.max(1));
+            let region = cum_pick(&shape.region_cum, rng.gen_range(0.0..1.0)) as u8;
+            let slot = cum_pick(&shape.slot_cum, rng.gen_range(0.0..1.0)) as u16;
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let work = (-(1.0 - u).ln()) as f32; // Exp(1): mean-1 work factor
+            batch.push(arrival, slot, region, work);
+        }
+        batch
+    }
+}
+
+/// Index of the first cumulative weight exceeding `u` (linear scan — slot
+/// and region counts are single digits, so this beats a binary search).
+fn cum_pick(cum: &[f64], u: f64) -> usize {
+    cum.iter().position(|&c| u < c).unwrap_or(cum.len() - 1)
+}
+
+/// A Poisson draw with mean `lambda`: Knuth's product method for small
+/// means, a continuity-corrected normal approximation (Irwin–Hall sum of
+/// 12 uniforms) for large ones, where the relative error is far below the
+/// sampling noise.
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 32.0 {
+        let limit = (-lambda).exp();
+        let mut k = 0usize;
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        while product > limit {
+            k += 1;
+            product *= rng.gen_range(0.0..1.0);
+        }
+        k
+    } else {
+        let z: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+        (lambda + lambda.sqrt() * z + 0.5).max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::MixKind;
+
+    fn gen(kind: MixKind, seed: u64, users: u64) -> TrafficGen {
+        let mix = TrafficMix::plan(kind, seed, 60.0);
+        TrafficGen::new(mix, seed, users, 2.0, 1.0, &[3500.0, 10.0, 4000.0, 8000.0])
+    }
+
+    #[test]
+    fn merge_is_shard_count_invariant() {
+        let g = gen(MixKind::FlashCrowd, 7, 50_000);
+        let reference = g.tick(3, 1, Parallelism::Serial);
+        for shards in [2, 3, 8, 64, 100] {
+            let got = g.tick(3, shards, Parallelism::Serial);
+            assert_eq!(got.digest(), reference.digest(), "{shards} shards diverged");
+            assert_eq!(got, reference, "{shards} shards diverged beyond digest");
+        }
+    }
+
+    #[test]
+    fn parallelism_does_not_change_the_batch() {
+        let g = gen(MixKind::Diurnal, 3, 30_000);
+        let serial = g.tick(1, 8, Parallelism::Serial);
+        let fixed = g.tick(1, 8, Parallelism::Fixed(4));
+        assert_eq!(serial, fixed);
+    }
+
+    #[test]
+    fn ticks_and_seeds_decorrelate() {
+        let g = gen(MixKind::Steady, 1, 20_000);
+        assert_ne!(
+            g.tick(0, 1, Parallelism::Serial).digest(),
+            g.tick(1, 1, Parallelism::Serial).digest()
+        );
+        let g2 = gen(MixKind::Steady, 2, 20_000);
+        assert_ne!(
+            g.tick(0, 1, Parallelism::Serial).digest(),
+            g2.tick(0, 1, Parallelism::Serial).digest()
+        );
+    }
+
+    #[test]
+    fn arrival_count_tracks_the_analytic_rate() {
+        let g = gen(MixKind::Steady, 5, 200_000);
+        let expected = g.expected_requests(0);
+        let got = g.tick(0, 4, Parallelism::Serial).len() as f64;
+        // Poisson sd is sqrt(mean); allow 6 sigma.
+        let tol = 6.0 * expected.sqrt();
+        assert!(
+            (got - expected).abs() < tol,
+            "count {got} vs analytic {expected} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn slot_counts_follow_peak_shares() {
+        let g = gen(MixKind::Steady, 9, 300_000);
+        let batch = g.tick(0, 2, Parallelism::Serial);
+        let counts = batch.slot_counts(4);
+        let total: u64 = counts.iter().sum();
+        // tpcc (peak 8000) must dominate sphinx (peak 10) by orders of
+        // magnitude; shares only approximate because of regional skew.
+        assert!(counts[3] > counts[1] * 100, "{counts:?}");
+        assert_eq!(total, batch.len() as u64);
+    }
+
+    #[test]
+    fn arrival_offsets_stay_inside_the_tick() {
+        let g = gen(MixKind::Regional, 11, 10_000);
+        let batch = g.tick(2, 8, Parallelism::Serial);
+        assert!(batch.arrival_us().iter().all(|&a| a < 1_000_000));
+        assert!(batch.work().iter().all(|&w| w >= 0.0 && w.is_finite()));
+    }
+
+    #[test]
+    fn poisson_small_and_large_means_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small: usize = (0..4000).map(|_| poisson(&mut rng, 3.0)).sum();
+        let mean_small = small as f64 / 4000.0;
+        assert!((mean_small - 3.0).abs() < 0.15, "small mean {mean_small}");
+        let large: usize = (0..400).map(|_| poisson(&mut rng, 50_000.0)).sum();
+        let mean_large = large as f64 / 400.0;
+        assert!(
+            (mean_large - 50_000.0).abs() < 100.0,
+            "large mean {mean_large}"
+        );
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let g = gen(MixKind::Steady, 1, 100);
+        let _ = g.tick(0, 0, Parallelism::Serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot peaks must be positive")]
+    fn bad_peaks_panic() {
+        let mix = TrafficMix::plan(MixKind::Steady, 1, 10.0);
+        let _ = TrafficGen::new(mix, 1, 10, 1.0, 1.0, &[100.0, 0.0]);
+    }
+}

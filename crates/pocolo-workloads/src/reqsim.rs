@@ -31,12 +31,19 @@ pub struct LatencyStats {
 
 /// An M/M/1 FIFO queue simulated at the request level.
 ///
+/// The simulation is **deterministic in the seed**: two sims built with
+/// the same `(service_rate, seed)` produce bit-identical statistics for
+/// the same `run` arguments, so measured latencies are reproducible
+/// across runs, threads and machines.
+///
 /// ```
 /// use pocolo_workloads::reqsim::Mm1Sim;
 /// let sim = Mm1Sim::new(1000.0, 7); // 1000 req/s service rate
 /// let stats = sim.run(500.0, 50_000); // offered load 500 req/s (ρ = 0.5)
 /// // M/M/1: mean response = 1/(μ−λ) = 2 ms.
 /// assert!((stats.mean - 0.002).abs() < 0.0004);
+/// // Same seed, same run arguments: bit-identical statistics.
+/// assert_eq!(stats, Mm1Sim::new(1000.0, 7).run(500.0, 50_000));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mm1Sim {
@@ -117,6 +124,144 @@ impl Mm1Sim {
             p95: q95.estimate().unwrap_or(0.0),
             p99: q99.estimate().unwrap_or(0.0),
             utilization: (busy_time / clock).min(1.0),
+        }
+    }
+
+    /// Batch-arrival constructor: a stateful [`Mm1Queue`] with this sim's
+    /// service rate and seed, for callers (like `pocolo-traffic`'s
+    /// per-slot queues) that feed arrivals tick by tick instead of as one
+    /// closed run.
+    pub fn batch_queue(&self) -> Mm1Queue {
+        Mm1Queue::new(self.service_rate, self.seed)
+    }
+}
+
+/// Per-tick statistics from [`Mm1Queue::step_batch`], in the same time
+/// unit as the service rate's inverse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickStats {
+    /// Arrivals simulated this tick.
+    pub arrivals: usize,
+    /// Mean response time this tick.
+    pub mean: f64,
+    /// 99th percentile response time this tick (exact below five samples,
+    /// P² estimate above).
+    pub p99: f64,
+    /// Busy fraction of the tick.
+    pub utilization: f64,
+}
+
+impl TickStats {
+    fn idle(arrivals: usize) -> Self {
+        TickStats {
+            arrivals,
+            mean: 0.0,
+            p99: 0.0,
+            utilization: 0.0,
+        }
+    }
+}
+
+/// A stateful M/M/1 queue advanced in per-tick arrival batches.
+///
+/// Unlike [`Mm1Sim::run`] — one closed experiment over a fixed request
+/// count — a `Mm1Queue` carries its backlog (the Lindley waiting time)
+/// across ticks and lets the service rate be retuned between ticks, which
+/// is exactly what a traffic engine needs when allocations (and therefore
+/// capacity) change while requests keep arriving. The same seed contract
+/// holds: identical `(service_rate, seed)` and identical tick sequences
+/// produce bit-identical statistics.
+///
+/// ```
+/// use pocolo_workloads::reqsim::Mm1Sim;
+/// let mut q = Mm1Sim::new(1000.0, 7).batch_queue();
+/// let stats = q.step_batch(500, 1.0); // 500 arrivals in a 1 s tick
+/// assert!(stats.utilization > 0.4 && stats.utilization < 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mm1Queue {
+    service_rate: f64,
+    rng: StdRng,
+    /// Lindley waiting time carried across ticks (the backlog).
+    wait: f64,
+}
+
+impl Mm1Queue {
+    /// A queue with exponential service at `service_rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `service_rate` is positive and finite.
+    pub fn new(service_rate: f64, seed: u64) -> Self {
+        assert!(
+            service_rate.is_finite() && service_rate > 0.0,
+            "service rate must be positive"
+        );
+        Mm1Queue {
+            service_rate,
+            rng: StdRng::seed_from_u64(seed),
+            wait: 0.0,
+        }
+    }
+
+    /// The current service rate.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Retunes the service rate (a reallocation between ticks); backlog is
+    /// preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `service_rate` is positive and finite.
+    pub fn set_service_rate(&mut self, service_rate: f64) {
+        assert!(
+            service_rate.is_finite() && service_rate > 0.0,
+            "service rate must be positive"
+        );
+        self.service_rate = service_rate;
+    }
+
+    /// The waiting time the next arrival would experience (seconds) — the
+    /// backlog carried from previous ticks.
+    pub fn backlog_s(&self) -> f64 {
+        self.wait
+    }
+
+    /// Simulates one tick of `dt` seconds with `arrivals` Poisson arrivals
+    /// (Lindley's recursion, per-tick P² p99). A tick with zero arrivals
+    /// drains backlog at the service head for `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt` is positive and finite.
+    pub fn step_batch(&mut self, arrivals: usize, dt: f64) -> TickStats {
+        assert!(dt.is_finite() && dt > 0.0, "tick length must be positive");
+        if arrivals == 0 {
+            self.wait = (self.wait - dt).max(0.0);
+            return TickStats::idle(0);
+        }
+        let arrival_rate = arrivals as f64 / dt;
+        let mut q99 = P2Quantile::new(0.99);
+        let mut sum = 0.0f64;
+        let mut busy = 0.0f64;
+        for _ in 0..arrivals {
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let interarrival = -u.ln() / arrival_rate;
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let service = -u.ln() / self.service_rate;
+            let response = self.wait + service;
+            self.wait = (self.wait + service - interarrival).max(0.0);
+            busy += service;
+            sum += response;
+            q99.observe(response);
+        }
+        TickStats {
+            arrivals,
+            mean: sum / arrivals as f64,
+            p99: q99.estimate().unwrap_or(0.0),
+            utilization: (busy / dt).min(1.0),
         }
     }
 }
@@ -211,6 +356,108 @@ mod tests {
         assert_eq!(a, b);
         let c = Mm1Sim::new(100.0, 10).run(50.0, 10_000);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_queue_matches_closed_form_at_steady_state() {
+        // Feeding the same offered load tick after tick must reproduce the
+        // M/M/1 mean response 1/(μ−λ) once warm.
+        let mut q = Mm1Sim::new(100.0, 11).batch_queue();
+        let mut sum = 0.0;
+        let mut ticks = 0;
+        for tick in 0..200 {
+            let stats = q.step_batch(50, 1.0); // rho = 0.5
+            if tick >= 20 {
+                sum += stats.mean;
+                ticks += 1;
+            }
+        }
+        let mean = sum / ticks as f64;
+        let expected = 1.0 / (100.0 - 50.0);
+        assert!(
+            (mean - expected).abs() / expected < 0.10,
+            "steady-state mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn batch_queue_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut q = Mm1Queue::new(200.0, seed);
+            (0..20).map(|_| q.step_batch(120, 1.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn idle_tick_drains_backlog() {
+        let mut q = Mm1Queue::new(10.0, 3);
+        // Overload builds a real backlog...
+        q.step_batch(100, 1.0);
+        let backlog = q.backlog_s();
+        assert!(backlog > 1.0, "overload should queue up, got {backlog}");
+        // ...which idle ticks drain at the service head.
+        let stats = q.step_batch(0, 1.0);
+        assert_eq!(stats, TickStats::idle(0));
+        assert!((q.backlog_s() - (backlog - 1.0)).abs() < 1e-12);
+        while q.backlog_s() > 0.0 {
+            q.step_batch(0, 10.0);
+        }
+        assert_eq!(q.backlog_s(), 0.0);
+    }
+
+    #[test]
+    fn retuning_service_rate_shifts_the_tail() {
+        let mut fast = Mm1Queue::new(100.0, 7);
+        let mut slow = Mm1Queue::new(100.0, 7);
+        slow.set_service_rate(60.0);
+        assert_eq!(slow.service_rate(), 60.0);
+        let f = fast.step_batch(50, 1.0);
+        let s = slow.step_batch(50, 1.0);
+        assert!(
+            s.p99 > f.p99,
+            "slower service must lengthen the tail: {} vs {}",
+            s.p99,
+            f.p99
+        );
+        assert!(s.utilization > f.utilization);
+    }
+
+    #[test]
+    fn batch_queue_agrees_with_mm1sim_tail() {
+        // Same physics, different drivers: across many warm ticks the
+        // batch queue's p99 must match the closed run's.
+        let sim = Mm1Sim::new(100.0, 13);
+        let closed = sim.run(70.0, 300_000).p99;
+        let mut q = sim.batch_queue();
+        let mut sum = 0.0;
+        let mut ticks = 0;
+        for tick in 0..300 {
+            let stats = q.step_batch(700, 10.0); // rho = 0.7
+            if tick >= 30 {
+                sum += stats.p99;
+                ticks += 1;
+            }
+        }
+        let tail = sum / ticks as f64;
+        assert!(
+            (tail - closed).abs() / closed < 0.15,
+            "batch p99 {tail} vs closed-run p99 {closed}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "service rate must be positive")]
+    fn invalid_queue_rate_panics() {
+        let mut q = Mm1Queue::new(10.0, 0);
+        q.set_service_rate(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick length must be positive")]
+    fn invalid_tick_length_panics() {
+        let _ = Mm1Queue::new(10.0, 0).step_batch(5, 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | Cluster placement | [`cluster`] | Performance matrix, Hungarian / simplex-LP / exhaustive / random solvers |
 //! | Fault injection | [`faults`] | Seeded fault plans (brownouts, crashes, telemetry dropouts, model drift), eviction ordering, re-admission backoff |
 //! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience |
+//! | Traffic engine | [`traffic`] | Sharded million-user request synthesis (bit-identical at any shard count), composable mixes, online utility refit loop |
 //! | Distributed runtime | [`net`] | Length-prefixed JSON wire protocol over TCP, POM agent + POColo cluster daemons, heartbeat leases, loopback parity harness |
 //! | Cost analysis | [`tco`] | Hamilton-style amortized monthly TCO |
 //!
@@ -38,6 +39,7 @@ pub use pocolo_net as net;
 pub use pocolo_sim as sim;
 pub use pocolo_simserver as simserver;
 pub use pocolo_tco as tco;
+pub use pocolo_traffic as traffic;
 pub use pocolo_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.
@@ -74,6 +76,10 @@ pub mod prelude {
         CoreSet, MachineSpec, P2Quantile, SimServer, TenantAllocation, TenantRole, WayMask,
     };
     pub use pocolo_tco::{MonthlyCost, Scenario, TcoModel};
+    pub use pocolo_traffic::{
+        run_traffic, MixKind, RequestBatch, TrafficConfig, TrafficGen, TrafficMix, TrafficReport,
+        TrafficSpec,
+    };
     pub use pocolo_workloads::profiler::{profile_be, profile_lc, ProfilerConfig};
     pub use pocolo_workloads::{AppId, BeApp, BeModel, LcApp, LcModel, LoadTrace};
 }
