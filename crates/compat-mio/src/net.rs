@@ -1,0 +1,123 @@
+//! Nonblocking TCP wrappers registerable with [`crate::Poll`].
+//!
+//! Deviation from upstream mio: [`TcpStream::connect`] performs a
+//! blocking `std` connect and then flips the socket nonblocking
+//! (`std::net` exposes no in-progress connect without libc). Pocolo's
+//! reactor only accepts — its clients connect from plain blocking
+//! code — so nothing here waits on `is_writable` to finish a connect.
+
+use crate::{sys::Probe, Source};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr};
+use std::time::Duration;
+
+/// A nonblocking listener; `accept` returns `WouldBlock` when no
+/// connection is pending.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds and switches the listener nonblocking.
+    pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accepts one pending connection, returned already nonblocking.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        stream.set_nonblocking(true)?;
+        Ok((TcpStream { inner: stream }, addr))
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl Source for TcpListener {
+    #[cfg(unix)]
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        std::os::unix::io::AsRawFd::as_raw_fd(&self.inner)
+    }
+
+    fn probe(&self) -> io::Result<Probe> {
+        Ok(Probe::Listener)
+    }
+}
+
+/// A nonblocking stream; reads and writes return `WouldBlock` instead
+/// of blocking.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects (blocking — see module docs) then switches nonblocking.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        Self::from_std(std::net::TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a timeout, then switches nonblocking.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+        Self::from_std(std::net::TcpStream::connect_timeout(addr, timeout)?)
+    }
+
+    /// Wraps an already-connected std stream, switching it nonblocking.
+    pub fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// Disables (or re-enables) Nagle batching.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Shuts down one or both halves.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Source for TcpStream {
+    #[cfg(unix)]
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        std::os::unix::io::AsRawFd::as_raw_fd(&self.inner)
+    }
+
+    fn probe(&self) -> io::Result<Probe> {
+        Ok(Probe::Stream(self.inner.try_clone()?))
+    }
+}

@@ -1,0 +1,149 @@
+//! Backend selectors: raw-syscall epoll on Linux x86_64/aarch64, and a
+//! portable scan fallback everywhere (always compiled, reachable via
+//! `Poll::new_fallback` so it stays tested on epoll platforms).
+
+use crate::{Event, Interest, Source, Token};
+use std::io;
+use std::time::Duration;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod epoll;
+pub(crate) mod scan;
+
+/// Probe handle the scan fallback uses to test readiness without
+/// consuming data: a cloned socket it can `peek`, a listener it must
+/// report speculatively, or a source that is always ready.
+#[derive(Debug)]
+pub enum Probe {
+    /// A cloned, nonblocking stream socket; `peek` tests read readiness.
+    Stream(std::net::TcpStream),
+    /// A listener; cannot be probed without accepting, reported ready
+    /// on every scan pass (callers tolerate `WouldBlock` from accept).
+    Listener,
+    /// Always reported ready for the registered interest.
+    Always,
+}
+
+#[derive(Debug)]
+pub(crate) enum Selector {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Epoll(epoll::EpollSelector),
+    Scan(scan::ScanSelector),
+}
+
+#[derive(Debug)]
+pub(crate) enum WakerImpl {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Epoll(epoll::EventFdWaker),
+    Scan(scan::FlagWaker),
+}
+
+impl WakerImpl {
+    pub(crate) fn wake(&self) -> io::Result<()> {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            WakerImpl::Epoll(w) => w.wake(),
+            WakerImpl::Scan(w) => w.wake(),
+        }
+    }
+}
+
+impl Selector {
+    pub(crate) fn new() -> io::Result<Selector> {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            return Ok(Selector::Epoll(epoll::EpollSelector::new()?));
+        }
+        #[allow(unreachable_code)]
+        Self::new_fallback()
+    }
+
+    pub(crate) fn new_fallback() -> io::Result<Selector> {
+        Ok(Selector::Scan(scan::ScanSelector::new()))
+    }
+
+    pub(crate) fn register<S: Source>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Selector::Epoll(s) => s.register(source.raw_fd(), token, interest),
+            Selector::Scan(s) => s.register(source.probe()?, token, interest),
+        }
+    }
+
+    pub(crate) fn reregister<S: Source>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Selector::Epoll(s) => s.reregister(source.raw_fd(), token, interest),
+            Selector::Scan(s) => s.reregister(token, interest),
+        }
+    }
+
+    pub(crate) fn deregister<S: Source>(&self, source: &S, token: Token) -> io::Result<()> {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Selector::Epoll(s) => s.deregister(source.raw_fd(), token),
+            Selector::Scan(s) => s.deregister(token),
+        }
+    }
+
+    pub(crate) fn select(
+        &self,
+        events: &mut Vec<Event>,
+        cap: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Selector::Epoll(s) => s.select(events, cap, timeout),
+            Selector::Scan(s) => s.select(events, cap, timeout),
+        }
+    }
+
+    pub(crate) fn make_waker(&self, token: Token) -> io::Result<WakerImpl> {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Selector::Epoll(s) => Ok(WakerImpl::Epoll(s.make_waker(token)?)),
+            Selector::Scan(s) => Ok(WakerImpl::Scan(s.make_waker(token))),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Portable readiness fallback: no OS selector, just a bounded scan
+//! loop over cloned probe handles.
+//!
+//! Semantics (level-triggered, conservative):
+//! - streams are read-ready when a nonblocking `peek` returns data or
+//!   EOF; write readiness is reported optimistically (the caller's
+//!   nonblocking write discovers the truth and gets `WouldBlock`);
+//! - listeners are reported ready whenever the scan returns, since
+//!   accepting is the only probe — callers must tolerate `WouldBlock`;
+//! - wakers are shared `AtomicBool`s checked each pass, so wake latency
+//!   is bounded by the 1 ms scan slice rather than being instantaneous.
+
+use crate::{Event, Interest, Token};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::Probe;
+
+/// How long the scan sleeps between passes when nothing is ready.
+const SCAN_SLICE: Duration = Duration::from_millis(1);
+
+#[derive(Debug)]
+struct Entry {
+    probe: Probe,
+    interest: Interest,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    sources: HashMap<usize, Entry>,
+    wakers: Vec<(usize, Arc<AtomicBool>)>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ScanSelector {
+    state: Mutex<State>,
+}
+
+impl ScanSelector {
+    pub(crate) fn new() -> ScanSelector {
+        ScanSelector::default()
+    }
+
+    pub(crate) fn register(
+        &self,
+        probe: Probe,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        if st
+            .sources
+            .insert(token.0, Entry { probe, interest })
+            .is_some()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "token already registered",
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn reregister(&self, token: Token, interest: Interest) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        match st.sources.get_mut(&token.0) {
+            Some(entry) => {
+                entry.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "token not registered",
+            )),
+        }
+    }
+
+    pub(crate) fn deregister(&self, token: Token) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        match st.sources.remove(&token.0) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "token not registered",
+            )),
+        }
+    }
+
+    pub(crate) fn make_waker(&self, token: Token) -> FlagWaker {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.state
+            .lock()
+            .unwrap()
+            .wakers
+            .push((token.0, Arc::clone(&flag)));
+        FlagWaker { flag }
+    }
+
+    pub(crate) fn select(
+        &self,
+        events: &mut Vec<Event>,
+        cap: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let mut listener_tokens = Vec::new();
+            {
+                let st = self.state.lock().unwrap();
+                for (&token, flag) in st.wakers.iter().map(|(t, f)| (t, f)) {
+                    if flag.swap(false, Ordering::AcqRel) {
+                        events.push(Event::new(Token(token), true, false, false, false));
+                    }
+                }
+                for (&token, entry) in &st.sources {
+                    if events.len() >= cap {
+                        break;
+                    }
+                    match &entry.probe {
+                        Probe::Stream(s) => {
+                            let mut readable = false;
+                            let mut closed = false;
+                            let mut error = false;
+                            if entry.interest.is_readable() {
+                                let mut byte = [0u8; 1];
+                                match s.peek(&mut byte) {
+                                    Ok(0) => {
+                                        readable = true;
+                                        closed = true;
+                                    }
+                                    Ok(_) => readable = true,
+                                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                                    Err(_) => {
+                                        readable = true;
+                                        error = true;
+                                    }
+                                }
+                            }
+                            let writable = entry.interest.is_writable();
+                            if readable || writable {
+                                events.push(Event::new(
+                                    Token(token),
+                                    readable,
+                                    writable,
+                                    closed,
+                                    error,
+                                ));
+                            }
+                        }
+                        Probe::Listener => listener_tokens.push((token, entry.interest)),
+                        Probe::Always => {
+                            events.push(Event::new(
+                                Token(token),
+                                entry.interest.is_readable(),
+                                entry.interest.is_writable(),
+                                false,
+                                false,
+                            ));
+                        }
+                    }
+                }
+            }
+            let expired = deadline.map(|d| Instant::now() >= d).unwrap_or(false);
+            if !events.is_empty() || expired {
+                // Listeners ride along on every delivery (and on pure
+                // timeouts) so accepts are never starved; they never
+                // keep the loop spinning on their own.
+                for (token, interest) in listener_tokens {
+                    if events.len() >= cap {
+                        break;
+                    }
+                    if interest.is_readable() {
+                        events.push(Event::new(Token(token), true, false, false, false));
+                    }
+                }
+                return Ok(());
+            }
+            let nap = match deadline {
+                Some(d) => SCAN_SLICE.min(d.saturating_duration_since(Instant::now())),
+                None => SCAN_SLICE,
+            };
+            std::thread::sleep(nap);
+        }
+    }
+}
+
+/// An `AtomicBool` waker: `wake` sets the flag; the next scan pass
+/// (≤ 1 ms away) observes and clears it.
+#[derive(Debug)]
+pub(crate) struct FlagWaker {
+    flag: Arc<AtomicBool>,
+}
+
+impl FlagWaker {
+    pub(crate) fn wake(&self) -> io::Result<()> {
+        self.flag.store(true, Ordering::Release);
+        Ok(())
+    }
+}

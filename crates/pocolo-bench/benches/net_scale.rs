@@ -1,0 +1,78 @@
+//! Criterion harness over the reactor's hot paths. The standing JSON
+//! baseline (`BENCH_net.json`) comes from the `net_scale` *binary*,
+//! which measures whole fleets against a live daemon; this harness
+//! covers the per-operation costs those fleets are made of — frame
+//! reassembly off a fragmented byte stream and a full small-fleet
+//! register/heartbeat/complete pass — and keeps the scenarios compiling
+//! under `cargo bench --no-run`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pocolo::net::frame::encode_frame_str;
+use pocolo::net::swarm::{run_swarm, SwarmConfig};
+use pocolo::net::{ClusterConfig, Clusterd, FrameBuffer, RunSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A wire-realistic telemetry batch: 256 frames, concatenated as they
+/// would arrive on one socket.
+fn telemetry_stream() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for epoch in 0..256u64 {
+        let body = format!(
+            "{{\"v\":1,\"type\":\"telemetry\",\"server\":7,\"epoch\":{epoch},\
+             \"power_w\":83.25,\"slack\":0.125,\"be_throughput\":0.5}}"
+        );
+        bytes.extend_from_slice(&encode_frame_str(&body).expect("frame encodes"));
+    }
+    bytes
+}
+
+fn frame_reassembly(c: &mut Criterion) {
+    let stream = telemetry_stream();
+    let mut group = c.benchmark_group("frame_reassembly");
+    // The reactor pops raw payloads; chunked extends model fragmented
+    // reads off a nonblocking socket.
+    for &chunk in &[stream.len(), 1024, 64] {
+        group.bench_with_input(BenchmarkId::new("next_raw", chunk), &stream, |b, stream| {
+            b.iter(|| {
+                let mut buf = FrameBuffer::new();
+                let mut frames = 0usize;
+                for piece in stream.chunks(chunk) {
+                    buf.extend(piece);
+                    while let Some(payload) = buf.next_raw().expect("valid stream") {
+                        frames += black_box(payload).len().min(1);
+                    }
+                }
+                assert_eq!(frames, 256);
+                frames
+            })
+        });
+    }
+    group.finish();
+}
+
+fn swarm_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm_pass");
+    // One full fleet lifecycle against a live reactor daemon: connect,
+    // register, three closed-loop heartbeats, complete, drain.
+    group.bench_function("reactor_32_agents", |b| {
+        b.iter(|| {
+            let n = 32;
+            let seed = 0xBE9C;
+            let config = ClusterConfig::new(
+                "127.0.0.1:0".parse().expect("loopback literal"),
+                Duration::from_secs(30),
+                RunSpec::scale(n, seed),
+            );
+            let clusterd = Clusterd::spawn(config).expect("clusterd spawn");
+            let swarm = SwarmConfig::new(clusterd.local_addr(), n, 3, seed);
+            let report = run_swarm(&swarm).expect("swarm pass");
+            assert!(clusterd.wait_done(Duration::from_secs(30)));
+            black_box(report.rtts_us.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frame_reassembly, swarm_pass);
+criterion_main!(benches);

@@ -20,4 +20,5 @@
 pub mod assignment_scale;
 pub mod common;
 pub mod figures;
+pub mod net_scale;
 pub mod traffic_scale;

@@ -52,6 +52,14 @@ OPTIONS:
     --lease-ttl-ms <n> clusterd/demo-net heartbeat lease TTL  (default: 1000)
     --kill-agent       demo-net: kill one agent mid-run to exercise lease
                        expiry -> degraded fallback -> re-registration
+    --net-backend <b>  clusterd/demo-net transport: reactor | threads
+                       (default: reactor)
+    --agents <n>       demo-net: scale mode — run <n> swarm agents with
+                       synthetic telemetry against one daemon event loop
+    --heartbeats <n>   demo-net scale mode: telemetry frames per agent
+                       (default: 5)
+    --heartbeat-ms <n> demo-net scale mode: per-agent heartbeat pacing,
+                       0 = closed-loop                 (default: 1000)
     --json             machine-readable output";
 
 /// Parsed command line.
@@ -87,6 +95,14 @@ pub struct Options {
     pub lease_ttl_ms: u64,
     /// `--kill-agent` (demo-net failure-path exercise).
     pub kill_agent: bool,
+    /// `--net-backend` (clusterd/demo-net transport).
+    pub net_backend: String,
+    /// `--agents` (demo-net scale mode; 0 = classic parity demo).
+    pub agents: usize,
+    /// `--heartbeats` (demo-net scale mode telemetry frames per agent).
+    pub heartbeats: u64,
+    /// `--heartbeat-ms` (demo-net scale mode pacing; 0 = closed-loop).
+    pub heartbeat_ms: u64,
     /// `--traffic` (raw `<mix>[:<seed>]` spec).
     pub traffic: Option<String>,
     /// `--shards` (traffic generator shards).
@@ -126,6 +142,10 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         agent: None,
         lease_ttl_ms: 1000,
         kill_agent: false,
+        net_backend: "reactor".into(),
+        agents: 0,
+        heartbeats: 5,
+        heartbeat_ms: 1000,
         traffic: None,
         shards: 1,
         users: 1_000_000,
@@ -219,6 +239,36 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--kill-agent" => opts.kill_agent = true,
+            "--net-backend" => {
+                opts.net_backend = it
+                    .next()
+                    .ok_or_else(|| "--net-backend needs a value".to_string())?
+                    .clone()
+            }
+            "--agents" => {
+                opts.agents = it
+                    .next()
+                    .ok_or_else(|| "--agents needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--agents: {e}"))?;
+                if opts.agents == 0 {
+                    return Err("--agents must be positive".into());
+                }
+            }
+            "--heartbeats" => {
+                opts.heartbeats = it
+                    .next()
+                    .ok_or_else(|| "--heartbeats needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--heartbeats: {e}"))?
+            }
+            "--heartbeat-ms" => {
+                opts.heartbeat_ms = it
+                    .next()
+                    .ok_or_else(|| "--heartbeat-ms needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?
+            }
             "--traffic" => {
                 opts.traffic = Some(
                     it.next()
@@ -541,6 +591,10 @@ fn cmd_simulate(opts: &Options) -> Result<String, String> {
     Ok(format_result(&result, &config, opts.json))
 }
 
+fn net_backend_of(opts: &Options) -> Result<pocolo::net::NetBackend, String> {
+    opts.net_backend.parse()
+}
+
 fn cmd_clusterd(opts: &Options) -> Result<String, String> {
     use pocolo::net::{default_fit, ClusterConfig, Clusterd, RunSpec};
     let policy = policy_of(opts)?;
@@ -551,12 +605,13 @@ fn cmd_clusterd(opts: &Options) -> Result<String, String> {
         .map_err(|e| format!("--listen {:?}: {e}", opts.listen))?;
     let fitted = default_fit();
     let run = RunSpec::plan(policy, &config, fitted);
-    let mut clusterd = Clusterd::spawn(ClusterConfig {
+    let mut cluster_config = ClusterConfig::new(
         listen,
-        lease_ttl: std::time::Duration::from_millis(opts.lease_ttl_ms),
+        std::time::Duration::from_millis(opts.lease_ttl_ms),
         run,
-    })
-    .map_err(|e| e.to_string())?;
+    );
+    cluster_config.backend = net_backend_of(opts)?;
+    let mut clusterd = Clusterd::spawn(cluster_config).map_err(|e| e.to_string())?;
     // Stderr so scripts capturing stdout still see only the result.
     eprintln!("clusterd listening on {}", clusterd.local_addr());
     let deadline = std::time::Duration::from_secs(24 * 3600);
@@ -608,12 +663,66 @@ fn cmd_agentd(opts: &Options) -> Result<String, String> {
     ))
 }
 
+fn cmd_demo_net_scale(opts: &Options) -> Result<String, String> {
+    use pocolo::net::{run_demo_scale, ScaleConfig};
+    let mut config = ScaleConfig::new(opts.agents, opts.heartbeats);
+    config.heartbeat_every = std::time::Duration::from_millis(opts.heartbeat_ms);
+    config.lease_ttl = std::time::Duration::from_millis(opts.lease_ttl_ms.max(
+        // A lease shorter than two heartbeats would expire mid-run by
+        // construction; scale mode sizes the default up instead of
+        // failing a healthy fleet.
+        3 * opts.heartbeat_ms.max(1),
+    ));
+    config.backend = net_backend_of(opts)?;
+    let report = run_demo_scale(&config).map_err(|e| e.to_string())?;
+    if !report.parity {
+        return Err("demo-net: scale run diverged from the timing-independent reference".into());
+    }
+    let completed = report.swarm.agents.iter().filter(|a| a.completed).count();
+    if completed != opts.agents {
+        return Err(format!(
+            "demo-net: only {completed}/{} agents completed",
+            opts.agents
+        ));
+    }
+    if opts.json {
+        return Ok(pocolo_json::to_string_pretty(&pocolo_json::json!({
+            "agents": opts.agents,
+            "heartbeats": opts.heartbeats,
+            "backend": opts.net_backend.clone(),
+            "parity": report.parity,
+            "connect_wall_s": report.swarm.connect_wall.as_secs_f64(),
+            "total_wall_s": report.swarm.total_wall.as_secs_f64(),
+            "rtt_p50_us": report.swarm.rtt_quantile_us(0.50),
+            "rtt_p99_us": report.swarm.rtt_quantile_us(0.99),
+        })));
+    }
+    Ok(format!(
+        "scale run verified: {} agents x {} heartbeats over {} backend\n  \
+         all connected in {:.2} s, finished in {:.2} s\n  \
+         telemetry RTT p50 {} us, p99 {} us ({} samples)\n  \
+         result matches the timing-independent reference bit-for-bit",
+        opts.agents,
+        opts.heartbeats,
+        opts.net_backend,
+        report.swarm.connect_wall.as_secs_f64(),
+        report.swarm.total_wall.as_secs_f64(),
+        report.swarm.rtt_quantile_us(0.50),
+        report.swarm.rtt_quantile_us(0.99),
+        report.swarm.rtts_us.len(),
+    ))
+}
+
 fn cmd_demo_net(opts: &Options) -> Result<String, String> {
     use pocolo::net::{run_demo, DemoConfig};
+    if opts.agents > 0 {
+        return cmd_demo_net_scale(opts);
+    }
     let policy = policy_of(opts)?;
     let experiment = experiment_of(opts)?;
     let mut config = DemoConfig::new(policy, experiment);
     config.lease_ttl = std::time::Duration::from_millis(opts.lease_ttl_ms);
+    config.backend = net_backend_of(opts)?;
     if opts.kill_agent {
         config.kill_after_epochs = Some(3);
     }

@@ -4,24 +4,47 @@
 //! The daemon is the passive side of the protocol: it solves the
 //! placement once (via [`RunSpec::plan`]), hands each registering agent
 //! a slot plus the full run spec, renews a slot's lease on every
-//! telemetry frame, and aggregates the final metrics. A reaper thread
-//! expires leases: a slot whose agent goes silent flips to *degraded*,
-//! and the next registration of that slot (same agent identity restarted,
-//! or a fresh one) is told to run the blind incremental-control fallback
-//! — the same degradation path the in-process resilience layer takes
-//! when telemetry cannot be trusted.
+//! telemetry frame, and aggregates the final metrics. A slot whose agent
+//! goes silent flips to *degraded*, and the next registration of that
+//! slot (same agent identity restarted, or a fresh one) is told to run
+//! the blind incremental-control fallback — the same degradation path
+//! the in-process resilience layer takes when telemetry cannot be
+//! trusted.
+//!
+//! Two transport backends share the registry and produce bit-identical
+//! wire behaviour:
+//!
+//! - [`NetBackend::Reactor`] (default): one event loop multiplexes every
+//!   connection ([`crate::reactor`]). Lease expiry rides the loop's
+//!   timer wheel (one lazy re-check chain per live lease, no scanning
+//!   reaper thread), telemetry acks for the current `cap_factor` are
+//!   encoded once and fanned out as cached bytes, the welcome frame
+//!   splices a cached run-spec serialization instead of re-encoding
+//!   ~100 KiB per registration, and a slot whose connection is dropped
+//!   for slow consumption is degraded on the spot.
+//! - [`NetBackend::Threads`]: the original thread-per-connection server
+//!   plus a sleeping reaper thread. Kept as the baseline the
+//!   `net_scale` bench compares against.
+//!
+//! Completion is edge-triggered either way: [`Clusterd::wait_done`]
+//! blocks on a condvar the final `Complete` notifies — no sleep-polling.
 
+use std::collections::{BTreeSet, HashMap};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pocolo_sim::experiment::{ExperimentResult, PairResult};
 use pocolo_sim::{ClusterSummary, Policy, ServerMetrics};
 
 use crate::error::NetError;
+use crate::frame::encode_frame_str;
+use crate::reactor::{
+    ConnId, Ctx, DisconnectReason, EventHandler, ReactorConfig, ReactorServer, Reply,
+};
 use crate::server::{Handler, Server};
-use crate::wire::{Message, RunSpec};
+use crate::wire::{Message, RunSpec, PROTOCOL_VERSION};
 
 /// Lease/registry state of one server slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +56,9 @@ pub enum SlotState {
         /// The owning agent's identity.
         agent: String,
     },
-    /// The lease expired (or the owner re-registered after dying): the
-    /// slot must be re-run under the degraded fallback controller.
+    /// The lease expired (or the owner re-registered after dying, or its
+    /// connection was cut for slow consumption): the slot must be re-run
+    /// under the degraded fallback controller.
     Degraded {
         /// The previous owner, if any.
         agent: Option<String>,
@@ -51,7 +75,19 @@ struct Slot {
     reregistrations: usize,
     /// The slot passed through Degraded at least once.
     was_degraded: bool,
+    /// A lease-expiry timer chain is pending on the reactor wheel.
+    lease_timer_armed: bool,
     metrics: Option<ServerMetrics>,
+}
+
+/// What a lease-expiry timer firing observed.
+enum LeaseCheck {
+    /// The lease was overdue; the slot is now degraded.
+    Expired,
+    /// The lease is current; check again after this long.
+    RecheckIn(Duration),
+    /// The slot is no longer live; the timer chain ends.
+    Settled,
 }
 
 #[derive(Debug)]
@@ -59,6 +95,16 @@ struct Registry {
     slots: Vec<Slot>,
     /// Live budget directive broadcast on every telemetry ack.
     cap_factor: f64,
+    /// agent identity → owned slot, for O(1) idempotent re-registration.
+    /// An agent owns at most one slot: its Live slot, or the Degraded
+    /// slot it may reclaim. Entries die when the slot completes or is
+    /// handed to a different agent.
+    owners: HashMap<String, usize>,
+    /// Vacant slot indices (BTreeSet: lowest-first hand-out is O(log n)).
+    vacant: BTreeSet<usize>,
+    /// Degraded slot indices, handed out once vacants are exhausted.
+    degraded: BTreeSet<usize>,
+    done_count: usize,
 }
 
 impl Registry {
@@ -70,10 +116,15 @@ impl Registry {
                     last_seen: Instant::now(),
                     reregistrations: 0,
                     was_degraded: false,
+                    lease_timer_armed: false,
                     metrics: None,
                 })
                 .collect(),
             cap_factor: 1.0,
+            owners: HashMap::new(),
+            vacant: (0..n).collect(),
+            degraded: BTreeSet::new(),
+            done_count: 0,
         }
     }
 
@@ -81,36 +132,45 @@ impl Registry {
         self.slots.iter().filter(|s| f(&s.state)).count()
     }
 
+    /// Flips a live slot to degraded, maintaining the index sets. The
+    /// previous owner keeps its claim (a restarted agent reclaims the
+    /// slot); `was_degraded` is recorded for the harness.
+    fn degrade(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        if let SlotState::Live { agent } = &slot.state {
+            slot.was_degraded = true;
+            slot.state = SlotState::Degraded {
+                agent: Some(agent.clone()),
+            };
+            self.degraded.insert(idx);
+        }
+    }
+
     /// Assigns a slot to `agent`: their previous slot if they ever held
     /// one (idempotent re-registration), else the lowest slot that is
     /// vacant or degraded. Returns `(server, degraded)`.
     fn assign(&mut self, agent: &str) -> Option<(usize, bool)> {
-        let owned = self.slots.iter().position(|s| match &s.state {
-            SlotState::Live { agent: a } => a == agent,
-            SlotState::Degraded { agent: a } => a.as_deref() == Some(agent),
-            _ => false,
-        });
-        let (idx, rejoin) = match owned {
+        let (idx, rejoin) = match self.owners.get(agent) {
             // A re-register of a live or degraded slot means the agent
             // died and restarted: the partial run is unobservable, so the
             // slot re-runs under the degraded fallback.
-            Some(idx) => (idx, true),
-            None => {
-                let vacant = self
-                    .slots
-                    .iter()
-                    .position(|s| matches!(s.state, SlotState::Vacant))
-                    .or_else(|| {
-                        self.slots
-                            .iter()
-                            .position(|s| matches!(s.state, SlotState::Degraded { .. }))
-                    })?;
-                (
-                    vacant,
-                    matches!(self.slots[vacant].state, SlotState::Degraded { .. }),
-                )
-            }
+            Some(&idx) => (idx, true),
+            None => match self.vacant.pop_first() {
+                Some(idx) => (idx, false),
+                None => {
+                    let idx = self.degraded.pop_first()?;
+                    // The slot changes hands: the previous owner loses
+                    // its reclaim.
+                    if let SlotState::Degraded { agent: Some(prev) } = &self.slots[idx].state {
+                        self.owners.remove(prev);
+                    }
+                    (idx, true)
+                }
+            },
         };
+        // The owned path may hand back a slot still sitting in the
+        // degraded set (rejoin after lease expiry).
+        self.degraded.remove(&idx);
         let slot = &mut self.slots[idx];
         if rejoin {
             slot.reregistrations += 1;
@@ -120,6 +180,7 @@ impl Registry {
             agent: agent.to_string(),
         };
         slot.last_seen = Instant::now();
+        self.owners.insert(agent.to_string(), idx);
         Some((idx, rejoin))
     }
 
@@ -134,28 +195,128 @@ impl Registry {
         Ok(())
     }
 
-    fn complete(&mut self, server: usize, metrics: ServerMetrics) -> Result<(), NetError> {
+    /// Records final metrics; returns true when every slot is now done.
+    fn complete(&mut self, server: usize, metrics: ServerMetrics) -> Result<bool, NetError> {
         let slot = self
             .slots
             .get_mut(server)
             .ok_or_else(|| NetError::Protocol(format!("no slot {server}")))?;
+        if !matches!(slot.state, SlotState::Done) {
+            self.done_count += 1;
+        }
+        if let SlotState::Live { agent } | SlotState::Degraded { agent: Some(agent) } = &slot.state
+        {
+            // A completed agent that later re-registers starts fresh.
+            let agent = agent.clone();
+            self.owners.remove(&agent);
+        }
         slot.metrics = Some(metrics);
         slot.state = SlotState::Done;
-        Ok(())
+        self.vacant.remove(&server);
+        self.degraded.remove(&server);
+        Ok(self.done_count == self.slots.len())
     }
 
-    /// Expires live leases older than `ttl`.
+    /// Expires live leases older than `ttl` (full scan — the threads
+    /// backend's reaper cadence; the reactor uses [`Registry::check_lease`]
+    /// per slot instead).
     fn reap(&mut self, ttl: Duration) {
         let now = Instant::now();
-        for slot in &mut self.slots {
-            if let SlotState::Live { agent } = &slot.state {
-                if now.duration_since(slot.last_seen) > ttl {
-                    slot.was_degraded = true;
-                    slot.state = SlotState::Degraded {
-                        agent: Some(agent.clone()),
-                    };
-                }
-            }
+        let expired: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                matches!(s.state, SlotState::Live { .. }) && now.duration_since(s.last_seen) > ttl
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for idx in expired {
+            self.degrade(idx);
+        }
+    }
+
+    /// One lazy lease check for the reactor's timer wheel: degrade when
+    /// overdue, otherwise report how long until the lease *could* expire.
+    fn check_lease(&mut self, idx: usize, ttl: Duration, now: Instant) -> LeaseCheck {
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return LeaseCheck::Settled;
+        };
+        if !matches!(slot.state, SlotState::Live { .. }) {
+            slot.lease_timer_armed = false;
+            return LeaseCheck::Settled;
+        }
+        let age = now.saturating_duration_since(slot.last_seen);
+        if age > ttl {
+            slot.lease_timer_armed = false;
+            self.degrade(idx);
+            LeaseCheck::Expired
+        } else {
+            LeaseCheck::RecheckIn(ttl - age)
+        }
+    }
+}
+
+/// Registry plus the completion signal: `Complete` handlers notify,
+/// [`Clusterd::wait_done`] blocks — no polling on either backend.
+#[derive(Debug)]
+struct RegistryShared {
+    inner: Mutex<Registry>,
+    done_cv: Condvar,
+}
+
+impl RegistryShared {
+    fn new(n: usize) -> RegistryShared {
+        RegistryShared {
+            inner: Mutex::new(Registry::new(n)),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.inner.lock().expect("registry lock")
+    }
+
+    fn complete(&self, server: usize, metrics: ServerMetrics) -> Result<(), NetError> {
+        let all_done = self.lock().complete(server, metrics)?;
+        if all_done {
+            self.done_cv.notify_all();
+        }
+        Ok(())
+    }
+}
+
+/// Which transport serves the cluster daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetBackend {
+    /// Readiness-polling event loop (default): one thread, any number of
+    /// connections, timer-wheel leases, write backpressure.
+    #[default]
+    Reactor,
+    /// Thread-per-connection `std::net` serving with a sleeping reaper
+    /// thread. The pre-reactor baseline, kept for benchmarking.
+    Threads,
+}
+
+impl std::fmt::Display for NetBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetBackend::Reactor => f.write_str("reactor"),
+            NetBackend::Threads => f.write_str("threads"),
+        }
+    }
+}
+
+impl std::str::FromStr for NetBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<NetBackend, String> {
+        match s {
+            "reactor" => Ok(NetBackend::Reactor),
+            "threads" => Ok(NetBackend::Threads),
+            other => Err(format!(
+                "unknown net backend {other:?} (expected reactor or threads)"
+            )),
         }
     }
 }
@@ -169,29 +330,215 @@ pub struct ClusterConfig {
     pub lease_ttl: Duration,
     /// The run pushed to every registering agent.
     pub run: RunSpec,
+    /// Transport backend.
+    pub backend: NetBackend,
+    /// Per-connection outbound queue cap (reactor backend): a peer that
+    /// stops draining replies is disconnected and its slot degraded.
+    pub outbound_hiwater: usize,
+}
+
+impl ClusterConfig {
+    /// A daemon on the default (reactor) backend.
+    pub fn new(listen: SocketAddr, lease_ttl: Duration, run: RunSpec) -> ClusterConfig {
+        ClusterConfig {
+            listen,
+            lease_ttl,
+            run,
+            backend: NetBackend::default(),
+            outbound_hiwater: 1024 * 1024,
+        }
+    }
 }
 
 /// A running cluster daemon.
 #[derive(Debug)]
 pub struct Clusterd {
-    server: Server,
-    registry: Arc<Mutex<Registry>>,
-    run: RunSpec,
-    reaper_stop: Arc<AtomicBool>,
-    reaper: Option<std::thread::JoinHandle<()>>,
-}
-
-struct ClusterHandler {
-    registry: Arc<Mutex<Registry>>,
+    backend: BackendImpl,
+    registry: Arc<RegistryShared>,
     run: RunSpec,
 }
 
-impl Handler for ClusterHandler {
-    fn handle(&self, request: Message) -> Result<Message, NetError> {
-        let mut reg = self.registry.lock().expect("registry lock");
+#[derive(Debug)]
+enum BackendImpl {
+    Reactor {
+        server: ReactorServer,
+    },
+    Threads {
+        server: Server,
+        reaper_stop: Arc<AtomicBool>,
+        reaper: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// Pre-serialized welcome frames: the run spec dominates the payload
+/// (~100 KiB at 5k slots) and is identical for every agent, so it is
+/// serialized once and the per-agent `server`/`degraded` fields are
+/// spliced around it. The splice is byte-identical to the generic
+/// encoder — `welcome_splice_is_byte_identical` pins that, and the wire
+/// parity gates would catch any drift end-to-end.
+#[derive(Debug)]
+struct WelcomeCache {
+    /// `,"run":<run json>}` — everything after the `degraded` field.
+    run_tail: String,
+}
+
+impl WelcomeCache {
+    fn new(run: &RunSpec) -> WelcomeCache {
+        let mut run_tail = String::from(",\"run\":");
+        run_tail.push_str(&run.to_json().to_compact_string());
+        run_tail.push('}');
+        WelcomeCache { run_tail }
+    }
+
+    fn body(&self, server: usize, degraded: bool) -> String {
+        format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"type\":\"welcome\",\"server\":{server},\"degraded\":{degraded}{}",
+            self.run_tail
+        )
+    }
+
+    fn frame(&self, server: usize, degraded: bool) -> Result<Vec<u8>, NetError> {
+        encode_frame_str(&self.body(server, degraded))
+    }
+}
+
+/// The reactor-side request handler. Runs on the event-loop thread; the
+/// registry mutex is shared with the public [`Clusterd`] accessors.
+struct ReactorClusterHandler {
+    registry: Arc<RegistryShared>,
+    welcome: WelcomeCache,
+    lease_ttl: Duration,
+    /// Extra slack added to lease re-check timers so a timer never fires
+    /// a hair before the deadline it is checking.
+    lease_slack: Duration,
+    /// connection → slot, so a slow-consumer disconnect can degrade the
+    /// right slot. Maintained from register/telemetry traffic.
+    conn_slot: HashMap<ConnId, usize>,
+    /// Cached encoded `TelemetryAck` for the current cap factor: the
+    /// coalesced broadcast path. One encode per cap change, shared bytes
+    /// for every ack fanned out in a wakeup.
+    ack_bits: u64,
+    ack_frame: Vec<u8>,
+}
+
+impl ReactorClusterHandler {
+    fn new(registry: Arc<RegistryShared>, run: &RunSpec, lease_ttl: Duration) -> Self {
+        let mut handler = ReactorClusterHandler {
+            registry,
+            welcome: WelcomeCache::new(run),
+            lease_ttl,
+            lease_slack: Duration::from_millis(2),
+            conn_slot: HashMap::new(),
+            ack_bits: 0,
+            ack_frame: Vec::new(),
+        };
+        handler.refresh_ack(1.0);
+        handler
+    }
+
+    fn refresh_ack(&mut self, cap_factor: f64) {
+        self.ack_bits = cap_factor.to_bits();
+        self.ack_frame = Reply::msg(&Message::TelemetryAck { cap_factor }).into_frame();
+    }
+
+    fn arm_lease_timer(&self, ctx: &mut Ctx<'_>, reg: &mut Registry, slot: usize) {
+        if let Some(s) = reg.slots.get_mut(slot) {
+            if !s.lease_timer_armed {
+                s.lease_timer_armed = true;
+                ctx.schedule(self.lease_ttl + self.lease_slack, slot as u64);
+            }
+        }
+    }
+}
+
+impl EventHandler for ReactorClusterHandler {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, request: Message) -> Reply {
         match request {
             Message::Register { agent } => {
-                let (server, degraded) = reg
+                let mut reg = self.registry.lock();
+                let Some((server, degraded)) = reg.assign(&agent) else {
+                    return Reply::error(&NetError::Protocol("no free slot to assign".into()));
+                };
+                self.arm_lease_timer(ctx, &mut reg, server);
+                drop(reg);
+                self.conn_slot.insert(conn, server);
+                match self.welcome.frame(server, degraded) {
+                    Ok(frame) => Reply::raw(frame),
+                    Err(e) => Reply::error(&e),
+                }
+            }
+            Message::Telemetry { server, .. } => {
+                let mut reg = self.registry.lock();
+                if let Err(e) = reg.renew(server) {
+                    return Reply::error(&e);
+                }
+                let cap_factor = reg.cap_factor;
+                drop(reg);
+                self.conn_slot.insert(conn, server);
+                if cap_factor.to_bits() != self.ack_bits {
+                    self.refresh_ack(cap_factor);
+                }
+                Reply::raw(self.ack_frame.clone())
+            }
+            Message::Complete { server, metrics } => {
+                match self.registry.complete(server, *metrics) {
+                    Ok(()) => Reply::msg(&Message::CompleteAck),
+                    Err(e) => Reply::error(&e),
+                }
+            }
+            Message::Status => {
+                let reg = self.registry.lock();
+                Reply::msg(&Message::StatusReport {
+                    expected: reg.slots.len(),
+                    live: reg.count(|s| matches!(s, SlotState::Live { .. })),
+                    degraded: reg.count(|s| matches!(s, SlotState::Degraded { .. })),
+                    done: reg.count(|s| matches!(s, SlotState::Done)),
+                })
+            }
+            Message::Shutdown => Reply::msg(&Message::ShutdownAck).then_shutdown(),
+            other => Reply::error(&NetError::Protocol(format!(
+                "cluster daemon cannot handle {:?} requests",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: u64) {
+        let slot = key as usize;
+        let mut reg = self.registry.lock();
+        match reg.check_lease(slot, self.lease_ttl, ctx.now()) {
+            LeaseCheck::RecheckIn(remaining) => {
+                ctx.schedule(remaining + self.lease_slack, key);
+            }
+            LeaseCheck::Expired | LeaseCheck::Settled => {}
+        }
+    }
+
+    fn on_disconnect(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId, reason: DisconnectReason) {
+        if let Some(slot) = self.conn_slot.remove(&conn) {
+            if reason == DisconnectReason::SlowConsumer {
+                // Backpressure verdict: the agent cannot keep up with its
+                // own acks. Treat it like a dead agent — degrade now
+                // rather than waiting out the lease.
+                self.registry.lock().degrade(slot);
+            }
+        }
+    }
+}
+
+/// The blocking-backend request handler (thread-per-connection).
+struct ThreadsClusterHandler {
+    registry: Arc<RegistryShared>,
+    run: RunSpec,
+}
+
+impl Handler for ThreadsClusterHandler {
+    fn handle(&self, request: Message) -> Result<Message, NetError> {
+        match request {
+            Message::Register { agent } => {
+                let (server, degraded) = self
+                    .registry
+                    .lock()
                     .assign(&agent)
                     .ok_or_else(|| NetError::Protocol("no free slot to assign".into()))?;
                 Ok(Message::Welcome {
@@ -201,21 +548,25 @@ impl Handler for ClusterHandler {
                 })
             }
             Message::Telemetry { server, .. } => {
+                let mut reg = self.registry.lock();
                 reg.renew(server)?;
                 Ok(Message::TelemetryAck {
                     cap_factor: reg.cap_factor,
                 })
             }
             Message::Complete { server, metrics } => {
-                reg.complete(server, *metrics)?;
+                self.registry.complete(server, *metrics)?;
                 Ok(Message::CompleteAck)
             }
-            Message::Status => Ok(Message::StatusReport {
-                expected: reg.slots.len(),
-                live: reg.count(|s| matches!(s, SlotState::Live { .. })),
-                degraded: reg.count(|s| matches!(s, SlotState::Degraded { .. })),
-                done: reg.count(|s| matches!(s, SlotState::Done)),
-            }),
+            Message::Status => {
+                let reg = self.registry.lock();
+                Ok(Message::StatusReport {
+                    expected: reg.slots.len(),
+                    live: reg.count(|s| matches!(s, SlotState::Live { .. })),
+                    degraded: reg.count(|s| matches!(s, SlotState::Degraded { .. })),
+                    done: reg.count(|s| matches!(s, SlotState::Done)),
+                })
+            }
             Message::Shutdown => Ok(Message::ShutdownAck),
             other => Err(NetError::Protocol(format!(
                 "cluster daemon cannot handle {:?} requests",
@@ -226,57 +577,102 @@ impl Handler for ClusterHandler {
 }
 
 impl Clusterd {
-    /// Binds and starts serving, including the lease reaper thread.
+    /// Binds and starts serving on the configured backend.
     pub fn spawn(config: ClusterConfig) -> Result<Clusterd, NetError> {
-        let registry = Arc::new(Mutex::new(Registry::new(config.run.n_servers())));
-        let handler: Arc<dyn Handler> = Arc::new(ClusterHandler {
-            registry: Arc::clone(&registry),
-            run: config.run.clone(),
-        });
-        let server = Server::spawn(config.listen, handler)?;
-        let reaper_stop = Arc::new(AtomicBool::new(false));
-        let reaper = {
-            let registry = Arc::clone(&registry);
-            let stop = Arc::clone(&reaper_stop);
-            let ttl = config.lease_ttl;
-            // Check a few times per TTL so expiry latency stays a small
-            // fraction of the lease itself.
-            let tick = ttl.checked_div(4).unwrap_or(Duration::from_millis(25));
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(tick);
-                    registry.lock().expect("registry lock").reap(ttl);
+        let registry = Arc::new(RegistryShared::new(config.run.n_servers()));
+        let backend = match config.backend {
+            NetBackend::Reactor => {
+                let mut reactor_config = ReactorConfig::new(config.listen);
+                reactor_config.outbound_hiwater = config.outbound_hiwater;
+                // Wheel resolution: fine enough that lease expiry lands
+                // within a small fraction of the TTL, coarse enough that
+                // an idle daemon barely wakes.
+                reactor_config.wheel_tick = (config.lease_ttl / 8)
+                    .clamp(Duration::from_millis(1), Duration::from_millis(25));
+                let handler = ReactorClusterHandler::new(
+                    Arc::clone(&registry),
+                    &config.run,
+                    config.lease_ttl,
+                );
+                BackendImpl::Reactor {
+                    server: ReactorServer::spawn(reactor_config, handler)?,
                 }
-            })
+            }
+            NetBackend::Threads => {
+                let handler: Arc<dyn Handler> = Arc::new(ThreadsClusterHandler {
+                    registry: Arc::clone(&registry),
+                    run: config.run.clone(),
+                });
+                let server = Server::spawn(config.listen, handler)?;
+                let reaper_stop = Arc::new(AtomicBool::new(false));
+                let reaper = {
+                    let registry = Arc::clone(&registry);
+                    let stop = Arc::clone(&reaper_stop);
+                    let ttl = config.lease_ttl;
+                    // Check a few times per TTL so expiry latency stays a
+                    // small fraction of the lease itself.
+                    let tick = ttl.checked_div(4).unwrap_or(Duration::from_millis(25));
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(tick);
+                            registry.lock().reap(ttl);
+                        }
+                    })
+                };
+                BackendImpl::Threads {
+                    server,
+                    reaper_stop,
+                    reaper: Some(reaper),
+                }
+            }
         };
         Ok(Clusterd {
-            server,
+            backend,
             registry,
             run: config.run,
-            reaper_stop,
-            reaper: Some(reaper),
         })
     }
 
     /// The daemon's bound address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.server.local_addr()
+        match &self.backend {
+            BackendImpl::Reactor { server } => server.local_addr(),
+            BackendImpl::Threads { server, .. } => server.local_addr(),
+        }
+    }
+
+    /// Which backend is serving.
+    pub fn backend(&self) -> NetBackend {
+        match &self.backend {
+            BackendImpl::Reactor { .. } => NetBackend::Reactor,
+            BackendImpl::Threads { .. } => NetBackend::Threads,
+        }
+    }
+
+    /// Connections currently registered with the reactor loop (`None` on
+    /// the threads backend, which does not track them). The churn soak
+    /// test uses this to assert closed connections are actually released.
+    pub fn open_connections(&self) -> Option<usize> {
+        match &self.backend {
+            BackendImpl::Reactor { server } => Some(server.open_connections()),
+            BackendImpl::Threads { .. } => None,
+        }
     }
 
     /// Sets the live budget directive broadcast on telemetry acks.
     pub fn set_cap_factor(&self, cap_factor: f64) {
-        self.registry.lock().expect("registry lock").cap_factor = cap_factor;
+        self.registry.lock().cap_factor = cap_factor;
     }
 
     /// Slot states, for harnesses and status displays.
     pub fn slot_states(&self) -> Vec<SlotState> {
-        let reg = self.registry.lock().expect("registry lock");
+        let reg = self.registry.lock();
         reg.slots.iter().map(|s| s.state.clone()).collect()
     }
 
     /// Slots that passed through the degraded state at least once.
     pub fn degraded_history(&self) -> Vec<usize> {
-        let reg = self.registry.lock().expect("registry lock");
+        let reg = self.registry.lock();
         reg.slots
             .iter()
             .enumerate()
@@ -287,24 +683,30 @@ impl Clusterd {
 
     /// Total failure re-registrations across all slots.
     pub fn reregistrations(&self) -> usize {
-        let reg = self.registry.lock().expect("registry lock");
+        let reg = self.registry.lock();
         reg.slots.iter().map(|s| s.reregistrations).sum()
     }
 
-    /// Blocks until every slot is done (polling) or the deadline passes.
+    /// Blocks until every slot is done or the deadline passes. Wakes on
+    /// the completion condvar the final `Complete` notifies — the wait
+    /// itself costs nothing while agents run.
     pub fn wait_done(&self, deadline: Duration) -> bool {
         let start = Instant::now();
+        let mut reg = self.registry.lock();
         loop {
-            {
-                let reg = self.registry.lock().expect("registry lock");
-                if reg.count(|s| matches!(s, SlotState::Done)) == reg.slots.len() {
-                    return true;
-                }
+            if reg.done_count == reg.slots.len() {
+                return true;
             }
-            if start.elapsed() > deadline {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            let (guard, _timeout) = self
+                .registry
+                .done_cv
+                .wait_timeout(reg, deadline - elapsed)
+                .expect("registry lock");
+            reg = guard;
         }
     }
 
@@ -312,7 +714,7 @@ impl Clusterd {
     /// same shape the in-process engine returns. `None` until every slot
     /// is done.
     pub fn result(&self) -> Option<ExperimentResult> {
-        let reg = self.registry.lock().expect("registry lock");
+        let reg = self.registry.lock();
         let metrics: Option<Vec<ServerMetrics>> =
             reg.slots.iter().map(|s| s.metrics.clone()).collect();
         let metrics = metrics?;
@@ -338,13 +740,22 @@ impl Clusterd {
         self.run.policy
     }
 
-    /// Stops the reaper and the frame server.
+    /// Stops the transport (and the reaper thread on the threads backend).
     pub fn shutdown(&mut self) {
-        self.reaper_stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.reaper.take() {
-            let _ = t.join();
+        match &mut self.backend {
+            BackendImpl::Reactor { server } => server.shutdown(),
+            BackendImpl::Threads {
+                server,
+                reaper_stop,
+                reaper,
+            } => {
+                reaper_stop.store(true, Ordering::SeqCst);
+                if let Some(t) = reaper.take() {
+                    let _ = t.join();
+                }
+                server.shutdown();
+            }
         }
-        self.server.shutdown();
     }
 }
 
@@ -357,6 +768,8 @@ impl Drop for Clusterd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pocolo_cluster::Solver;
+    use pocolo_workloads::BeApp;
 
     fn registry4() -> Registry {
         Registry::new(4)
@@ -395,13 +808,15 @@ mod tests {
             reg.slots[0].state,
             SlotState::Degraded { agent: Some(ref a) } if a == "a"
         ));
-        // A fresh agent picks up the degraded slot before vacant ones
-        // are exhausted... actually vacant slots go first.
+        // Vacant slots go first.
         assert_eq!(reg.assign("b"), Some((1, false)));
         reg.assign("c");
         reg.assign("d");
         // Cluster otherwise full: the degraded slot is handed out.
         assert_eq!(reg.assign("e"), Some((0, true)));
+        // ... and the evicted owner has lost its claim: a fresh "a" has
+        // nowhere to go in a full cluster.
+        assert_eq!(reg.assign("a"), None);
     }
 
     #[test]
@@ -428,5 +843,115 @@ mod tests {
         reg.assign("c");
         reg.assign("d");
         assert_eq!(reg.assign("e"), None, "done slot is not handed out");
+    }
+
+    #[test]
+    fn completed_agent_reregisters_as_a_fresh_agent() {
+        let mut reg = registry4();
+        reg.assign("a");
+        reg.complete(0, ServerMetrics::new(pocolo_core::Watts(100.0)))
+            .unwrap();
+        // "a" finished slot 0; a new registration under the same identity
+        // is a new arrival, not a reclaim of the done slot.
+        assert_eq!(reg.assign("a"), Some((1, false)));
+    }
+
+    #[test]
+    fn check_lease_is_lazy_and_only_fires_when_overdue() {
+        let mut reg = registry4();
+        reg.assign("a");
+        let now = Instant::now();
+        let ttl = Duration::from_millis(100);
+        match reg.check_lease(0, ttl, now) {
+            LeaseCheck::RecheckIn(d) => assert!(d <= ttl),
+            _ => panic!("fresh lease must reschedule"),
+        }
+        reg.slots[0].last_seen = now - Duration::from_millis(200);
+        assert!(matches!(reg.check_lease(0, ttl, now), LeaseCheck::Expired));
+        assert!(matches!(
+            reg.slots[0].state,
+            SlotState::Degraded { agent: Some(ref a) } if a == "a"
+        ));
+        // The chain ends once the slot is no longer live.
+        assert!(matches!(reg.check_lease(0, ttl, now), LeaseCheck::Settled));
+    }
+
+    #[test]
+    fn fast_path_sets_stay_consistent_under_churn() {
+        let mut reg = Registry::new(8);
+        for i in 0..8 {
+            reg.assign(&format!("agent-{i}"));
+        }
+        // Expire half the fleet, complete a quarter, rejoin the rest.
+        for i in [0usize, 2, 4, 6] {
+            reg.slots[i].last_seen = Instant::now() - Duration::from_secs(60);
+        }
+        reg.reap(Duration::from_millis(1));
+        assert_eq!(reg.degraded.len(), 4);
+        reg.complete(1, ServerMetrics::new(pocolo_core::Watts(100.0)))
+            .unwrap();
+        reg.complete(3, ServerMetrics::new(pocolo_core::Watts(100.0)))
+            .unwrap();
+        assert_eq!(reg.done_count, 2);
+        // Degraded owners reclaim their slots.
+        assert_eq!(reg.assign("agent-0"), Some((0, true)));
+        assert_eq!(reg.assign("agent-4"), Some((4, true)));
+        assert_eq!(reg.degraded.len(), 2);
+        // Everything still internally consistent: every Live slot's owner
+        // maps back to it.
+        for (i, slot) in reg.slots.iter().enumerate() {
+            if let SlotState::Live { agent } = &slot.state {
+                assert_eq!(reg.owners.get(agent), Some(&i), "owner map broken at {i}");
+            }
+        }
+    }
+
+    fn tiny_run() -> RunSpec {
+        RunSpec {
+            policy: Policy::Pocolo {
+                solver: Solver::Hungarian,
+            },
+            lc: vec!["img-dnn".into(), "sphinx".into()],
+            placement: vec![BeApp::Lstm, BeApp::Graph],
+            ranks: vec![1, 0],
+            dwell_s: 3.0,
+            duration_s: 27.0,
+            manager_period_s: 1.0,
+            capper_period_s: 0.1,
+            meter_noise: 0.01,
+            seed: 0xC0C0,
+            faults: None,
+            resilience: true,
+            push_budget: false,
+        }
+    }
+
+    #[test]
+    fn welcome_splice_is_byte_identical_to_the_generic_encoder() {
+        let run = tiny_run();
+        let cache = WelcomeCache::new(&run);
+        for (server, degraded) in [(0, false), (1, true), (999_983, false), (5000, true)] {
+            let generic = Message::Welcome {
+                server,
+                degraded,
+                run: Box::new(run.clone()),
+            }
+            .to_value()
+            .to_compact_string();
+            assert_eq!(
+                cache.body(server, degraded),
+                generic,
+                "splice diverged at server={server} degraded={degraded}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_backend_parses_and_displays() {
+        assert_eq!("reactor".parse::<NetBackend>(), Ok(NetBackend::Reactor));
+        assert_eq!("threads".parse::<NetBackend>(), Ok(NetBackend::Threads));
+        assert!("epoll".parse::<NetBackend>().is_err());
+        assert_eq!(NetBackend::Reactor.to_string(), "reactor");
+        assert_eq!(NetBackend::default(), NetBackend::Reactor);
     }
 }

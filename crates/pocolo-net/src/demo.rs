@@ -17,8 +17,9 @@ use pocolo_sim::experiment::{run_experiment_with, ExperimentConfig, ExperimentRe
 use pocolo_sim::{compile_fault_plan, run_server_projection, Policy, ServerMetrics};
 
 use crate::agent::{default_fit, run_agent, AgentConfig, AgentReport};
-use crate::cluster::{ClusterConfig, Clusterd, SlotState};
+use crate::cluster::{ClusterConfig, Clusterd, NetBackend, SlotState};
 use crate::error::NetError;
+use crate::swarm::{run_swarm, scale_reference, SwarmConfig, SwarmReport};
 use crate::wire::RunSpec;
 
 /// Configuration of one loopback demonstration run.
@@ -39,6 +40,9 @@ pub struct DemoConfig {
     pub kill_after_epochs: Option<u64>,
     /// Wall-clock budget for the whole loopback run.
     pub deadline: Duration,
+    /// Transport backend the daemon serves on. The parity assertions are
+    /// backend-independent — that is the point of running them on both.
+    pub backend: NetBackend,
 }
 
 impl DemoConfig {
@@ -51,6 +55,7 @@ impl DemoConfig {
             io_timeout: Duration::from_secs(5),
             kill_after_epochs: None,
             deadline: Duration::from_secs(120),
+            backend: NetBackend::default(),
         }
     }
 }
@@ -123,11 +128,13 @@ pub fn run_demo(config: &DemoConfig) -> Result<DemoReport, NetError> {
     let fitted = default_fit();
     let run = RunSpec::plan(config.policy, &config.experiment, fitted);
     let n = run.n_servers();
-    let clusterd = Clusterd::spawn(ClusterConfig {
-        listen: "127.0.0.1:0".parse().expect("loopback literal"),
-        lease_ttl: config.lease_ttl,
-        run: run.clone(),
-    })?;
+    let mut cluster_config = ClusterConfig::new(
+        "127.0.0.1:0".parse().expect("loopback literal"),
+        config.lease_ttl,
+        run.clone(),
+    );
+    cluster_config.backend = config.backend;
+    let clusterd = Clusterd::spawn(cluster_config)?;
     let addr = clusterd.local_addr();
 
     let handles: Vec<_> = (0..n)
@@ -227,6 +234,100 @@ pub fn run_demo(config: &DemoConfig) -> Result<DemoReport, NetError> {
         reregistrations: clusterd.reregistrations(),
         killed,
         degraded_reference,
+    })
+}
+
+/// Configuration of one scale demonstration: `agents` swarm agents
+/// heartbeating against a single daemon event loop.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Simulated agents (one slot and one connection each).
+    pub agents: usize,
+    /// Telemetry frames per agent.
+    pub heartbeats: u64,
+    /// Pacing between one agent's heartbeats. `ZERO` = closed-loop.
+    pub heartbeat_every: Duration,
+    /// Heartbeat lease TTL on the daemon.
+    pub lease_ttl: Duration,
+    /// Transport backend under test.
+    pub backend: NetBackend,
+    /// Run seed (drives the synthetic telemetry).
+    pub seed: u64,
+    /// Wall-clock budget for the whole run.
+    pub deadline: Duration,
+}
+
+impl ScaleConfig {
+    /// A scale run with paper-shaped defaults: 1 s heartbeats, a lease
+    /// that tolerates two missed beats.
+    pub fn new(agents: usize, heartbeats: u64) -> ScaleConfig {
+        ScaleConfig {
+            agents,
+            heartbeats,
+            heartbeat_every: Duration::from_secs(1),
+            lease_ttl: Duration::from_secs(3),
+            backend: NetBackend::default(),
+            seed: 7,
+            deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+/// What a scale run produced.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Swarm-side statistics (connect wall, RTT samples, outcomes).
+    pub swarm: SwarmReport,
+    /// The result the daemon assembled from wire-delivered metrics.
+    pub wire: ExperimentResult,
+    /// Whether `wire` equals the timing-independent in-process
+    /// reference bit-for-bit.
+    pub parity: bool,
+}
+
+/// Runs `agents` swarm agents against one daemon event loop and verifies
+/// the assembled result against [`scale_reference`].
+///
+/// # Errors
+///
+/// Returns a [`NetError`] when any connection fails, the daemon misses
+/// the deadline, or (for the caller to surface) parity is reported
+/// false in the result — the run itself still returns `Ok` so callers
+/// can inspect the divergence.
+pub fn run_demo_scale(config: &ScaleConfig) -> Result<ScaleReport, NetError> {
+    let run = RunSpec::scale(config.agents, config.seed);
+    let mut cluster_config = ClusterConfig::new(
+        "127.0.0.1:0".parse().expect("loopback literal"),
+        config.lease_ttl,
+        run.clone(),
+    );
+    cluster_config.backend = config.backend;
+    let mut clusterd = Clusterd::spawn(cluster_config)?;
+
+    let mut swarm_config = SwarmConfig::new(
+        clusterd.local_addr(),
+        config.agents,
+        config.heartbeats,
+        config.seed,
+    );
+    swarm_config.heartbeat_every = config.heartbeat_every;
+    swarm_config.deadline = config.deadline;
+    let swarm = run_swarm(&swarm_config)?;
+
+    if !clusterd.wait_done(config.deadline) {
+        return Err(NetError::Protocol(
+            "scale run: daemon did not assemble results within the deadline".into(),
+        ));
+    }
+    let wire = clusterd
+        .result()
+        .ok_or_else(|| NetError::Protocol("daemon finished without full results".into()))?;
+    let parity = wire == scale_reference(&run, config.heartbeats);
+    clusterd.shutdown();
+    Ok(ScaleReport {
+        swarm,
+        wire,
+        parity,
     })
 }
 

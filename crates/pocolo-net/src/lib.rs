@@ -32,13 +32,21 @@ mod client;
 mod cluster;
 mod demo;
 mod error;
+pub mod frame;
+pub mod reactor;
 mod server;
+pub mod swarm;
+pub mod timer;
 pub mod wire;
 
 pub use agent::{default_fit, run_agent, AgentConfig, AgentReport};
 pub use client::{connect_with_retry, RpcClient};
-pub use cluster::{ClusterConfig, Clusterd, SlotState};
-pub use demo::{run_demo, DemoConfig, DemoReport};
+pub use cluster::{ClusterConfig, Clusterd, NetBackend, SlotState};
+pub use demo::{run_demo, run_demo_scale, DemoConfig, DemoReport, ScaleConfig, ScaleReport};
 pub use error::NetError;
+pub use frame::FrameBuffer;
+pub use reactor::{ConnId, DisconnectReason, EventHandler, ReactorConfig, ReactorServer, Reply};
 pub use server::{Handler, Server};
+pub use swarm::{run_swarm, scale_reference, AgentOutcome, SwarmConfig, SwarmReport};
+pub use timer::TimerWheel;
 pub use wire::{Message, RunSpec, MAX_FRAME_BYTES, PROTOCOL_VERSION};

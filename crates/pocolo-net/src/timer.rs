@@ -1,0 +1,227 @@
+//! Hashed timer wheel for event-loop deadlines.
+//!
+//! Replaces the sleeping reaper thread: lease expiries (and any other
+//! future deadline) are entries in a fixed-slot wheel the reactor
+//! advances from its own poll loop. Scheduling and firing are O(1)
+//! amortized; a tick only touches the entries hashed into its slot.
+//!
+//! Resolution is the wheel tick: a timer fires on the first advance at
+//! or after its deadline rounded up to a tick boundary. Entries that
+//! share a tick fire in insertion order, which keeps anything built on
+//! the wheel deterministic for a deterministic schedule order.
+
+use std::time::{Duration, Instant};
+
+struct Entry<T> {
+    deadline_tick: u64,
+    item: T,
+}
+
+/// A single-level hashed timer wheel.
+pub struct TimerWheel<T> {
+    tick: Duration,
+    start: Instant,
+    /// Highest tick index already processed by [`TimerWheel::advance`].
+    processed: u64,
+    slots: Vec<Vec<Entry<T>>>,
+    pending: usize,
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("tick", &self.tick)
+            .field("slots", &self.slots.len())
+            .field("pending", &self.pending)
+            .finish()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel with the given resolution and slot count, anchored at `now`.
+    pub fn new(now: Instant, tick: Duration, n_slots: usize) -> TimerWheel<T> {
+        TimerWheel {
+            tick: tick.max(Duration::from_micros(100)),
+            start: now,
+            processed: 0,
+            slots: (0..n_slots.max(1)).map(|_| Vec::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// Timers scheduled but not yet fired.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        // Integer division in nanos; u64 nanos covers ~584 years.
+        (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Schedules `item` to fire `after` from `now` (rounded up to the
+    /// next tick, and never before the next `advance`).
+    pub fn schedule(&mut self, now: Instant, after: Duration, item: T) {
+        let deadline = now + after;
+        let nanos = deadline.saturating_duration_since(self.start).as_nanos();
+        let tick_nanos = self.tick.as_nanos().max(1);
+        let deadline_tick = (nanos.div_ceil(tick_nanos) as u64).max(self.processed + 1);
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            deadline_tick,
+            item,
+        });
+        self.pending += 1;
+    }
+
+    /// Fires every timer due at or before `now`, appending items to
+    /// `fired` in (deadline, insertion) order.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<T>) {
+        let target = self.tick_of(now);
+        if target <= self.processed || self.pending == 0 {
+            self.processed = self.processed.max(target);
+            return;
+        }
+        let n_slots = self.slots.len() as u64;
+        // When the wheel lagged more than one full revolution, every slot
+        // would be visited n times; one pass per slot suffices instead.
+        let span = target - self.processed;
+        if span >= n_slots {
+            for slot in &mut self.slots {
+                let mut keep = Vec::new();
+                for e in slot.drain(..) {
+                    if e.deadline_tick <= target {
+                        fired.push(e.item);
+                        self.pending -= 1;
+                    } else {
+                        keep.push(e);
+                    }
+                }
+                *slot = keep;
+            }
+        } else {
+            for t in (self.processed + 1)..=target {
+                let slot = &mut self.slots[(t % n_slots) as usize];
+                if slot.is_empty() {
+                    continue;
+                }
+                let mut keep = Vec::new();
+                for e in slot.drain(..) {
+                    if e.deadline_tick <= t {
+                        fired.push(e.item);
+                        self.pending -= 1;
+                    } else {
+                        keep.push(e);
+                    }
+                }
+                *slot = keep;
+            }
+        }
+        self.processed = target;
+    }
+
+    /// How long a poll may sleep before the next potential firing, or
+    /// `None` when nothing is scheduled. Conservative: the wheel does not
+    /// track its nearest deadline exactly, so this is the time to the
+    /// next tick boundary — at most one tick of over-wakeup.
+    pub fn next_wakeup(&self, now: Instant) -> Option<Duration> {
+        if self.pending == 0 {
+            return None;
+        }
+        let boundary = self.start + self.tick * (self.processed as u32 + 1);
+        Some(
+            boundary
+                .saturating_duration_since(now)
+                .max(Duration::from_micros(50)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_in_deadline_then_insertion_order() {
+        let t0 = Instant::now();
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(t0, Duration::from_millis(10), 8);
+        wheel.schedule(t0, Duration::from_millis(35), 3);
+        wheel.schedule(t0, Duration::from_millis(5), 1);
+        wheel.schedule(t0, Duration::from_millis(5), 2);
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(12), &mut fired);
+        assert_eq!(fired, vec![1, 2], "due timers fire in insertion order");
+        wheel.advance(t0 + Duration::from_millis(20), &mut fired);
+        assert_eq!(fired, vec![1, 2], "not-yet-due timer stays");
+        wheel.advance(t0 + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired, vec![1, 2, 3]);
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn wrap_around_does_not_fire_early() {
+        let t0 = Instant::now();
+        // 4 slots × 10 ms: a 75 ms timer wraps the wheel almost twice.
+        let mut wheel: TimerWheel<&str> = TimerWheel::new(t0, Duration::from_millis(10), 4);
+        wheel.schedule(t0, Duration::from_millis(75), "late");
+        wheel.schedule(t0, Duration::from_millis(15), "early");
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(40), &mut fired);
+        assert_eq!(
+            fired,
+            vec!["early"],
+            "wrapped timer must not fire a round early"
+        );
+        wheel.advance(t0 + Duration::from_millis(80), &mut fired);
+        assert_eq!(fired, vec!["early", "late"]);
+    }
+
+    #[test]
+    fn lagging_advance_fires_everything_once() {
+        let t0 = Instant::now();
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(t0, Duration::from_millis(1), 4);
+        for i in 0..16 {
+            wheel.schedule(t0, Duration::from_millis(i as u64), i);
+        }
+        let mut fired = Vec::new();
+        // One advance far past every deadline — multiple full revolutions.
+        wheel.advance(t0 + Duration::from_secs(1), &mut fired);
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        assert_eq!(wheel.pending(), 0);
+    }
+
+    #[test]
+    fn next_wakeup_tracks_pending_state() {
+        let t0 = Instant::now();
+        let mut wheel: TimerWheel<()> = TimerWheel::new(t0, Duration::from_millis(10), 8);
+        assert!(wheel.next_wakeup(t0).is_none(), "empty wheel never wakes");
+        wheel.schedule(t0, Duration::from_millis(30), ());
+        let nap = wheel.next_wakeup(t0).unwrap();
+        assert!(nap <= Duration::from_millis(10), "wakes within one tick");
+        let mut fired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert!(wheel.next_wakeup(t0).is_none());
+    }
+
+    #[test]
+    fn reschedule_from_fired_timer_keeps_cadence() {
+        let t0 = Instant::now();
+        let mut wheel: TimerWheel<u8> = TimerWheel::new(t0, Duration::from_millis(10), 16);
+        wheel.schedule(t0, Duration::from_millis(10), 0);
+        let mut total = 0;
+        let mut fired = Vec::new();
+        for step in 1..=5 {
+            let now = t0 + Duration::from_millis(10 * step);
+            wheel.advance(now, &mut fired);
+            total += fired.len();
+            for _ in fired.drain(..) {
+                wheel.schedule(now, Duration::from_millis(10), 0);
+            }
+        }
+        assert!(total >= 4, "periodic reschedule fired {total} of ~5 ticks");
+    }
+}

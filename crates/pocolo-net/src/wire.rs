@@ -202,6 +202,35 @@ impl RunSpec {
         self.placement.len()
     }
 
+    /// A synthetic `n`-server run for scale exercises: the paper's
+    /// four-app fleet tiled out to `n` slots (LC apps and BE co-runners
+    /// cycle, ranks are the slot index). Slots in a scale run are driven
+    /// by the swarm's deterministic telemetry generator rather than real
+    /// simulations, so the scalar config is nominal — what matters is
+    /// that the spec survives the wire (`n` names in each list) and that
+    /// the registry sees `n` distinct slots.
+    pub fn scale(n: usize, seed: u64) -> RunSpec {
+        assert!(n > 0, "a scale run needs at least one slot");
+        const LC: [&str; 4] = ["img-dnn", "sphinx", "xapian", "tpcc"];
+        RunSpec {
+            policy: Policy::Pocolo {
+                solver: Solver::Hungarian,
+            },
+            lc: (0..n).map(|i| LC[i % LC.len()].to_string()).collect(),
+            placement: (0..n).map(|i| BeApp::ALL[i % BeApp::ALL.len()]).collect(),
+            ranks: (0..n).collect(),
+            dwell_s: 1.0,
+            duration_s: 9.0,
+            manager_period_s: 1.0,
+            capper_period_s: 0.1,
+            meter_noise: 0.0,
+            seed,
+            faults: None,
+            resilience: true,
+            push_budget: false,
+        }
+    }
+
     /// The slot spec for one server. A `degraded` slot falls back to the
     /// blind incremental-growth controller (the Heracles baseline) — the
     /// same fallback the in-process resilience layer uses when telemetry
@@ -226,7 +255,7 @@ impl RunSpec {
         }
     }
 
-    fn to_json(&self) -> Value {
+    pub(crate) fn to_json(&self) -> Value {
         let placement: Vec<String> = self
             .placement
             .iter()
