@@ -23,6 +23,9 @@ COMMANDS:
                              verify parity against the in-process engine
     demo-traffic             synthesize open-loop traffic through the fleet's
                              LC slots with online utility refit
+    demo-fleet               run a seeded mixed-SKU fleet under chaos and
+                             verify SKU-aware placement beats SKU-blind with
+                             every class honoring its power cap
     tco                      amortized monthly TCO comparison
     table2                   Table II: LC application characteristics
     help                     this text
@@ -37,6 +40,11 @@ OPTIONS:
     --parallelism <p>  serial | auto | <threads>       (default: auto)
     --faults <spec>    inject faults: brownout | crash | chaos | surge, with
                        an optional schedule seed as <scenario>:<seed>
+    --fleet <spec>     server fleet composition, as a preset (mixed3, xeon,
+                       turbo, stepcell) or class terms like
+                       xeon*2+turbo[/cores/ways], with an optional class-
+                       assignment seed as <spec>:<seed>; a single-class
+                       fleet reproduces the classic run bit-for-bit
     --traffic <spec>   demo-traffic mix: steady | diurnal | flashcrowd |
                        regional, with an optional seed as <mix>:<seed>
                        (default: flashcrowd)
@@ -81,6 +89,8 @@ pub struct Options {
     pub parallelism: Parallelism,
     /// `--faults` (raw `<scenario>[:<seed>]` spec).
     pub faults: Option<String>,
+    /// `--fleet` (raw `<spec>[:<seed>]` fleet composition).
+    pub fleet: Option<String>,
     /// `--no-resilience`.
     pub no_resilience: bool,
     /// `--decision-log` (path for the JSON-lines decision trace).
@@ -135,6 +145,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         seed: 1,
         parallelism: Parallelism::default(),
         faults: None,
+        fleet: None,
         no_resilience: false,
         decision_log: None,
         listen: "127.0.0.1:7700".into(),
@@ -198,6 +209,13 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 opts.faults = Some(
                     it.next()
                         .ok_or_else(|| "--faults needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--fleet" => {
+                opts.fleet = Some(
+                    it.next()
+                        .ok_or_else(|| "--fleet needs a value".to_string())?
                         .clone(),
                 )
             }
@@ -408,6 +426,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "agentd" => cmd_agentd(&opts),
         "demo-net" => cmd_demo_net(&opts),
         "demo-traffic" => cmd_demo_traffic(&opts),
+        "demo-fleet" => cmd_demo_fleet(&opts),
         "tco" => cmd_tco(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -570,7 +589,44 @@ fn cmd_place(opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses a `--fleet <spec>[:<seed>]` value. The class-assignment seed
+/// defaults to the calibrated demo seed so `--fleet mixed3` is
+/// reproducible out of the box.
+fn fleet_of(raw: &str) -> Result<(FleetSpec, u64), String> {
+    let (spec, seed) = match raw.split_once(':') {
+        Some((spec, seed)) => {
+            let seed = seed.parse().map_err(|_| {
+                format!("bad fleet seed {seed:?} in --fleet {raw:?} (want <spec>[:<u64>])")
+            })?;
+            (spec, seed)
+        }
+        None => (raw, DEMO_FLEET_SEED),
+    };
+    Ok((spec.parse()?, seed))
+}
+
+fn cmd_simulate_fleet(opts: &Options, raw: &str) -> Result<String, String> {
+    let (spec, fleet_seed) = fleet_of(raw)?;
+    if opts.policy != "pocolo" {
+        return Err(format!(
+            "--fleet runs the POColo policy (got --policy {})",
+            opts.policy
+        ));
+    }
+    if opts.decision_log.is_some() {
+        return Err("--fleet does not support --decision-log".into());
+    }
+    let solver = solver_of(&opts.solver)?;
+    let config = experiment_of(opts)?;
+    let fleet = FittedFleet::fit(&config.profiler, spec, fleet_seed);
+    let run = run_fleet_policy(&fleet, &config, solver, true);
+    Ok(format_result(&run.result, &config, opts.json))
+}
+
 fn cmd_simulate(opts: &Options) -> Result<String, String> {
+    if let Some(raw) = opts.fleet.as_deref() {
+        return cmd_simulate_fleet(opts, raw);
+    }
     let policy = policy_of(opts)?;
     let config = experiment_of(opts)?;
     // Fail fast on an unwritable log path — before the sweep runs, not
@@ -844,6 +900,104 @@ fn cmd_demo_traffic(opts: &Options) -> Result<String, String> {
             s.app, s.requests, s.violations, s.worst_p99_ms, s.cores, s.ways
         );
     }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_demo_fleet(opts: &Options) -> Result<String, String> {
+    let raw = opts.fleet.as_deref().unwrap_or("mixed3");
+    let (spec, fleet_seed) = fleet_of(raw)?;
+    let solver = solver_of(&opts.solver)?;
+    let mut config = experiment_of(opts)?;
+    if config.faults.is_none() {
+        // The demo is about honoring power caps through an emergency:
+        // default to the seeded chaos scenario unless the caller picked
+        // their own faults.
+        config.faults = Some(FaultSpec {
+            scenario: FaultScenario::Chaos,
+            seed: Some(DEMO_FAULT_SEED),
+        });
+    }
+    let cmp = compare_fleet_policies(&spec, fleet_seed, &config, solver);
+    let mixed = cmp.classes.iter().any(|c| *c != cmp.classes[0]);
+    // The demo doubles as the CI gate: a nonzero exit means the fleet
+    // contract broke, not that the CLI was misused.
+    if cmp.cap_violations() > 0 {
+        return Err(format!(
+            "fleet demo failed: {} server(s) broke their power cap (fleet {}, seed {})",
+            cmp.cap_violations(),
+            cmp.fleet,
+            cmp.seed,
+        ));
+    }
+    if mixed && cmp.utility_margin() <= 0.0 {
+        return Err(format!(
+            "fleet demo failed: SKU-aware placement did not beat SKU-blind \
+             (margin {:+.4} on fleet {}, seed {})",
+            cmp.utility_margin(),
+            cmp.fleet,
+            cmp.seed,
+        ));
+    }
+    if !mixed && cmp.utility_margin() != 0.0 {
+        return Err(format!(
+            "fleet demo failed: a single-class fleet must make SKU awareness moot \
+             (margin {:+.4} on fleet {}, seed {})",
+            cmp.utility_margin(),
+            cmp.fleet,
+            cmp.seed,
+        ));
+    }
+    if opts.json {
+        let mode_json = |run: &FleetRunResult| {
+            pocolo_json::json!({
+                "planned_value": run.planned_value,
+                "placement": run
+                    .placement
+                    .iter()
+                    .map(|be| be.name().to_string())
+                    .collect::<Vec<String>>(),
+                "avg_be_throughput": run.result.summary.avg_be_throughput,
+                "avg_power_utilization": run.result.summary.avg_power_utilization,
+                "worst_violation_frac": run.result.summary.worst_violation_frac,
+                "cap_violations": run.cap_violations
+            })
+        };
+        let value = pocolo_json::json!({
+            "fleet": cmp.fleet.clone(),
+            "seed": cmp.seed,
+            "classes": cmp.classes.clone(),
+            "utility_margin": cmp.utility_margin(),
+            "cap_violations": cmp.cap_violations(),
+            "aware": mode_json(&cmp.aware),
+            "blind": mode_json(&cmp.blind)
+        });
+        return Ok(pocolo_json::to_string_pretty(&value));
+    }
+    let mut out = format!(
+        "fleet {} (seed {}): SKU-aware planned utility beats SKU-blind by {:+.4}, \
+         0 cap violations\n",
+        cmp.fleet,
+        cmp.seed,
+        cmp.utility_margin(),
+    );
+    for (s, class) in cmp.classes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  server {s} {:>8}: {:>7} hosts {:>5} (aware) vs {:>5} (blind)",
+            class,
+            cmp.aware.result.pairs[s].lc,
+            cmp.aware.placement[s].name(),
+            cmp.blind.placement[s].name(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  aware: planned {:.4}, BE throughput {:.4} | blind: planned {:.4}, BE throughput {:.4}",
+        cmp.aware.planned_value,
+        cmp.aware.result.summary.avg_be_throughput,
+        cmp.blind.planned_value,
+        cmp.blind.result.summary.avg_be_throughput,
+    );
     Ok(out.trim_end().to_string())
 }
 
@@ -1230,6 +1384,59 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("refits"), "{out}");
+    }
+
+    #[test]
+    fn parse_fleet_flag() {
+        let o = parse(&argv("simulate --fleet mixed3:7")).unwrap();
+        assert_eq!(o.fleet.as_deref(), Some("mixed3:7"));
+        assert!(parse(&argv("simulate --fleet")).is_err());
+    }
+
+    #[test]
+    fn fleet_rejects_bad_specs() {
+        let one_line = |args: &str, token: &str| {
+            let err = run(&argv(args)).unwrap_err();
+            assert!(err.contains(token), "error names the bad token: {err}");
+            assert!(!err.contains('\n'), "error is one line: {err:?}");
+        };
+        one_line("simulate --fleet warp9", "warp9");
+        one_line("simulate --fleet xeon/0/8", "xeon/0/8");
+        one_line("simulate --fleet xeon*0", "zero weight");
+        one_line("simulate --fleet mixed3:abc", "abc");
+        one_line("simulate --fleet mixed3 --policy pom", "pom");
+        one_line(
+            "simulate --fleet mixed3 --decision-log /tmp/dl.jsonl",
+            "decision-log",
+        );
+    }
+
+    #[test]
+    fn homogeneous_fleet_simulate_is_byte_identical_to_legacy() {
+        // A single-class fleet must degenerate to the classic experiment
+        // path exactly — same placement, same physics, same formatting.
+        let legacy = run(&argv("simulate --dwell 2")).unwrap();
+        let fleet = run(&argv("simulate --fleet xeon --dwell 2")).unwrap();
+        assert_eq!(legacy, fleet);
+        let legacy_json = run(&argv("simulate --dwell 2 --json")).unwrap();
+        let fleet_json = run(&argv("simulate --fleet xeon --dwell 2 --json")).unwrap();
+        assert_eq!(legacy_json, fleet_json);
+    }
+
+    #[test]
+    fn demo_fleet_mixed_margin_and_caps() {
+        let json = run(&argv("demo-fleet --dwell 2 --json")).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
+        assert_eq!(v["classes"].as_array().unwrap().len(), 4);
+        assert!(v["utility_margin"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["cap_violations"].as_f64(), Some(0.0));
+        assert_eq!(v["aware"]["placement"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn demo_fleet_single_class_margin_is_moot() {
+        let out = run(&argv("demo-fleet --fleet xeon --dwell 2")).unwrap();
+        assert!(out.contains("+0.0000"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Hard affinity/anti-affinity placement constraints over server classes.
+//!
+//! Heterogeneous fleets make some colocations inadmissible outright —
+//! a BE app that needs the accelerator-like SKU's wide LLC, or one that
+//! must never share a DVFS-stepped machine with a latency-critical
+//! primary (Sarkar et al.: affinity-aware placement on heterogeneous
+//! machines changes *which* colocations exist, not just their score).
+//! [`PlacementConstraints`] expresses those rules per (BE row, server
+//! class) and the placement pipeline enforces them as hard constraints:
+//!
+//! - the sparse path prunes forbidden edges at candidate-edge time
+//!   (they never enter a row's top-k list, are never spliced back by
+//!   certification, and never re-enter through a delta);
+//! - the dense path masks forbidden matrix entries to zero so no solver
+//!   is ever *paid* to violate a rule;
+//! - after any solve, [`PlacementConstraints::verify`] turns a residual
+//!   violation (possible only when the constrained instance has no
+//!   admissible perfect matching) into
+//!   [`ClusterError::ConstraintViolation`] instead of a silent
+//!   placement.
+
+use crate::error::ClusterError;
+use crate::matrix::{ColumnEdit, MatrixDelta, PerfMatrix};
+
+/// Hard placement rules between BE rows and server classes.
+///
+/// Semantics per BE row: the row may be placed on class `c` iff `c` is
+/// not in the row's forbid list, and — when the row has any `require`
+/// entries — `c` is one of them (require = any-of allow-list). Rows
+/// without entries are unconstrained.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlacementConstraints {
+    forbidden: Vec<(usize, usize)>,
+    required: Vec<(usize, usize)>,
+}
+
+impl PlacementConstraints {
+    /// No constraints — every placement is admissible.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forbids placing BE row `row` on server class `class`
+    /// (anti-affinity).
+    #[must_use]
+    pub fn forbid(mut self, row: usize, class: usize) -> Self {
+        if !self.forbidden.contains(&(row, class)) {
+            self.forbidden.push((row, class));
+        }
+        self
+    }
+
+    /// Restricts BE row `row` to server class `class` (affinity). A row
+    /// with several `require` entries may use any of them.
+    #[must_use]
+    pub fn require(mut self, row: usize, class: usize) -> Self {
+        if !self.required.contains(&(row, class)) {
+            self.required.push((row, class));
+        }
+        self
+    }
+
+    /// True when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.forbidden.is_empty() && self.required.is_empty()
+    }
+
+    /// Whether BE row `row` may be placed on server class `class`.
+    pub fn allows(&self, row: usize, class: usize) -> bool {
+        if self.forbidden.contains(&(row, class)) {
+            return false;
+        }
+        let mut has_require = false;
+        for &(r, c) in &self.required {
+            if r == row {
+                if c == class {
+                    return true;
+                }
+                has_require = true;
+            }
+        }
+        !has_require
+    }
+
+    /// Returns `matrix` with every inadmissible entry masked to zero
+    /// (`classes[col]` gives each column's server class), so dense
+    /// solvers are never paid to violate a rule. Intended for freshly
+    /// built matrices; column disable state is not carried over.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a class list whose length differs from the column count.
+    pub fn mask(&self, matrix: &PerfMatrix, classes: &[usize]) -> Result<PerfMatrix, ClusterError> {
+        if classes.len() != matrix.cols() {
+            return Err(ClusterError::InvalidMatrix(format!(
+                "{} column classes for {} columns",
+                classes.len(),
+                matrix.cols()
+            )));
+        }
+        if self.is_empty() {
+            return Ok(matrix.clone());
+        }
+        let values = (0..matrix.rows())
+            .map(|r| {
+                (0..matrix.cols())
+                    .map(|c| {
+                        if self.allows(r, classes[c]) {
+                            matrix.value(r, c)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        PerfMatrix::new(
+            matrix.row_labels().to_vec(),
+            matrix.col_labels().to_vec(),
+            values,
+        )
+    }
+
+    /// Re-masks the `Set` columns of a freshly estimated [`MatrixDelta`]
+    /// so incremental rebuilds (cap de-rates, model refits) cannot
+    /// un-mask a forbidden entry. Disables pass through unchanged.
+    pub fn mask_delta(&self, delta: MatrixDelta, classes: &[usize]) -> MatrixDelta {
+        if self.is_empty() {
+            return delta;
+        }
+        let mut masked = MatrixDelta::new();
+        for (col, edit) in delta.edits() {
+            masked = match edit {
+                ColumnEdit::Disable => masked.disable_column(*col),
+                ColumnEdit::Set(values) => {
+                    let class = classes[*col];
+                    masked.set_column(
+                        *col,
+                        values
+                            .iter()
+                            .enumerate()
+                            .map(|(r, &v)| if self.allows(r, class) { v } else { 0.0 })
+                            .collect(),
+                    )
+                }
+            };
+        }
+        masked
+    }
+
+    /// Checks a solved placement against the rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ConstraintViolation`] naming the first
+    /// inadmissible `(row, class)` pair — which can only occur when the
+    /// constrained instance admits no valid perfect matching, since both
+    /// solve paths already avoid forbidden edges whenever possible.
+    pub fn verify(&self, pairs: &[(usize, usize)], classes: &[usize]) -> Result<(), ClusterError> {
+        for &(row, col) in pairs {
+            let class = classes[col];
+            if !self.allows(row, class) {
+                return Err(ClusterError::ConstraintViolation { row, class });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> PerfMatrix {
+        PerfMatrix::new(
+            vec!["be0".into(), "be1".into()],
+            vec!["lc0".into(), "lc1".into(), "lc2".into()],
+            vec![vec![0.9, 0.8, 0.7], vec![0.6, 0.5, 0.4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_constraints_allow_everything() {
+        let c = PlacementConstraints::new();
+        assert!(c.is_empty());
+        assert!(c.allows(0, 0) && c.allows(7, 3));
+        let m = matrix();
+        assert_eq!(c.mask(&m, &[0, 1, 0]).unwrap(), m);
+        assert!(c.verify(&[(0, 0), (1, 2)], &[0, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn forbid_blocks_one_pair() {
+        let c = PlacementConstraints::new().forbid(0, 1);
+        assert!(!c.allows(0, 1));
+        assert!(c.allows(0, 0) && c.allows(1, 1));
+    }
+
+    #[test]
+    fn require_is_an_any_of_allow_list() {
+        let c = PlacementConstraints::new().require(0, 1).require(0, 2);
+        assert!(c.allows(0, 1) && c.allows(0, 2));
+        assert!(!c.allows(0, 0), "unlisted class is out for a required row");
+        assert!(c.allows(1, 0), "other rows unconstrained");
+        // Forbid beats require.
+        let c = c.forbid(0, 2);
+        assert!(!c.allows(0, 2));
+    }
+
+    #[test]
+    fn mask_zeroes_only_forbidden_entries() {
+        let c = PlacementConstraints::new().forbid(0, 1);
+        // Columns 0 and 2 are class 0; column 1 is class 1.
+        let masked = c.mask(&matrix(), &[0, 1, 0]).unwrap();
+        assert_eq!(masked.value(0, 1), 0.0);
+        assert_eq!(masked.value(0, 0), 0.9);
+        assert_eq!(masked.value(1, 1), 0.5, "other rows untouched");
+        assert!(c.mask(&matrix(), &[0, 1]).is_err(), "shape checked");
+    }
+
+    #[test]
+    fn mask_delta_re_masks_set_columns() {
+        let c = PlacementConstraints::new().forbid(1, 1);
+        let delta = MatrixDelta::new()
+            .set_column(1, vec![0.3, 0.7])
+            .disable_column(2);
+        let masked = c.mask_delta(delta, &[0, 1, 0]);
+        let edits = masked.edits();
+        assert!(matches!(&edits[0].1, ColumnEdit::Set(v) if v == &vec![0.3, 0.0]));
+        assert!(matches!(&edits[1].1, ColumnEdit::Disable));
+    }
+
+    #[test]
+    fn verify_names_the_violation() {
+        let c = PlacementConstraints::new().forbid(1, 0);
+        let classes = [0, 1, 0];
+        assert!(c.verify(&[(0, 0), (1, 1)], &classes).is_ok());
+        let err = c.verify(&[(0, 1), (1, 2)], &classes).unwrap_err();
+        assert_eq!(err, ClusterError::ConstraintViolation { row: 1, class: 0 });
+        assert!(err.to_string().contains("forbidden server class"));
+    }
+}

@@ -232,6 +232,9 @@ impl PerfMatrixBuilder {
 
     /// Builds the matrix: rows = best-effort apps, cols = servers.
     ///
+    /// Equivalent to [`PerfMatrixBuilder::build_keyed`] with every column
+    /// carrying a distinct key (one expansion path per server).
+    ///
     /// # Errors
     ///
     /// Propagates estimation errors; see [`estimate_pair_throughput`].
@@ -240,25 +243,71 @@ impl PerfMatrixBuilder {
         be_apps: &[(String, IndirectUtility)],
         servers: &[ServerProfile],
     ) -> Result<PerfMatrix, ClusterError> {
+        let keys: Vec<usize> = (0..servers.len()).collect();
+        self.build_keyed(be_apps, servers, &keys)
+    }
+
+    /// Builds the matrix with a class-keyed expansion-path cache: columns
+    /// that share a key share one expansion path and one estimate per BE
+    /// row, so a heterogeneous fleet costs O(classes × levels) inversions
+    /// and O(classes × apps) estimates instead of O(servers × ·).
+    ///
+    /// Equal keys assert that the corresponding [`ServerProfile`]s are
+    /// interchangeable (same fitted utility, cap, and peak — i.e. the same
+    /// (SKU, primary-app) class); the first column of each key is the one
+    /// actually computed, in column order, and its values are copied
+    /// bit-for-bit to the rest.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a key list whose length differs from `servers`; otherwise
+    /// as [`PerfMatrixBuilder::build`].
+    pub fn build_keyed(
+        &self,
+        be_apps: &[(String, IndirectUtility)],
+        servers: &[ServerProfile],
+        keys: &[usize],
+    ) -> Result<PerfMatrix, ClusterError> {
         if be_apps.is_empty() || servers.is_empty() {
             return Err(ClusterError::InvalidMatrix(
                 "need at least one app and one server".into(),
             ));
         }
-        // Each server's expansion path — the min_power_for bisections and
-        // integral demand solves — is BE-independent, so compute it exactly
-        // once and share it across every BE row.
-        let paths: Vec<ExpansionPath> = servers
-            .iter()
-            .map(|server| ExpansionPath::compute(server, &self.load_levels))
-            .collect::<Result<_, _>>()?;
+        if keys.len() != servers.len() {
+            return Err(ClusterError::InvalidMatrix(format!(
+                "{} class keys for {} servers",
+                keys.len(),
+                servers.len()
+            )));
+        }
+        // Each *class*'s expansion path — the min_power_for bisections and
+        // integral demand solves — is BE-independent and shared by every
+        // column with that key, so compute it exactly once (at the key's
+        // first column, in column order) and fan it out.
+        let mut path_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut paths: Vec<ExpansionPath> = Vec::new();
+        let mut path_of: Vec<usize> = Vec::with_capacity(servers.len());
+        for (server, &key) in servers.iter().zip(keys) {
+            let idx = match path_index.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = paths.len();
+                    paths.push(ExpansionPath::compute(server, &self.load_levels)?);
+                    path_index.insert(key, idx);
+                    idx
+                }
+            };
+            path_of.push(idx);
+        }
         let mut values = Vec::with_capacity(be_apps.len());
         for (_, be) in be_apps {
-            let mut row = Vec::with_capacity(servers.len());
+            // One estimate per (class, app); columns copy their class value.
+            let mut per_path = Vec::with_capacity(paths.len());
             for path in &paths {
-                row.push(estimate_on_path(be, path)?);
+                per_path.push(estimate_on_path(be, path)?);
             }
-            values.push(row);
+            values.push(path_of.iter().map(|&idx| per_path[idx]).collect());
         }
         PerfMatrix::new(
             be_apps.iter().map(|(l, _)| l.clone()).collect(),
@@ -469,6 +518,43 @@ mod tests {
             .rebuild_columns(&bes, &derated[..2], &[0], &m)
             .is_err());
         assert!(builder.rebuild_columns(&bes, &derated, &[9], &m).is_err());
+    }
+
+    #[test]
+    fn build_keyed_shares_paths_across_equal_keys() {
+        use pocolo_core::utility::min_power_solves_on_thread;
+        let (bes, servers) = fitted_cluster();
+        let builder = PerfMatrixBuilder::new();
+        // A fleet twice the size, but every (class, primary) pair appears
+        // twice: columns 0..4 and 4..8 are interchangeable.
+        let doubled: Vec<ServerProfile> = servers.iter().chain(servers.iter()).cloned().collect();
+        let keys = [0usize, 1, 2, 3, 0, 1, 2, 3];
+        let levels = builder.load_levels().len();
+        let before = min_power_solves_on_thread();
+        let keyed = builder.build_keyed(&bes, &doubled, &keys).unwrap();
+        let solves = min_power_solves_on_thread() - before;
+        // One inversion per (class, level) — NOT per (server, level): the
+        // duplicated columns ride on the cached class paths.
+        assert_eq!(solves, (4 * levels) as u64);
+        // The cached values are bit-identical to an unkeyed build that
+        // pays the full per-server cost.
+        let dense = builder.build(&bes, &doubled).unwrap();
+        assert_eq!(keyed, dense);
+        // And columns sharing a key carry bit-identical values.
+        for r in 0..keyed.rows() {
+            for c in 0..4 {
+                assert_eq!(keyed.value(r, c).to_bits(), keyed.value(r, c + 4).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn build_keyed_rejects_key_shape_mismatch() {
+        let (bes, servers) = fitted_cluster();
+        let err = PerfMatrixBuilder::new()
+            .build_keyed(&bes, &servers, &[0, 1])
+            .unwrap_err();
+        assert!(format!("{err}").contains("class keys"));
     }
 
     #[test]

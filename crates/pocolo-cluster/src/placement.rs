@@ -6,6 +6,7 @@ use pocolo_core::utility::IndirectUtility;
 use crate::assign::auction::{self, AuctionConfig, AuctionSolution};
 use crate::assign::sparse::SparseCandidates;
 use crate::assign::{self, Assignment, Solver};
+use crate::constraints::PlacementConstraints;
 use crate::error::ClusterError;
 use crate::matrix::{MatrixDelta, PerfMatrix};
 use crate::perfmatrix::{PerfMatrixBuilder, ServerProfile};
@@ -92,6 +93,14 @@ pub struct ClusterManager {
     be_apps: Vec<(String, IndirectUtility)>,
     servers: Vec<ServerProfile>,
     builder: PerfMatrixBuilder,
+    /// Expansion-path cache keys per server column: columns sharing a key
+    /// share one path and one estimate per BE row. `None` = one key per
+    /// column (the legacy homogeneous path).
+    profile_keys: Option<Vec<usize>>,
+    /// Server class per column, checked against `constraints`. `None` =
+    /// unconstrained single-class fleet.
+    classes: Option<Vec<usize>>,
+    constraints: PlacementConstraints,
 }
 
 impl ClusterManager {
@@ -102,6 +111,9 @@ impl ClusterManager {
             be_apps,
             servers,
             builder: PerfMatrixBuilder::new(),
+            profile_keys: None,
+            classes: None,
+            constraints: PlacementConstraints::new(),
         }
     }
 
@@ -110,6 +122,85 @@ impl ClusterManager {
     pub fn with_load_levels(mut self, levels: Vec<f64>) -> Self {
         self.builder = self.builder.with_load_levels(levels);
         self
+    }
+
+    /// Sets expansion-path cache keys (one per server column): columns
+    /// sharing a key are interchangeable profiles — the same (SKU,
+    /// primary-app) class — and share one expansion path and one estimate
+    /// per BE row ([`PerfMatrixBuilder::build_keyed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key list doesn't cover every server.
+    #[must_use]
+    pub fn with_profile_keys(mut self, keys: Vec<usize>) -> Self {
+        assert_eq!(keys.len(), self.servers.len(), "one cache key per server");
+        self.profile_keys = Some(keys);
+        self
+    }
+
+    /// Sets hard affinity/anti-affinity constraints over server classes:
+    /// `classes` labels each server column with its class index, and
+    /// `constraints` rules (BE row, class) pairs in or out. Both solve
+    /// paths enforce the rules — pruned at candidate-edge time on the
+    /// sparse path, masked to zero on the dense path — and every solved
+    /// placement is verified, so a violation surfaces as
+    /// [`ClusterError::ConstraintViolation`] rather than a silent
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class list doesn't cover every server.
+    #[must_use]
+    pub fn with_constraints(
+        mut self,
+        classes: Vec<usize>,
+        constraints: PlacementConstraints,
+    ) -> Self {
+        assert_eq!(
+            classes.len(),
+            self.servers.len(),
+            "one server class per server"
+        );
+        self.classes = Some(classes);
+        self.constraints = constraints;
+        self
+    }
+
+    /// The active placement constraints (empty when unconstrained).
+    pub fn constraints(&self) -> &PlacementConstraints {
+        &self.constraints
+    }
+
+    /// Builds the matrix for `servers` through the keyed cache and
+    /// constraint mask when configured; reduces to the plain builder on
+    /// the legacy path.
+    fn matrix_for(
+        &self,
+        servers: &[ServerProfile],
+        keys: Option<&[usize]>,
+    ) -> Result<PerfMatrix, ClusterError> {
+        let matrix = match keys {
+            Some(keys) => self.builder.build_keyed(&self.be_apps, servers, keys)?,
+            None => self.builder.build(&self.be_apps, servers)?,
+        };
+        match &self.classes {
+            Some(classes) if !self.constraints.is_empty() => {
+                self.constraints.mask(&matrix, classes)
+            }
+            _ => Ok(matrix),
+        }
+    }
+
+    /// Verifies a solved placement against the constraints (no-op when
+    /// unconstrained).
+    fn verify_constraints(&self, pairs: &[(usize, usize)]) -> Result<(), ClusterError> {
+        match &self.classes {
+            Some(classes) if !self.constraints.is_empty() => {
+                self.constraints.verify(pairs, classes)
+            }
+            _ => Ok(()),
+        }
     }
 
     /// The best-effort candidates (label, fitted utility).
@@ -128,17 +219,21 @@ impl ClusterManager {
     ///
     /// Propagates estimation failures.
     pub fn performance_matrix(&self) -> Result<PerfMatrix, ClusterError> {
-        self.builder.build(&self.be_apps, &self.servers)
+        self.matrix_for(&self.servers, self.profile_keys.as_deref())
     }
 
     /// Builds the matrix and solves the placement with `solver`.
     ///
     /// # Errors
     ///
-    /// Propagates matrix and solver failures.
+    /// Propagates matrix and solver failures; returns
+    /// [`ClusterError::ConstraintViolation`] when the constrained
+    /// instance has no admissible perfect matching.
     pub fn place(&self, solver: Solver) -> Result<Assignment, ClusterError> {
         let matrix = self.performance_matrix()?;
-        assign::solve(&matrix, solver)
+        let assignment = assign::solve(&matrix, solver)?;
+        self.verify_constraints(&assignment.pairs)?;
+        Ok(assignment)
     }
 
     /// Re-solves the placement under a shrunk power budget (a brownout or
@@ -185,14 +280,117 @@ impl ClusterManager {
                 peak_load: s.peak_load,
             })
             .collect();
-        let matrix = self.builder.build(&self.be_apps, &shrunk)?;
+        // A uniform factor keeps same-key profiles interchangeable, so
+        // the keyed cache stays valid.
+        let matrix = self.matrix_for(&shrunk, self.profile_keys.as_deref())?;
         let fresh = assign::solve(&matrix, solver)?;
         let incumbent_total = matrix.assignment_value(&incumbent.pairs);
         if fresh.total > incumbent_total * (1.0 + hysteresis) {
+            self.verify_constraints(&fresh.pairs)?;
             Ok(fresh)
         } else {
             Ok(Assignment::new(incumbent.pairs.clone(), incumbent_total))
         }
+    }
+
+    /// Class-aware counterpart of [`ClusterManager::replan_under_budget`]
+    /// for heterogeneous fleets: each server's cap is scaled by its *own*
+    /// factor — the brownout request pushed through each SKU's power
+    /// curve, so a step-function class that must shed a whole power plane
+    /// replans at the factor it actually holds, not the one the
+    /// infrastructure asked for. The same hysteresis rule applies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix and solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_factors` doesn't cover every server, any factor is
+    /// outside `(0, 1]`, or `hysteresis` is negative.
+    pub fn replan_under_budget_classed(
+        &self,
+        cap_factors: &[f64],
+        incumbent: &Assignment,
+        hysteresis: f64,
+        solver: Solver,
+    ) -> Result<Assignment, ClusterError> {
+        assert_eq!(
+            cap_factors.len(),
+            self.servers.len(),
+            "one cap factor per server"
+        );
+        for &f in cap_factors {
+            assert!(f > 0.0 && f <= 1.0, "cap factor must be in (0, 1], got {f}");
+        }
+        assert!(
+            hysteresis >= 0.0 && hysteresis.is_finite(),
+            "hysteresis must be non-negative, got {hysteresis}"
+        );
+        let shrunk: Vec<ServerProfile> = self
+            .servers
+            .iter()
+            .zip(cap_factors)
+            .map(|(s, &f)| ServerProfile {
+                label: s.label.clone(),
+                utility: s.utility.clone(),
+                power_cap: s.power_cap * f,
+                peak_load: s.peak_load,
+            })
+            .collect();
+        // Per-server factors can split a cache class: two columns that
+        // shared a key stay interchangeable only if they also share a
+        // factor, so re-key on (base key, factor bits).
+        let mut seen: Vec<((usize, u64), usize)> = Vec::new();
+        let keys: Vec<usize> = cap_factors
+            .iter()
+            .enumerate()
+            .map(|(j, f)| {
+                let base = self.profile_keys.as_ref().map_or(j, |k| k[j]);
+                let pair = (base, f.to_bits());
+                match seen.iter().find(|(p, _)| *p == pair) {
+                    Some(&(_, key)) => key,
+                    None => {
+                        let key = seen.len();
+                        seen.push((pair, key));
+                        key
+                    }
+                }
+            })
+            .collect();
+        let matrix = self.matrix_for(&shrunk, Some(&keys))?;
+        let fresh = assign::solve(&matrix, solver)?;
+        let incumbent_total = matrix.assignment_value(&incumbent.pairs);
+        if fresh.total > incumbent_total * (1.0 + hysteresis) {
+            self.verify_constraints(&fresh.pairs)?;
+            Ok(fresh)
+        } else {
+            Ok(Assignment::new(incumbent.pairs.clone(), incumbent_total))
+        }
+    }
+
+    /// The migration intents of a class-aware budget replan: the pairs of
+    /// [`ClusterManager::replan_under_budget_classed`]'s chosen assignment
+    /// not already in the `incumbent`. Empty when hysteresis keeps the
+    /// incumbent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix and solver failures.
+    ///
+    /// # Panics
+    ///
+    /// As [`ClusterManager::replan_under_budget_classed`].
+    pub fn migration_intents_classed(
+        &self,
+        cap_factors: &[f64],
+        incumbent: &Assignment,
+        hysteresis: f64,
+        solver: Solver,
+    ) -> Result<Vec<(usize, usize)>, ClusterError> {
+        let replan =
+            self.replan_under_budget_classed(cap_factors, incumbent, hysteresis, solver)?;
+        Ok(migration_diff(incumbent, &replan))
     }
 
     /// The migration intents a budget replan implies: the `(be, server)`
@@ -229,10 +427,16 @@ impl ClusterManager {
     /// Propagates matrix and solver failures.
     pub fn plan_sparse(&self, eps: f64) -> Result<PlacementPlan, ClusterError> {
         let matrix = self.performance_matrix()?;
-        let mut cands =
-            SparseCandidates::build(&matrix, SparseCandidates::default_k(matrix.cols()));
+        let k = SparseCandidates::default_k(matrix.cols());
+        let mut cands = match &self.classes {
+            Some(classes) if !self.constraints.is_empty() => {
+                SparseCandidates::build_constrained(&matrix, k, classes, &self.constraints)
+            }
+            _ => SparseCandidates::build(&matrix, k),
+        };
         let cfg = AuctionConfig::with_eps(eps);
         let solution = auction::solve_with_candidates(&matrix, &mut cands, &cfg)?;
+        self.verify_constraints(&solution.assignment.pairs)?;
         Ok(PlacementPlan {
             matrix,
             cands,
@@ -303,9 +507,14 @@ impl ClusterManager {
             })
             .collect();
         let all_cols: Vec<usize> = (0..plan.matrix.cols()).collect();
-        let delta =
+        let mut delta =
             self.builder
                 .rebuild_columns(&self.be_apps, &shrunk, &all_cols, &plan.matrix)?;
+        if let Some(classes) = &self.classes {
+            // Column rebuilds re-estimate raw values; keep forbidden
+            // entries masked so a replan can't un-hide them.
+            delta = self.constraints.mask_delta(delta, classes);
+        }
         let incumbent = plan.solution.assignment.clone();
         let intents = plan.apply_delta(&delta)?;
         let incumbent_total = plan.matrix.assignment_value(&incumbent.pairs);
@@ -367,9 +576,12 @@ impl ClusterManager {
                 peak_load: s.peak_load,
             })
             .collect();
-        let delta = self
-            .builder
-            .rebuild_columns(&self.be_apps, &scaled, &[col], &plan.matrix)?;
+        let mut delta =
+            self.builder
+                .rebuild_columns(&self.be_apps, &scaled, &[col], &plan.matrix)?;
+        if let Some(classes) = &self.classes {
+            delta = self.constraints.mask_delta(delta, classes);
+        }
         plan.apply_delta(&delta)
     }
 }
@@ -678,6 +890,111 @@ mod tests {
         let mgr = manager();
         let incumbent = mgr.place(Solver::Hungarian).unwrap();
         let _ = mgr.replan_under_budget(0.0, &incumbent, 0.0, Solver::Hungarian);
+    }
+
+    #[test]
+    fn profile_keys_reproduce_the_unkeyed_matrix() {
+        // Distinct keys (the homogeneous degenerate case) must be
+        // bit-identical to the legacy build.
+        let mgr = manager();
+        let legacy = mgr.performance_matrix().unwrap();
+        let n = mgr.servers().len();
+        let keyed_mgr = mgr.clone().with_profile_keys((0..n).collect());
+        let keyed = keyed_mgr.performance_matrix().unwrap();
+        assert_eq!(keyed, legacy);
+        let a = mgr.place(Solver::Hungarian).unwrap();
+        let b = keyed_mgr.place(Solver::Hungarian).unwrap();
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.total.to_bits(), b.total.to_bits());
+    }
+
+    #[test]
+    fn constraints_steer_the_placement() {
+        let mgr = manager();
+        let free = mgr.place(Solver::Hungarian).unwrap();
+        // Forbid row 0's chosen server's class: columns 0/1 are class 0,
+        // columns 2/3 are class 1.
+        let classes = vec![0, 0, 1, 1];
+        let chosen = free.server_for(0).unwrap();
+        let banned_class = classes[chosen];
+        let constrained = mgr.clone().with_constraints(
+            classes.clone(),
+            PlacementConstraints::new().forbid(0, banned_class),
+        );
+        let placed = constrained.place(Solver::Hungarian).unwrap();
+        let new_col = placed.server_for(0).unwrap();
+        assert_ne!(classes[new_col], banned_class, "row 0 moved off the class");
+        // The same rule holds on the sparse path.
+        let plan = constrained.plan_sparse(1e-3).unwrap();
+        let sparse_col = plan.assignment().server_for(0).unwrap();
+        assert_ne!(classes[sparse_col], banned_class);
+        // Constraint-respecting placements can only lose utility.
+        assert!(placed.total <= free.total + 1e-9);
+        // An affinity (require) form works too.
+        let required = mgr
+            .clone()
+            .with_constraints(classes.clone(), PlacementConstraints::new().require(1, 0));
+        let r = required.place(Solver::Hungarian).unwrap();
+        assert_eq!(classes[r.server_for(1).unwrap()], 0);
+    }
+
+    #[test]
+    fn infeasible_constraints_error_not_silently_place() {
+        let mgr = manager();
+        // Every class is forbidden for row 2 — there is no admissible
+        // placement, and the solver must say so.
+        let constrained = mgr.with_constraints(
+            vec![0, 0, 1, 1],
+            PlacementConstraints::new().forbid(2, 0).forbid(2, 1),
+        );
+        let err = constrained.place(Solver::Hungarian).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::ConstraintViolation { row: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn classed_replan_tracks_per_server_factors() {
+        let mgr = manager();
+        let incumbent = mgr.place(Solver::Hungarian).unwrap();
+        // All factors 1.0 == no change, keeps the incumbent.
+        let same = mgr
+            .replan_under_budget_classed(&[1.0; 4], &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        assert_eq!(same.pairs, incumbent.pairs);
+        // Uniform factors agree with the scalar path bit-for-bit.
+        let scalar = mgr
+            .replan_under_budget(0.7, &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        let vectored = mgr
+            .replan_under_budget_classed(&[0.7; 4], &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        assert_eq!(scalar.pairs, vectored.pairs);
+        assert_eq!(scalar.total.to_bits(), vectored.total.to_bits());
+        // Non-uniform factors are a genuinely different instance: the
+        // deep-derated server's column shrinks more than the others'.
+        let uneven = mgr
+            .replan_under_budget_classed(
+                &[0.95, 0.5, 0.95, 0.95],
+                &incumbent,
+                0.0,
+                Solver::Hungarian,
+            )
+            .unwrap();
+        assert!(uneven.total <= incumbent.total + 1e-9);
+        let intents = mgr
+            .migration_intents_classed(&[0.95, 0.5, 0.95, 0.95], &incumbent, 0.0, Solver::Hungarian)
+            .unwrap();
+        assert_eq!(intents, migration_diff(&incumbent, &uneven));
+    }
+
+    #[test]
+    #[should_panic(expected = "one cap factor per server")]
+    fn classed_replan_rejects_short_factor_list() {
+        let mgr = manager();
+        let incumbent = mgr.place(Solver::Hungarian).unwrap();
+        let _ = mgr.replan_under_budget_classed(&[0.9], &incumbent, 0.0, Solver::Hungarian);
     }
 
     #[test]

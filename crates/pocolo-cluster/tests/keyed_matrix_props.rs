@@ -1,0 +1,110 @@
+//! Property tests for the class-keyed PerfMatrix cache: a homogeneous
+//! `FleetSpec` (the legacy degenerate case) must reproduce the unkeyed
+//! builder's matrix bit-for-bit, and duplicating columns under shared
+//! keys must equal the dense build on the duplicated inputs.
+//!
+//! Profiling real workloads is too slow for a proptest loop, so the
+//! utilities here are synthetic Cobb-Douglas models drawn from the
+//! generator — the matrix machinery only sees fitted `IndirectUtility`
+//! values either way.
+
+use pocolo_cluster::perfmatrix::{PerfMatrixBuilder, ServerProfile};
+use pocolo_core::fleet::{FleetSpec, ServerClass};
+use pocolo_core::units::Watts;
+use pocolo_core::utility::{CobbDouglas, IndirectUtility, PowerModel};
+use proptest::prelude::*;
+
+fn synthetic_utility(space_class: &ServerClass, a0: f64, ac: f64, aw: f64) -> IndirectUtility {
+    let perf = CobbDouglas::new(a0, vec![ac, aw]).expect("valid exponents");
+    let power = PowerModel::new(Watts(40.0), vec![6.0, 1.5]).expect("valid power model");
+    IndirectUtility::new(space_class.space(), perf, power).expect("valid utility")
+}
+
+fn synthetic_server(class: &ServerClass, idx: usize, ac: f64, aw: f64) -> ServerProfile {
+    let utility = synthetic_utility(class, 80.0 + idx as f64, ac, aw);
+    let peak = utility
+        .value(utility.max_power())
+        .expect("max power is feasible");
+    ServerProfile {
+        label: format!("lc{idx}"),
+        utility,
+        power_cap: Watts(120.0),
+        peak_load: peak,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A homogeneous fleet's keyed build is bit-for-bit the legacy build:
+    /// with one class, every (class, primary) key is distinct, so the
+    /// cache degenerates to exactly the per-server path computation.
+    #[test]
+    fn homogeneous_fleet_reproduces_legacy_matrix(
+        n_servers in 1usize..=6,
+        n_bes in 1usize..=4,
+        seed in any::<u64>(),
+        ac in 0.3f64..0.7,
+        aw in 0.1f64..0.4,
+    ) {
+        let class = ServerClass::xeon_e5_2650();
+        let spec = FleetSpec::homogeneous(class.clone());
+        let assignment = spec.assign(n_servers, seed);
+        prop_assert!(assignment.iter().all(|&c| c == 0));
+        let servers: Vec<ServerProfile> = (0..n_servers)
+            .map(|i| synthetic_server(&class, i, ac + 0.01 * i as f64, aw))
+            .collect();
+        let bes: Vec<(String, IndirectUtility)> = (0..n_bes)
+            .map(|i| (format!("be{i}"), synthetic_utility(&class, 50.0, aw + 0.02 * i as f64, ac)))
+            .collect();
+        // Key layout used by the fleet pipeline: class * n + server slot.
+        let keys: Vec<usize> = assignment
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| c * n_servers + s)
+            .collect();
+        let builder = PerfMatrixBuilder::new();
+        let legacy = builder.build(&bes, &servers).unwrap();
+        let keyed = builder.build_keyed(&bes, &servers, &keys).unwrap();
+        prop_assert_eq!(&keyed, &legacy);
+        for r in 0..legacy.rows() {
+            for c in 0..legacy.cols() {
+                prop_assert_eq!(keyed.value(r, c).to_bits(), legacy.value(r, c).to_bits());
+            }
+        }
+    }
+
+    /// Columns duplicated under a shared key match the dense build on the
+    /// duplicated server list — the cache only skips work, never changes
+    /// values.
+    #[test]
+    fn shared_keys_match_dense_build(
+        n_classes in 1usize..=3,
+        copies in 2usize..=4,
+        ac in 0.3f64..0.7,
+    ) {
+        let class = ServerClass::xeon_e5_2650();
+        let base: Vec<ServerProfile> = (0..n_classes)
+            .map(|i| synthetic_server(&class, i, ac, 0.2 + 0.05 * i as f64))
+            .collect();
+        let mut servers = Vec::new();
+        let mut keys = Vec::new();
+        for rep in 0..copies {
+            for (i, s) in base.iter().enumerate() {
+                let mut s = s.clone();
+                s.label = format!("lc{i}r{rep}");
+                servers.push(s);
+                keys.push(i);
+            }
+        }
+        let bes = vec![("be0".to_string(), synthetic_utility(&class, 50.0, 0.5, 0.3))];
+        let builder = PerfMatrixBuilder::new();
+        let keyed = builder.build_keyed(&bes, &servers, &keys).unwrap();
+        let dense = builder.build(&bes, &servers).unwrap();
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                prop_assert_eq!(keyed.value(r, c).to_bits(), dense.value(r, c).to_bits());
+            }
+        }
+    }
+}

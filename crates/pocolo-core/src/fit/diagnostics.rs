@@ -156,10 +156,11 @@ pub fn check_convexity(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::xeon_space;
     use crate::units::Watts;
 
     fn space() -> ResourceSpace {
-        ResourceSpace::cores_and_ways()
+        xeon_space()
     }
 
     fn sample(space: &ResourceSpace, c: f64, w: f64, perf: f64) -> ProfileSample {

@@ -148,10 +148,11 @@ pocolo_json::impl_to_json!(ConvexityReport { axes, tolerance });
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::xeon_space;
 
     #[test]
     fn utility_round_trips() {
-        let space = ResourceSpace::cores_and_ways();
+        let space = xeon_space();
         let perf = CobbDouglas::new(2.0, vec![0.6, 0.3]).unwrap();
         let power = PowerModel::new(Watts(55.0), vec![6.0, 0.5]).unwrap();
         let utility = IndirectUtility::new(space, perf, power).unwrap();

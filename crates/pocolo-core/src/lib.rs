@@ -59,13 +59,16 @@
 pub mod curves;
 pub mod error;
 pub mod fit;
+pub mod fleet;
 mod json;
 pub mod preference;
 pub mod resources;
+pub mod testing;
 pub mod units;
 pub mod utility;
 
 pub use error::CoreError;
+pub use fleet::{FleetSpec, PowerCurve, ServerClass};
 pub use preference::PreferenceVector;
 pub use resources::{Allocation, ResourceDescriptor, ResourceSpace};
 pub use units::{Frequency, Joules, Watts};

@@ -491,9 +491,10 @@ impl fmt::Display for Allocation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::xeon_space;
 
     fn space() -> ResourceSpace {
-        ResourceSpace::cores_and_ways()
+        xeon_space()
     }
 
     #[test]

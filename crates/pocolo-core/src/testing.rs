@@ -1,0 +1,79 @@
+//! Shared test fixtures for class-parameterized tests.
+//!
+//! Test suites across the workspace used to copy-paste server geometry
+//! (`ResourceSpace::cores_and_ways()` and hand-built small spaces) into
+//! every fixture. With heterogeneous fleets those fixtures must vary by
+//! [`ServerClass`], so the geometry lives here once. The module is
+//! ordinary (always-compiled) code so downstream crates' `#[cfg(test)]`
+//! modules and integration tests can both reach it, but nothing in it is
+//! meant for production paths.
+
+use crate::fleet::ServerClass;
+use crate::resources::{ResourceDescriptor, ResourceSpace};
+
+/// The standard 12-core / 20-way Xeon space every legacy test was built
+/// on. Identical to [`ResourceSpace::cores_and_ways`].
+pub fn xeon_space() -> ResourceSpace {
+    ResourceSpace::cores_and_ways()
+}
+
+/// A small integral `cores × llc_ways` space with custom bounds, for
+/// tests that want a cheaper grid than the full Xeon geometry.
+///
+/// # Panics
+///
+/// Panics if either bound is zero (invalid geometry).
+pub fn small_space(cores: u32, llc_ways: u32) -> ResourceSpace {
+    ResourceSpace::builder()
+        .resource(ResourceDescriptor::integral("cores", 1.0, cores as f64))
+        .resource(ResourceDescriptor::integral(
+            "llc_ways",
+            1.0,
+            llc_ways as f64,
+        ))
+        .build()
+        .expect("test geometry must be valid")
+}
+
+/// The direct-resource space of a [`ServerClass`] — convenience alias
+/// for [`ServerClass::space`] so fixtures read uniformly.
+pub fn space_for(class: &ServerClass) -> ResourceSpace {
+    class.space()
+}
+
+/// The three cataloged classes in catalog order, for tests that sweep
+/// SKUs.
+pub fn test_classes() -> Vec<ServerClass> {
+    ServerClass::CATALOG
+        .iter()
+        .map(|name| ServerClass::named(name).expect("catalog names resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_space_is_the_legacy_fixture() {
+        assert_eq!(xeon_space(), ResourceSpace::cores_and_ways());
+    }
+
+    #[test]
+    fn small_space_has_requested_bounds() {
+        let s = small_space(4, 8);
+        assert_eq!(s.descriptor(0).max(), 4.0);
+        assert_eq!(s.descriptor(1).max(), 8.0);
+        assert_eq!(s.index_of("llc_ways"), Some(1));
+    }
+
+    #[test]
+    fn test_classes_cover_the_catalog() {
+        let classes = test_classes();
+        assert_eq!(classes.len(), ServerClass::CATALOG.len());
+        for (class, name) in classes.iter().zip(ServerClass::CATALOG) {
+            assert_eq!(class.name(), name);
+            assert_eq!(space_for(class), class.space());
+        }
+    }
+}

@@ -401,9 +401,10 @@ impl fmt::Display for IndirectUtility {
 mod tests {
     use super::*;
     use crate::resources::ResourceDescriptor;
+    use crate::testing::xeon_space;
 
     fn utility() -> IndirectUtility {
-        let space = ResourceSpace::cores_and_ways();
+        let space = xeon_space();
         let perf = CobbDouglas::new(100.0, vec![0.6, 0.4]).unwrap();
         let power = PowerModel::new(Watts(50.0), vec![6.0, 1.5]).unwrap();
         IndirectUtility::new(space, perf, power).unwrap()
@@ -411,7 +412,7 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch() {
-        let space = ResourceSpace::cores_and_ways();
+        let space = xeon_space();
         let perf = CobbDouglas::new(1.0, vec![0.5]).unwrap();
         let power = PowerModel::new(Watts(10.0), vec![1.0, 1.0]).unwrap();
         assert!(IndirectUtility::new(space.clone(), perf, power.clone()).is_err());
@@ -547,7 +548,7 @@ mod tests {
 
     #[test]
     fn zero_alpha_resource_gets_minimum() {
-        let space = ResourceSpace::cores_and_ways();
+        let space = xeon_space();
         let perf = CobbDouglas::new(10.0, vec![1.0, 0.0]).unwrap();
         let power = PowerModel::new(Watts(50.0), vec![6.0, 1.5]).unwrap();
         let u = IndirectUtility::new(space, perf, power).unwrap();
@@ -557,7 +558,7 @@ mod tests {
 
     #[test]
     fn free_resource_gets_maximum() {
-        let space = ResourceSpace::cores_and_ways();
+        let space = xeon_space();
         let perf = CobbDouglas::new(10.0, vec![0.5, 0.5]).unwrap();
         let power = PowerModel::new(Watts(50.0), vec![6.0, 0.0]).unwrap();
         let u = IndirectUtility::new(space, perf, power).unwrap();

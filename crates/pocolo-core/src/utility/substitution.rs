@@ -80,13 +80,13 @@ pub fn tangency_gap(utility: &IndirectUtility, allocation: &Allocation) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::resources::ResourceSpace;
+    use crate::testing::xeon_space;
     use crate::units::Watts;
     use crate::utility::{CobbDouglas, PowerModel};
 
     fn utility() -> IndirectUtility {
         IndirectUtility::new(
-            ResourceSpace::cores_and_ways(),
+            xeon_space(),
             CobbDouglas::new(100.0, vec![0.6, 0.4]).unwrap(),
             PowerModel::new(Watts(50.0), vec![6.0, 1.5]).unwrap(),
         )
@@ -175,7 +175,7 @@ mod tests {
         let a = u.space().allocation(vec![4.0, 10.0]).unwrap();
         assert!(mrs(&u, &a, 0, 7).is_err());
         let flat = IndirectUtility::new(
-            ResourceSpace::cores_and_ways(),
+            xeon_space(),
             CobbDouglas::new(10.0, vec![1.0, 0.0]).unwrap(),
             PowerModel::new(Watts(10.0), vec![1.0, 1.0]).unwrap(),
         )

@@ -209,6 +209,7 @@ fn best_value_in_box(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pocolo_core::testing::xeon_space;
     use pocolo_core::utility::{CobbDouglas, PowerModel};
 
     fn machine() -> MachineSpec {
@@ -217,7 +218,7 @@ mod tests {
 
     fn utility(ac: f64, aw: f64, pc: f64, pw: f64) -> IndirectUtility {
         IndirectUtility::new(
-            ResourceSpace::cores_and_ways(),
+            xeon_space(),
             CobbDouglas::new(0.2, vec![ac, aw]).unwrap(),
             PowerModel::new(Watts(6.0), vec![pc, pw]).unwrap(),
         )

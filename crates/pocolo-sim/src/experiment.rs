@@ -171,9 +171,16 @@ pub struct FittedCluster {
 }
 
 impl FittedCluster {
-    /// Profiles and fits all eight applications.
+    /// Profiles and fits all eight applications on the paper's Xeon
+    /// E5-2650 testbed machine.
     pub fn fit(profiler: &ProfilerConfig) -> Self {
-        let machine = MachineSpec::xeon_e5_2650();
+        Self::fit_on(profiler, MachineSpec::xeon_e5_2650())
+    }
+
+    /// Profiles and fits all eight applications on an arbitrary machine —
+    /// the per-SKU entry point heterogeneous fleets use (one fit per
+    /// server class, see `crate::fleet::FittedFleet`).
+    pub fn fit_on(profiler: &ProfilerConfig, machine: MachineSpec) -> Self {
         let power = PowerDrawModel::new(machine.clone());
         let space = machine.resource_space();
         let lc = LcApp::ALL
@@ -606,6 +613,24 @@ fn run_with_trace(
     .0
 }
 
+/// Shared engine tail: wires compiled server backends and a fault
+/// timeline into a [`ClusterSim`] and runs it to completion. Both the
+/// homogeneous experiment path and the heterogeneous fleet path
+/// (`crate::fleet`) end here, so the two cannot drift.
+pub(crate) fn run_cluster(
+    servers: Vec<ServerSim>,
+    timeline: FaultTimeline,
+    manager_period_s: f64,
+    capper_period_s: f64,
+    duration_s: f64,
+    parallelism: Parallelism,
+) -> ClusterSim {
+    let mut cluster =
+        ClusterSim::new(servers, manager_period_s, capper_period_s).with_faults(timeline);
+    cluster.run_with(duration_s, parallelism);
+    cluster
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_with_trace_recorded(
     policy: Policy,
@@ -646,9 +671,14 @@ fn run_with_trace_recorded(
             .build(fitted)
         })
         .collect();
-    let mut cluster = ClusterSim::new(servers, config.manager_period_s, config.capper_period_s)
-        .with_faults(timeline);
-    cluster.run_with(duration_s, parallelism);
+    let cluster = run_cluster(
+        servers,
+        timeline,
+        config.manager_period_s,
+        config.capper_period_s,
+        duration_s,
+        parallelism,
+    );
 
     let pairs = fitted
         .lc

@@ -73,15 +73,41 @@ impl FaultTimeline {
     /// Cluster-wide events (brownouts, cluster telemetry dropouts,
     /// cluster drift) fan out to every server; targeted events land on
     /// their server only. Events out of `0..n_servers` range are dropped.
+    ///
+    /// Every server holds exactly the requested brownout cap factor —
+    /// the homogeneous, continuous-power fleet. Heterogeneous fleets use
+    /// [`FaultTimeline::compile_with_curves`] to derate each SKU through
+    /// its own power curve.
     pub fn compile(plan: &FaultPlan, n_servers: usize) -> Self {
+        Self::compile_with_curves(plan, n_servers, |_, f| f)
+    }
+
+    /// Like [`FaultTimeline::compile`], but each brownout cap factor is
+    /// pushed through `factor_of(server, requested)` before landing on a
+    /// server's timeline — the hook heterogeneous fleets use to model
+    /// per-SKU power physics (a DVFS-stepped class holds the largest
+    /// P-state at or below the request, an accelerator-like class snaps
+    /// to its power-plane steps). The mapping must return a factor in
+    /// `(0, requested]` and must be the identity at `1.0` so brownout
+    /// lifts restore every class fully; `pocolo_core::fleet::PowerCurve`
+    /// guarantees both.
+    pub fn compile_with_curves(
+        plan: &FaultPlan,
+        n_servers: usize,
+        factor_of: impl Fn(usize, f64) -> f64,
+    ) -> Self {
         let mut timeline = FaultTimeline::empty(n_servers);
         for event in plan.events() {
             match &event.kind {
                 FaultKind::BrownoutStart { cap_factor } => {
-                    timeline.push_all(event.at_s, |_| ServerFaultAction::SetCapFactor(*cap_factor));
+                    timeline.push_all(event.at_s, |s| {
+                        ServerFaultAction::SetCapFactor(factor_of(s, *cap_factor))
+                    });
                 }
                 FaultKind::BrownoutEnd => {
-                    timeline.push_all(event.at_s, |_| ServerFaultAction::SetCapFactor(1.0));
+                    timeline.push_all(event.at_s, |s| {
+                        ServerFaultAction::SetCapFactor(factor_of(s, 1.0))
+                    });
                 }
                 FaultKind::ServerCrash { server } => {
                     timeline.push(*server, event.at_s, ServerFaultAction::Crash);
@@ -228,6 +254,56 @@ mod tests {
             assert!(
                 matches!(events[1].action, ServerFaultAction::SetCapFactor(f) if (f - 1.0).abs() < 1e-12)
             );
+        }
+    }
+
+    #[test]
+    fn curve_aware_compile_derates_each_server_through_its_own_mapping() {
+        let plan = FaultPlan::new(1).with_brownout(10.0, 5.0, 0.6);
+        // Server 0 continuous, server 1 snaps down to coarse half-steps —
+        // the stand-in for a stepped power-plane SKU.
+        let t = FaultTimeline::compile_with_curves(&plan, 2, |s, f| {
+            if s == 0 {
+                f
+            } else {
+                (f * 2.0).floor() / 2.0
+            }
+        });
+        let f0 = match t.server_events(0)[0].action {
+            ServerFaultAction::SetCapFactor(f) => f,
+            _ => panic!("expected cap factor"),
+        };
+        let f1 = match t.server_events(1)[0].action {
+            ServerFaultAction::SetCapFactor(f) => f,
+            _ => panic!("expected cap factor"),
+        };
+        assert_eq!(f0, 0.6);
+        assert_eq!(f1, 0.5, "stepped server holds the state below the request");
+        // Brownout end restores both fully (mapping is identity at 1.0).
+        assert!(
+            matches!(t.server_events(1)[1].action, ServerFaultAction::SetCapFactor(f) if f == 1.0)
+        );
+    }
+
+    #[test]
+    fn identity_curves_reproduce_plain_compile() {
+        let plan = FaultPlan::new(7)
+            .with_brownout(10.0, 5.0, 0.55)
+            .with_crash(1, 3.0, 4.0)
+            .with_telemetry_dropout(None, 2.0, 6.0);
+        let plain = FaultTimeline::compile(&plan, 3);
+        let keyed = FaultTimeline::compile_with_curves(&plan, 3, |_, f| f);
+        for s in 0..3 {
+            let (a, b) = (plain.server_events(s), keyed.server_events(s));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.at_s.to_bits(), y.at_s.to_bits());
+                if let (ServerFaultAction::SetCapFactor(fx), ServerFaultAction::SetCapFactor(fy)) =
+                    (&x.action, &y.action)
+                {
+                    assert_eq!(fx.to_bits(), fy.to_bits());
+                }
+            }
         }
     }
 

@@ -26,6 +26,7 @@ pub mod cluster_sim;
 pub mod engine;
 pub mod experiment;
 pub mod faults;
+pub mod fleet;
 pub mod metrics;
 pub mod parallel;
 pub mod rebalance;
@@ -39,6 +40,10 @@ pub use experiment::{
     ExperimentConfig, ExperimentResult, FittedCluster, Policy, SlotSpec,
 };
 pub use faults::{FaultTimeline, ResilienceConfig, ServerFaultAction, ServerFaultEvent};
+pub use fleet::{
+    compare_fleet_policies, run_fleet_policy, FittedFleet, FleetComparison, FleetRunResult,
+    DEMO_FAULT_SEED, DEMO_FLEET_SEED,
+};
 pub use metrics::{ClusterSummary, ServerMetrics};
 pub use parallel::Parallelism;
 pub use rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};

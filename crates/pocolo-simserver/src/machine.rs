@@ -1,5 +1,6 @@
 //! Machine specifications (Table I of the paper).
 
+use pocolo_core::fleet::ServerClass;
 use pocolo_core::resources::{ResourceDescriptor, ResourceSpace};
 use pocolo_core::units::{Frequency, Watts};
 
@@ -95,6 +96,28 @@ impl MachineSpec {
             idle_power,
             active_power,
         })
+    }
+
+    /// Builds the simulated machine for a fleet [`ServerClass`].
+    ///
+    /// Geometry, frequency range, and idle/peak watts carry over directly.
+    /// LLC capacity follows the Xeon's 1.5 MB-per-way ratio and DRAM is
+    /// fixed at 256 GB — neither feeds the performance or power models,
+    /// they only describe the platform. `from_class` of the `xeon` catalog
+    /// class reproduces [`MachineSpec::xeon_e5_2650`]'s knobs exactly.
+    pub fn from_class(class: &ServerClass) -> Self {
+        MachineSpec::new(
+            class.name().to_string(),
+            class.cores(),
+            class.freq_min(),
+            class.freq_max(),
+            class.llc_ways(),
+            1.5 * class.llc_ways() as f64,
+            256,
+            class.idle_watts(),
+            class.peak_watts(),
+        )
+        .expect("server classes are validated at construction")
     }
 
     /// Human-readable platform name.
@@ -246,6 +269,32 @@ mod tests {
             Watts(80.0)
         )
         .is_err());
+    }
+
+    #[test]
+    fn from_class_matches_xeon_knobs() {
+        let m = MachineSpec::from_class(&ServerClass::xeon_e5_2650());
+        let x = MachineSpec::xeon_e5_2650();
+        // Every knob that feeds a model matches the Table I machine;
+        // only the display name differs.
+        assert_eq!(m.cores(), x.cores());
+        assert_eq!(m.llc_ways(), x.llc_ways());
+        assert_eq!(m.freq_min(), x.freq_min());
+        assert_eq!(m.freq_max(), x.freq_max());
+        assert_eq!(m.idle_power(), x.idle_power());
+        assert_eq!(m.active_power(), x.active_power());
+        assert_eq!(m.memory_gb(), x.memory_gb());
+        assert!((m.llc_mb() - x.llc_mb()).abs() < 1e-9);
+        assert_eq!(m.resource_space(), x.resource_space());
+    }
+
+    #[test]
+    fn from_class_carries_sku_geometry() {
+        let m = MachineSpec::from_class(&ServerClass::turbo());
+        assert_eq!(m.cores(), 16);
+        assert_eq!(m.llc_ways(), 16);
+        assert_eq!(m.freq_max(), Frequency(3.0));
+        assert_eq!(m.active_power(), Watts(180.0));
     }
 
     #[test]

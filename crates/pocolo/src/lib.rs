@@ -6,13 +6,13 @@
 //!
 //! | Layer | Crate | What it provides |
 //! |---|---|---|
-//! | Economics framework | [`core`] | Cobb-Douglas indirect utility, demand solver, preference vectors, model fitting, indifference curves, Edgeworth box |
+//! | Economics framework | [`core`] | Cobb-Douglas indirect utility, demand solver, preference vectors, model fitting, indifference curves, Edgeworth box, per-SKU server-class catalog with pluggable power curves |
 //! | Server substrate | [`simserver`] | Simulated Xeon E5-2650: core/way/DVFS/quota knobs, power model, noisy meter, telemetry |
 //! | Workload models | [`workloads`] | Ground-truth LC apps (img-dnn, sphinx, xapian, tpcc) and BE apps (lstm, rnn, graph, pbzip), load traces, profiler |
 //! | Server management | [`manager`] | Control plane (`ServerController` trait + `ControlMode` state machine), POM power-optimized controller, Heracles-style baseline, 100 ms power capper |
-//! | Cluster placement | [`cluster`] | Performance matrix, Hungarian / simplex-LP / exhaustive / random solvers |
+//! | Cluster placement | [`cluster`] | Performance matrix (class-keyed expansion-path cache), Hungarian / simplex-LP / exhaustive / random / auction solvers, hard affinity constraints |
 //! | Fault injection | [`faults`] | Seeded fault plans (brownouts, crashes, telemetry dropouts, model drift), eviction ordering, re-admission backoff |
-//! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience |
+//! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience, heterogeneous-fleet SKU-aware vs SKU-blind comparison |
 //! | Traffic engine | [`traffic`] | Sharded million-user request synthesis (bit-identical at any shard count), composable mixes, online utility refit loop |
 //! | Distributed runtime | [`net`] | Length-prefixed JSON wire protocol over TCP, POM agent + POColo cluster daemons, heartbeat leases, loopback parity harness |
 //! | Cost analysis | [`tco`] | Hamilton-style amortized monthly TCO |
@@ -45,9 +45,11 @@ pub use pocolo_workloads as workloads;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use pocolo_cluster::{
-        Assignment, ClusterManager, PerfMatrix, PerfMatrixBuilder, ServerProfile, Solver,
+        Assignment, ClusterManager, PerfMatrix, PerfMatrixBuilder, PlacementConstraints,
+        ServerProfile, Solver,
     };
     pub use pocolo_core::fit::{check_convexity, ConvexityReport, OnlineFitter};
+    pub use pocolo_core::fleet::{FleetSpec, PowerCurve, ServerClass};
     pub use pocolo_core::{
         Allocation, CobbDouglas, CoreError, Frequency, IndirectUtility, Joules, PowerModel,
         PreferenceVector, ResourceDescriptor, ResourceSpace, Watts,
@@ -66,6 +68,10 @@ pub mod prelude {
         run_experiment, run_experiment_traced, run_experiment_with, run_level_sweep,
         run_policy_sweeps, DecisionTrace, ExperimentConfig, ExperimentResult, FittedCluster,
         Policy,
+    };
+    pub use pocolo_sim::fleet::{
+        compare_fleet_policies, run_fleet_policy, FittedFleet, FleetComparison, FleetRunResult,
+        DEMO_FAULT_SEED, DEMO_FLEET_SEED,
     };
     pub use pocolo_sim::rebalance::{run_rebalancing, RebalanceConfig, RebalanceResult};
     pub use pocolo_sim::{
