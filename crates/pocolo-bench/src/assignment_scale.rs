@@ -27,6 +27,7 @@ use pocolo_cluster::assign::auction::{self, AuctionConfig, AuctionSolution, DEFA
 use pocolo_cluster::assign::sparse::SparseCandidates;
 use pocolo_cluster::assign::{self, hungarian};
 use pocolo_cluster::matrix::{MatrixDelta, PerfMatrix};
+use pocolo_core::fleet::FleetSpec;
 use rand::prelude::*;
 
 /// Server SKU classes in the synthetic fleet. Real fleets have a handful
@@ -81,6 +82,78 @@ pub fn synthetic_matrix(be_rows: usize, servers: usize, seed: u64) -> PerfMatrix
         values,
     )
     .expect("synthetic matrix is well-formed")
+}
+
+/// Builds a BE×server matrix over a *real* heterogeneous fleet: column
+/// SKUs come from a [`FleetSpec`] (largest-remainder apportionment via
+/// [`FleetSpec::assign`]) rather than the synthetic [`CLASSES`] draw, and
+/// each SKU's archetype profile is derived from its hardware geometry —
+/// compute from cores × peak frequency, cache from LLC ways, efficiency
+/// from peak-power headroom, plus a balanced blend. Rows keep the random
+/// archetype affinities of [`synthetic_matrix`], so the two generators
+/// differ only in where the column clusters come from. Deterministic in
+/// `seed`.
+pub fn synthetic_fleet_matrix(
+    be_rows: usize,
+    servers: usize,
+    spec: &FleetSpec,
+    seed: u64,
+) -> PerfMatrix {
+    let col_class = spec.assign(servers, seed);
+    // Raw per-SKU capability axes, normalized below so the largest SKU
+    // scores 1.0 on each axis (profiles stay in the synthetic range).
+    let raw: Vec<[f64; 3]> = (0..spec.n_classes())
+        .map(|c| {
+            let class = spec.class(c);
+            [
+                f64::from(class.cores()) * class.freq_max().0,
+                f64::from(class.llc_ways()),
+                (class.peak_watts().0 - class.idle_watts().0).max(1.0),
+            ]
+        })
+        .collect();
+    let axis_max: Vec<f64> = (0..3)
+        .map(|axis| raw.iter().map(|r| r[axis]).fold(1e-12, f64::max))
+        .collect();
+    let profiles: Vec<Vec<f64>> = raw
+        .iter()
+        .map(|r| {
+            let scaled: Vec<f64> = r
+                .iter()
+                .zip(&axis_max)
+                .map(|(v, m)| 0.1 + 0.9 * v / m)
+                .collect();
+            let balanced = scaled.iter().sum::<f64>() / scaled.len() as f64;
+            let mut p = scaled;
+            p.push(balanced);
+            debug_assert_eq!(p.len(), ARCHETYPES);
+            p
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let col_jitter: Vec<f64> = (0..servers).map(|_| rng.gen_range(0.9..1.1)).collect();
+    let values: Vec<Vec<f64>> = (0..be_rows)
+        .map(|_| {
+            let aff: Vec<f64> = (0..ARCHETYPES).map(|_| rng.gen_range(0.0..1.0)).collect();
+            (0..servers)
+                .map(|j| {
+                    let dot: f64 = aff
+                        .iter()
+                        .zip(&profiles[col_class[j]])
+                        .map(|(a, p)| a * p)
+                        .sum();
+                    dot * col_jitter[j]
+                })
+                .collect()
+        })
+        .collect();
+    PerfMatrix::new(
+        (0..be_rows).map(|i| format!("be{i}")).collect(),
+        (0..servers).map(|j| format!("lc{j}")).collect(),
+        values,
+    )
+    .expect("fleet matrix is well-formed")
 }
 
 /// Median wall-clock nanoseconds of `iters` runs of `f`.
@@ -151,30 +224,60 @@ pub fn run_case(
     iters: usize,
     rows: &mut Vec<BenchRow>,
 ) -> Option<f64> {
-    let cfg = AuctionConfig::with_eps(eps);
     let matrix = synthetic_matrix(be_rows, servers, size_seed(be_rows, servers));
-    let mut push = |solver: &str, ns: u64| {
+    let prev = measure_auction(&matrix, "", eps, iters, rows);
+
+    if servers <= DENSE_LIMIT {
+        let mut exact_total = 0.0;
+        let dense_ns = median_ns(iters, || {
+            exact_total = hungarian::solve_max(&matrix).total;
+        });
         rows.push(BenchRow {
-            solver: solver.into(),
+            solver: "hungarian".into(),
+            n: servers,
+            m: be_rows,
+            median_ns: dense_ns,
+        });
+        return Some(exact_total - prev.assignment.total);
+    }
+    None
+}
+
+/// Measures the cold/warm/incremental auction scenarios on `matrix`,
+/// appending rows whose solver labels carry `suffix` (`""` for the
+/// synthetic fleet, `"_mixed3"` for the heterogeneous variant). Returns
+/// the certified reference solution so callers can baseline against it.
+fn measure_auction(
+    matrix: &PerfMatrix,
+    suffix: &str,
+    eps: f64,
+    iters: usize,
+    rows: &mut Vec<BenchRow>,
+) -> AuctionSolution {
+    let cfg = AuctionConfig::with_eps(eps);
+    let (be_rows, servers) = (matrix.rows(), matrix.cols());
+    let mut push = |solver: String, ns: u64| {
+        rows.push(BenchRow {
+            solver,
             n: servers,
             m: be_rows,
             median_ns: ns,
         });
     };
 
-    let cold_ns = median_ns(iters, || auction::solve(&matrix, &cfg).expect("cold solve"));
-    push("auction_cold", cold_ns);
+    let cold_ns = median_ns(iters, || auction::solve(matrix, &cfg).expect("cold solve"));
+    push(format!("auction_cold{suffix}"), cold_ns);
 
     // Reference solve whose candidates + prices seed the replan scenarios.
-    let mut cands = SparseCandidates::build(&matrix, SparseCandidates::default_k(servers));
-    let prev = auction::solve_with_candidates(&matrix, &mut cands, &cfg).expect("reference solve");
+    let mut cands = SparseCandidates::build(matrix, SparseCandidates::default_k(servers));
+    let prev = auction::solve_with_candidates(matrix, &mut cands, &cfg).expect("reference solve");
     assert!(prev.certified, "reference solve must certify");
 
     let warm_ns = median_ns(iters, || {
         let mut c = cands.clone();
-        auction::solve_warm(&matrix, &mut c, &prev.prices, &cfg).expect("warm solve")
+        auction::solve_warm(matrix, &mut c, &prev.prices, &cfg).expect("warm solve")
     });
-    push("auction_warm", warm_ns);
+    push(format!("auction_warm{suffix}"), warm_ns);
 
     let delta = fault_delta(&prev);
     let patched = matrix.patched(&delta).expect("patched matrix");
@@ -182,17 +285,25 @@ pub fn run_case(
         let mut c = cands.clone();
         auction::solve_incremental(&patched, &mut c, &prev, &delta, &cfg).expect("incremental")
     });
-    push("auction_incremental", inc_ns);
+    push(format!("auction_incremental{suffix}"), inc_ns);
+    prev
+}
 
-    if servers <= DENSE_LIMIT {
-        let mut exact_total = 0.0;
-        let dense_ns = median_ns(iters, || {
-            exact_total = hungarian::solve_max(&matrix).total;
-        });
-        push("hungarian", dense_ns);
-        return Some(exact_total - prev.assignment.total);
-    }
-    None
+/// The heterogeneous-fleet variant of [`run_case`]: same scenarios, but
+/// the columns are apportioned across a real [`FleetSpec`]'s SKUs via
+/// [`synthetic_fleet_matrix`]. Rows are tagged `_<tag>` so the report
+/// keeps both fleets side by side at the same size.
+pub fn run_fleet_case(
+    be_rows: usize,
+    servers: usize,
+    spec: &FleetSpec,
+    tag: &str,
+    eps: f64,
+    iters: usize,
+    rows: &mut Vec<BenchRow>,
+) {
+    let matrix = synthetic_fleet_matrix(be_rows, servers, spec, size_seed(be_rows, servers));
+    measure_auction(&matrix, &format!("_{tag}"), eps, iters, rows);
 }
 
 /// Runs [`STANDARD_SIZES`] at [`DEFAULT_EPS`] and returns the baseline
@@ -212,6 +323,16 @@ pub fn run_standard(iters: usize) -> ScaleReport {
                 DEFAULT_EPS * m as f64
             );
         }
+    }
+    // Heterogeneous variant at fleet scale only: the sparse 10k-server
+    // path is the one whose pruning must survive a mixed-SKU geometry.
+    let spec = FleetSpec::preset("mixed3").expect("mixed3 preset exists");
+    let (m, n) = *STANDARD_SIZES.last().expect("at least one size");
+    println!("assignment_scale: {n} servers x {m} BE apps, mixed3 fleet ({iters} samples)...");
+    let before = rows.len();
+    run_fleet_case(m, n, &spec, "mixed3", DEFAULT_EPS, iters, &mut rows);
+    for row in &rows[before..] {
+        println!("  {:<28} median {:>12} ns", row.solver, row.median_ns);
     }
     ScaleReport {
         eps: DEFAULT_EPS,
@@ -324,5 +445,38 @@ mod tests {
             ]
         );
         assert!(gap <= DEFAULT_EPS * 12.0 + 1e-6, "gap {gap} too large");
+    }
+
+    #[test]
+    fn fleet_matrix_is_deterministic_and_keeps_sku_clusters() {
+        let spec = FleetSpec::preset("mixed3").expect("mixed3 preset");
+        let a = synthetic_fleet_matrix(8, 60, &spec, 7);
+        let b = synthetic_fleet_matrix(8, 60, &spec, 7);
+        assert_eq!(a.values(), b.values());
+        // Three SKUs, not sixty geometries: the LSH buckets stay few.
+        let cands = SparseCandidates::build(&a, 4);
+        assert!(cands.buckets().bucket_count() < 60);
+    }
+
+    #[test]
+    fn fleet_case_reports_tagged_scenarios_that_certify() {
+        let spec = FleetSpec::preset("mixed3").expect("mixed3 preset");
+        let mut rows = Vec::new();
+        run_fleet_case(12, 60, &spec, "mixed3", DEFAULT_EPS, 3, &mut rows);
+        let solvers: Vec<&str> = rows.iter().map(|r| r.solver.as_str()).collect();
+        assert_eq!(
+            solvers,
+            [
+                "auction_cold_mixed3",
+                "auction_warm_mixed3",
+                "auction_incremental_mixed3"
+            ]
+        );
+        // The dense baseline still certifies the mixed geometry.
+        let matrix = synthetic_fleet_matrix(12, 60, &spec, size_seed(12, 60));
+        let sol = auction::solve(&matrix, &AuctionConfig::with_eps(DEFAULT_EPS)).expect("solve");
+        let exact = hungarian::solve_max(&matrix);
+        assert!(sol.certified);
+        assert!(exact.total - sol.assignment.total <= DEFAULT_EPS * 12.0 + 1e-6);
     }
 }

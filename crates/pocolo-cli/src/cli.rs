@@ -26,6 +26,11 @@ COMMANDS:
     demo-fleet               run a seeded mixed-SKU fleet under chaos and
                              verify SKU-aware placement beats SKU-blind with
                              every class honoring its power cap
+    demo-federation          run a seeded multi-region federation under a
+                             regional brownout (and leader kill) and verify
+                             the federated placer beats region-isolated
+                             baselines with failover bit-identical to the
+                             uninterrupted reference
     tco                      amortized monthly TCO comparison
     table2                   Table II: LC application characteristics
     help                     this text
@@ -39,7 +44,10 @@ OPTIONS:
     --seed <n>         RNG seed                        (default: 1)
     --parallelism <p>  serial | auto | <threads>       (default: auto)
     --faults <spec>    inject faults: brownout | crash | chaos | surge, with
-                       an optional schedule seed as <scenario>:<seed>
+                       an optional schedule seed as <scenario>:<seed>;
+                       demo-federation instead takes region-brownout |
+                       region-chaos (region-chaos adds a leader crash)
+    --regions <n>      demo-federation: federated regions  (default: 3)
     --fleet <spec>     server fleet composition, as a preset (mixed3, xeon,
                        turbo, stepcell) or class terms like
                        xeon*2+turbo[/cores/ways], with an optional class-
@@ -91,6 +99,8 @@ pub struct Options {
     pub faults: Option<String>,
     /// `--fleet` (raw `<spec>[:<seed>]` fleet composition).
     pub fleet: Option<String>,
+    /// `--regions` (demo-federation region count).
+    pub regions: usize,
     /// `--no-resilience`.
     pub no_resilience: bool,
     /// `--decision-log` (path for the JSON-lines decision trace).
@@ -146,6 +156,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         parallelism: Parallelism::default(),
         faults: None,
         fleet: None,
+        regions: 3,
         no_resilience: false,
         decision_log: None,
         listen: "127.0.0.1:7700".into(),
@@ -218,6 +229,16 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| "--fleet needs a value".to_string())?
                         .clone(),
                 )
+            }
+            "--regions" => {
+                opts.regions = it
+                    .next()
+                    .ok_or_else(|| "--regions needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--regions: {e}"))?;
+                if opts.regions < 2 {
+                    return Err("--regions needs at least 2 (nowhere to fail over to)".into());
+                }
             }
             "--no-resilience" => opts.no_resilience = true,
             "--decision-log" => {
@@ -427,6 +448,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "demo-net" => cmd_demo_net(&opts),
         "demo-traffic" => cmd_demo_traffic(&opts),
         "demo-fleet" => cmd_demo_fleet(&opts),
+        "demo-federation" => cmd_demo_federation(&opts),
         "tco" => cmd_tco(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -1001,6 +1023,126 @@ fn cmd_demo_fleet(opts: &Options) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
+fn cmd_demo_federation(opts: &Options) -> Result<String, String> {
+    let faults: RegionFaultSpec = match opts.faults.as_deref() {
+        Some(raw) => raw.parse()?,
+        // Like demo-fleet, the demo is about surviving an emergency:
+        // default to the seeded regional brownout.
+        None => RegionFaultSpec {
+            scenario: RegionScenario::RegionBrownout,
+            seed: Some(DEMO_FAULT_SEED),
+        },
+    };
+    let mut fed = FederationScenario::pinned(opts.regions, opts.seed);
+    fed.faults = Some(faults);
+    fed.parallelism = opts.parallelism;
+    fed.kill_leader = true;
+    // The uninterrupted reference ignores leader crashes; the isolated
+    // baseline pins each region to its static share of the contract.
+    let mut reference = fed.clone();
+    reference.kill_leader = false;
+    let mut iso = fed.clone();
+    iso.federated = false;
+    let (fed_r, ref_r, iso_r) = (fed.run(), reference.run(), iso.run());
+    let plan = faults.scenario.plan(
+        faults.seed.unwrap_or(opts.seed),
+        fed.ticks,
+        opts.regions,
+        fed.replicas,
+    );
+    // The demo doubles as the CI gate: a nonzero exit means the
+    // federation contract broke, not that the CLI was misused.
+    if fed_r.cap_violations > 0 || iso_r.cap_violations > 0 {
+        return Err(format!(
+            "federation demo failed: cap breached (federated {}, isolated {}) under {faults}",
+            fed_r.cap_violations, iso_r.cap_violations,
+        ));
+    }
+    if fed_r.utility <= iso_r.utility {
+        return Err(format!(
+            "federation demo failed: federated utility {:.4} did not beat isolated {:.4} \
+             under {faults} (seed {})",
+            fed_r.utility, iso_r.utility, opts.seed,
+        ));
+    }
+    if fed_r.slo_violation_frac >= iso_r.slo_violation_frac {
+        return Err(format!(
+            "federation demo failed: federated SLO violations {:.4} did not beat isolated \
+             {:.4} under {faults} (seed {})",
+            fed_r.slo_violation_frac, iso_r.slo_violation_frac, opts.seed,
+        ));
+    }
+    let crashes = plan.leader_crashes();
+    if !crashes.is_empty() && fed_r.promotions.is_empty() {
+        return Err(format!(
+            "federation demo failed: the leader died at tick {} but nobody was promoted",
+            crashes[0].0,
+        ));
+    }
+    if fed_r.decision_digest != ref_r.decision_digest
+        || fed_r.decision_log != ref_r.decision_log
+        || fed_r.utility.to_bits() != ref_r.utility.to_bits()
+        || fed_r.final_version != ref_r.final_version
+    {
+        return Err(format!(
+            "federation demo failed: leader-kill run diverged from the uninterrupted \
+             reference (digest {} vs {}) under {faults}",
+            fed_r.decision_digest, ref_r.decision_digest,
+        ));
+    }
+    if let Some(path) = opts.decision_log.as_deref() {
+        let mut out = String::new();
+        for line in &fed_r.decision_log {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if opts.json {
+        let value = pocolo_json::json!({
+            "regions": (opts.regions as u64),
+            "seed": opts.seed,
+            "faults": faults.to_string(),
+            "federated": fed_r.to_json(),
+            "isolated": iso_r.to_json(),
+            "utility_margin": (fed_r.utility - iso_r.utility),
+            "slo_improvement": (iso_r.slo_violation_frac - fed_r.slo_violation_frac),
+            "failover_bit_identical": true
+        });
+        return Ok(pocolo_json::to_string_pretty(&value));
+    }
+    let mut out = format!(
+        "federation {} regions (seed {}, faults {faults}): federated utility {:.4} beats \
+         isolated {:.4} ({:+.4}), 0 cap violations\n",
+        opts.regions,
+        opts.seed,
+        fed_r.utility,
+        iso_r.utility,
+        fed_r.utility - iso_r.utility,
+    );
+    let _ = writeln!(
+        out,
+        "  SLO violation fraction {:.4} vs {:.4} isolated; {} migrations over {} epochs",
+        fed_r.slo_violation_frac, iso_r.slo_violation_frac, fed_r.migrations, fed_r.final_version,
+    );
+    match fed_r.promotions.as_slice() {
+        [] => {
+            let _ = writeln!(out, "  leader never challenged (no crash in {faults})");
+        }
+        promotions => {
+            for &(tick, rank) in promotions {
+                let _ = writeln!(
+                    out,
+                    "  leader killed: replica {rank} promoted at tick {tick}; report \
+                     bit-identical to the uninterrupted reference (digest {})",
+                    fed_r.decision_digest,
+                );
+            }
+        }
+    }
+    Ok(out.trim_end().to_string())
+}
+
 fn cmd_tco(opts: &Options) -> Result<String, String> {
     let model = TcoModel::default();
     let scenarios = [
@@ -1437,6 +1579,37 @@ mod tests {
     fn demo_fleet_single_class_margin_is_moot() {
         let out = run(&argv("demo-fleet --fleet xeon --dwell 2")).unwrap();
         assert!(out.contains("+0.0000"), "{out}");
+    }
+
+    #[test]
+    fn parse_regions_flag() {
+        let o = parse(&argv("demo-federation --regions 5")).unwrap();
+        assert_eq!(o.regions, 5);
+        assert!(parse(&argv("demo-federation --regions")).is_err());
+        assert!(parse(&argv("demo-federation --regions 1")).is_err());
+        assert!(parse(&argv("demo-federation --regions two")).is_err());
+    }
+
+    #[test]
+    fn demo_federation_beats_isolated_and_survives_leader_kill() {
+        let json = run(&argv("demo-federation --faults region-chaos:5 --json")).unwrap();
+        let v: pocolo_json::Value = pocolo_json::from_str(&json).unwrap();
+        assert!(v["utility_margin"].as_f64().unwrap() > 0.0);
+        assert!(v["slo_improvement"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["federated"]["cap_violations"].as_f64(), Some(0.0));
+        assert_eq!(v["isolated"]["cap_violations"].as_f64(), Some(0.0));
+        assert_eq!(
+            v["federated"]["promotions"].as_array().unwrap().len(),
+            1,
+            "the chaos leader kill must promote exactly one follower"
+        );
+        assert_eq!(v["failover_bit_identical"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn demo_federation_rejects_server_scenarios() {
+        let err = run(&argv("demo-federation --faults chaos")).unwrap_err();
+        assert!(err.contains("chaos"), "error names the bad token: {err}");
     }
 
     #[test]

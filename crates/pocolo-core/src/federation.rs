@@ -1,0 +1,441 @@
+//! Federation state types shared by the wire protocol and the
+//! federation tier.
+//!
+//! The geo-federated control plane (crate `pocolo-federation`) follows
+//! the same decide/actuate split as the per-server controller: a pure
+//! `RegionController` consumes a [`FederationInput`] snapshot and emits
+//! a [`FederationDecision`] — per-region power-budget splits plus scored
+//! whole-application migration intents. Decisions are committed to a
+//! versioned replicated log ([`FedLogEntry`]) whose compaction point is
+//! a [`FedSnapshot`]; both travel over the `pocolo-net` wire protocol,
+//! which is why the types (and their JSON codecs) live here rather than
+//! in the federation crate — `pocolo-net` must encode them without
+//! depending on the federation tier.
+//!
+//! All codecs are hand-rolled against `pocolo_json::Value`, mirroring
+//! the wire-message style: `to_json` emits compact deterministic
+//! objects, `from_json` returns `Err(String)` on any malformed field so
+//! transport layers can wrap the cause in their own typed errors.
+
+use pocolo_json::{json, Value};
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    Ok(u64_field(v, key)? as usize)
+}
+
+fn f64_list(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{key:?} holds a non-number"))
+        })
+        .collect()
+}
+
+fn usize_list(v: &Value, key: &str) -> Result<Vec<usize>, String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|u| u as usize)
+                .ok_or_else(|| format!("{key:?} holds a non-integer"))
+        })
+        .collect()
+}
+
+/// One region's slice of the federation telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStatus {
+    /// Region index.
+    pub region: usize,
+    /// Current wholesale power price (relative units; 1.0 = nominal).
+    pub power_price: f64,
+    /// Grid derate in effect: 1.0 = healthy, < 1 during a regional
+    /// brownout.
+    pub cap_factor: f64,
+    /// Provisioned grid feed, watts, before the derate.
+    pub grid_w: f64,
+    /// Server slots the region owns.
+    pub slots: usize,
+    /// Summed draw of the applications currently resident and serving.
+    pub resident_power_w: f64,
+}
+
+impl RegionStatus {
+    /// Power the grid will actually deliver right now.
+    pub fn available_w(&self) -> f64 {
+        self.grid_w * self.cap_factor
+    }
+
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "region": self.region as u64,
+            "power_price": self.power_price,
+            "cap_factor": self.cap_factor,
+            "grid_w": self.grid_w,
+            "slots": self.slots as u64,
+            "resident_power_w": self.resident_power_w,
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(RegionStatus {
+            region: usize_field(v, "region")?,
+            power_price: f64_field(v, "power_price")?,
+            cap_factor: f64_field(v, "cap_factor")?,
+            grid_w: f64_field(v, "grid_w")?,
+            slots: usize_field(v, "slots")?,
+            resident_power_w: f64_field(v, "resident_power_w")?,
+        })
+    }
+}
+
+/// One best-effort application's slice of the federation snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppStatus {
+    /// Application id (stable across migrations).
+    pub app: usize,
+    /// Region the application is currently resident in.
+    pub region: usize,
+    /// Whole-application draw when serving, watts.
+    pub power_w: f64,
+    /// Utility rate per region — the application's throughput value if
+    /// it were resident there (interference/affinity-aware scoring).
+    pub rates: Vec<f64>,
+    /// True while the application is mid-migration (draining or warming)
+    /// and must not be moved again.
+    pub migrating: bool,
+}
+
+impl AppStatus {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "app": self.app as u64,
+            "region": self.region as u64,
+            "power_w": self.power_w,
+            "rates": self.rates,
+            "migrating": self.migrating,
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(AppStatus {
+            app: usize_field(v, "app")?,
+            region: usize_field(v, "region")?,
+            power_w: f64_field(v, "power_w")?,
+            rates: f64_list(v, "rates")?,
+            migrating: field(v, "migrating")?
+                .as_bool()
+                .ok_or_else(|| "field \"migrating\" is not a boolean".to_string())?,
+        })
+    }
+}
+
+/// The full telemetry snapshot a `RegionController` decides from: the
+/// federation-wide contracted power plus every region's and every
+/// application's current state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationInput {
+    /// Virtual tick the snapshot was taken at.
+    pub tick: u64,
+    /// Total power the federation has contracted across all regions,
+    /// watts. Typically less than the summed grid feeds — the whole
+    /// point of splitting it adaptively.
+    pub contracted_w: f64,
+    /// Per-region status, indexed by region id.
+    pub regions: Vec<RegionStatus>,
+    /// Per-application status, indexed by app id.
+    pub apps: Vec<AppStatus>,
+}
+
+/// One scored whole-application migration the controller wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationIntent {
+    /// Application to move.
+    pub app: usize,
+    /// Source region.
+    pub from: usize,
+    /// Destination region.
+    pub to: usize,
+    /// Expected per-tick score gain that justified the move (already net
+    /// of the hysteresis threshold).
+    pub gain: f64,
+}
+
+impl MigrationIntent {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "app": self.app as u64,
+            "from": self.from as u64,
+            "to": self.to as u64,
+            "gain": self.gain,
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(MigrationIntent {
+            app: usize_field(v, "app")?,
+            from: usize_field(v, "from")?,
+            to: usize_field(v, "to")?,
+            gain: f64_field(v, "gain")?,
+        })
+    }
+}
+
+/// What the federation controller decided at one epoch: how the
+/// contracted power splits across regions, and which applications move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationDecision {
+    /// Tick the decision was made at.
+    pub tick: u64,
+    /// Power budget granted to each region, watts, indexed by region id.
+    /// Always `split[r] <= grid_w[r] * cap_factor[r]` and
+    /// `sum(split) <= contracted_w`.
+    pub budget_w: Vec<f64>,
+    /// Migrations to start this epoch, highest gain first.
+    pub migrations: Vec<MigrationIntent>,
+}
+
+impl FederationDecision {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "tick": self.tick,
+            "budget_w": self.budget_w,
+            "migrations": self.migrations.iter().map(|m| m.to_json()).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let migrations = field(v, "migrations")?
+            .as_array()
+            .ok_or_else(|| "field \"migrations\" is not an array".to_string())?
+            .iter()
+            .map(MigrationIntent::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FederationDecision {
+            tick: u64_field(v, "tick")?,
+            budget_w: f64_list(v, "budget_w")?,
+            migrations,
+        })
+    }
+}
+
+/// One committed entry of the replicated federation log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedLogEntry {
+    /// Monotonic log version (1-based; version 0 is the empty state).
+    pub version: u64,
+    /// The decision committed at this version.
+    pub decision: FederationDecision,
+}
+
+impl FedLogEntry {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "version": self.version,
+            "decision": self.decision.to_json(),
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(FedLogEntry {
+            version: u64_field(v, "version")?,
+            decision: FederationDecision::from_json(field(v, "decision")?)?,
+        })
+    }
+}
+
+/// An in-flight migration as recorded in replicated state: the
+/// application already belongs to `to`, but serves nothing until
+/// `until_tick` (drain + warm-start downtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// Application in flight.
+    pub app: usize,
+    /// Destination region.
+    pub to: usize,
+    /// First tick the application serves from the destination.
+    pub until_tick: u64,
+}
+
+impl MigrationRecord {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "app": self.app as u64,
+            "to": self.to as u64,
+            "until_tick": self.until_tick,
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(MigrationRecord {
+            app: usize_field(v, "app")?,
+            to: usize_field(v, "to")?,
+            until_tick: u64_field(v, "until_tick")?,
+        })
+    }
+}
+
+/// A versioned snapshot of the replicated federation state — the log's
+/// compaction point. A follower that is too far behind receives a
+/// snapshot plus the suffix of the log instead of the full history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedSnapshot {
+    /// Log version the snapshot reflects.
+    pub version: u64,
+    /// Tick of the last applied decision.
+    pub tick: u64,
+    /// Region each application is resident in, indexed by app id.
+    pub app_region: Vec<usize>,
+    /// Current per-region budget split, watts.
+    pub budget_w: Vec<f64>,
+    /// Migrations still in flight, ascending by app id.
+    pub migrating: Vec<MigrationRecord>,
+}
+
+impl FedSnapshot {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "version": self.version,
+            "tick": self.tick,
+            "app_region": self.app_region.iter().map(|&r| r as u64).collect::<Vec<_>>(),
+            "budget_w": self.budget_w,
+            "migrating": self.migrating.iter().map(|m| m.to_json()).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Decodes, reporting the first malformed field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let migrating = field(v, "migrating")?
+            .as_array()
+            .ok_or_else(|| "field \"migrating\" is not an array".to_string())?
+            .iter()
+            .map(MigrationRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FedSnapshot {
+            version: u64_field(v, "version")?,
+            tick: u64_field(v, "tick")?,
+            app_region: usize_list(v, "app_region")?,
+            budget_w: f64_list(v, "budget_w")?,
+            migrating,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision() -> FederationDecision {
+        FederationDecision {
+            tick: 40,
+            budget_w: vec![480.0, 360.5, 512.25],
+            migrations: vec![MigrationIntent {
+                app: 7,
+                from: 1,
+                to: 2,
+                gain: 0.375,
+            }],
+        }
+    }
+
+    #[test]
+    fn decision_round_trips() {
+        let d = decision();
+        assert_eq!(FederationDecision::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn log_entry_round_trips() {
+        let e = FedLogEntry {
+            version: 9,
+            decision: decision(),
+        };
+        assert_eq!(FedLogEntry::from_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = FedSnapshot {
+            version: 12,
+            tick: 120,
+            app_region: vec![0, 2, 1, 1],
+            budget_w: vec![500.0, 250.0, 250.0],
+            migrating: vec![MigrationRecord {
+                app: 2,
+                to: 1,
+                until_tick: 124,
+            }],
+        };
+        assert_eq!(FedSnapshot::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_fields_report_their_key() {
+        let bad = json!({
+            "version": 1u64,
+            "tick": "later",
+            "app_region": Value::Array(Vec::new()),
+            "budget_w": Value::Array(Vec::new()),
+            "migrating": Value::Array(Vec::new()),
+        });
+        let err = FedSnapshot::from_json(&bad).unwrap_err();
+        assert!(err.contains("tick"), "error names the field: {err}");
+    }
+
+    #[test]
+    fn status_types_round_trip() {
+        let r = RegionStatus {
+            region: 3,
+            power_price: 1.25,
+            cap_factor: 0.6,
+            grid_w: 900.0,
+            slots: 8,
+            resident_power_w: 512.0,
+        };
+        assert_eq!(RegionStatus::from_json(&r.to_json()).unwrap(), r);
+        assert!((r.available_w() - 540.0).abs() < 1e-12);
+        let a = AppStatus {
+            app: 5,
+            region: 3,
+            power_w: 90.0,
+            rates: vec![1.0, 0.875, 1.125],
+            migrating: true,
+        };
+        assert_eq!(AppStatus::from_json(&a.to_json()).unwrap(), a);
+    }
+}

@@ -58,6 +58,7 @@
 
 pub mod curves;
 pub mod error;
+pub mod federation;
 pub mod fit;
 pub mod fleet;
 mod json;

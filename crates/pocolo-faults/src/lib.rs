@@ -39,10 +39,14 @@
 
 mod backoff;
 mod plan;
+pub mod region;
 mod scenario;
 
 pub use backoff::{ReadmissionBackoff, RetryPolicy};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
+pub use region::{
+    RegionFaultEvent, RegionFaultKind, RegionFaultPlan, RegionFaultSpec, RegionScenario,
+};
 pub use scenario::{FaultSpec, Scenario};
 
 /// Ascending-value eviction order: indices of `values` sorted so the

@@ -53,6 +53,10 @@ pub struct AgentConfig {
     /// deregistering) after this many control epochs, as if the process
     /// died mid-run.
     pub die_after_epochs: Option<u64>,
+    /// Hardware class to declare at registration (a
+    /// `pocolo_core::fleet::ServerClass` catalog name). `None` keeps the
+    /// pre-fleet frame layout on the wire.
+    pub class: Option<String>,
 }
 
 impl AgentConfig {
@@ -68,7 +72,15 @@ impl AgentConfig {
             io_timeout: Duration::from_secs(5),
             retry_seed,
             die_after_epochs: None,
+            class: None,
         }
+    }
+
+    /// Declares a hardware class at registration.
+    #[must_use]
+    pub fn with_class(mut self, class: impl Into<String>) -> Self {
+        self.class = Some(class.into());
+        self
     }
 }
 
@@ -117,6 +129,7 @@ pub fn run_agent(config: &AgentConfig) -> Result<AgentReport, NetError> {
     let mut client = RpcClient::connect(config.connect, &mut retry, config.io_timeout)?;
     let register = Message::Register {
         agent: config.agent.clone(),
+        class: config.class.clone(),
     };
     let (server, degraded, run) = match exchange(&mut client, config, &register)? {
         Message::Welcome {

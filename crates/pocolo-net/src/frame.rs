@@ -193,6 +193,7 @@ mod tests {
         let msgs = [
             Message::Register {
                 agent: "agent-0".into(),
+                class: Some("xeon".into()),
             },
             Message::Telemetry {
                 server: 3,

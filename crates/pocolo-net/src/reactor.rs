@@ -705,6 +705,7 @@ mod tests {
         crate::wire::write_frame(
             &mut frame,
             &Message::Register {
+                class: None,
                 agent: "flood".into(),
             }
             .to_value(),

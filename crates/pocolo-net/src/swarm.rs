@@ -347,9 +347,13 @@ pub fn run_swarm(config: &SwarmConfig) -> Result<SwarmReport, NetError> {
                     cap_changed_at: None,
                 },
             };
+            // Swarm agents cycle through the SKU catalog so the scale
+            // path exercises heterogeneous registration end to end.
+            let catalog = pocolo_core::fleet::ServerClass::CATALOG;
             let frame = encode_frame(
                 &Message::Register {
                     agent: config.identities[idx].clone(),
+                    class: Some(catalog[idx % catalog.len()].to_string()),
                 }
                 .to_value(),
             )?;

@@ -10,6 +10,7 @@
 use std::io::{Read, Write};
 
 use pocolo_cluster::Solver;
+use pocolo_core::federation::{FedLogEntry, FedSnapshot};
 use pocolo_faults::FaultSpec;
 use pocolo_json::{json, ToJson, Value};
 use pocolo_sim::experiment::{ExperimentConfig, FittedCluster};
@@ -333,6 +334,11 @@ pub enum Message {
     Register {
         /// Stable agent identity, chosen by the agent.
         agent: String,
+        /// Hardware class the agent claims to run on (a
+        /// `pocolo_core::fleet::ServerClass` catalog name). Optional and
+        /// omitted from the frame when absent, so v1 peers that predate
+        /// heterogeneous fleets interoperate unchanged.
+        class: Option<String>,
     },
     /// The daemon assigns a slot and pushes the run spec.
     Welcome {
@@ -391,6 +397,26 @@ pub enum Message {
     Shutdown,
     /// Shutdown acknowledgement.
     ShutdownAck,
+    /// A federation follower asks the leader for every committed log
+    /// entry past `from_version` (0 = from the beginning).
+    FedPull {
+        /// The follower's stable identity; renews its replication lease.
+        follower: String,
+        /// Highest log version the follower has applied.
+        from_version: u64,
+    },
+    /// The leader's replication reply: the log suffix, preceded by a
+    /// full snapshot when the log was compacted past `from_version`.
+    FedEntries {
+        /// The leader's current committed version.
+        leader_version: u64,
+        /// Compaction snapshot to restore before applying `entries`;
+        /// present only when the follower was behind the compaction
+        /// point.
+        snapshot: Option<Box<FedSnapshot>>,
+        /// Committed entries, ascending by version.
+        entries: Vec<FedLogEntry>,
+    },
     /// Application-level failure report.
     Error {
         /// Human-readable cause.
@@ -412,6 +438,8 @@ impl Message {
             Message::StatusReport { .. } => "status_report",
             Message::Shutdown => "shutdown",
             Message::ShutdownAck => "shutdown_ack",
+            Message::FedPull { .. } => "fed_pull",
+            Message::FedEntries { .. } => "fed_entries",
             Message::Error { .. } => "error",
         }
     }
@@ -423,8 +451,11 @@ impl Message {
             ("type".to_string(), json!(self.type_name())),
         ];
         match self {
-            Message::Register { agent } => {
+            Message::Register { agent, class } => {
                 fields.push(("agent".into(), json!(agent)));
+                if let Some(class) = class {
+                    fields.push(("class".into(), json!(class)));
+                }
             }
             Message::Welcome {
                 server,
@@ -468,6 +499,31 @@ impl Message {
                 fields.push(("degraded".into(), json!(*degraded as u64)));
                 fields.push(("done".into(), json!(*done as u64)));
             }
+            Message::FedPull {
+                follower,
+                from_version,
+            } => {
+                fields.push(("follower".into(), json!(follower)));
+                fields.push(("from_version".into(), json!(*from_version)));
+            }
+            Message::FedEntries {
+                leader_version,
+                snapshot,
+                entries,
+            } => {
+                fields.push(("leader_version".into(), json!(*leader_version)));
+                fields.push((
+                    "snapshot".into(),
+                    match snapshot {
+                        Some(s) => s.to_json(),
+                        None => Value::Null,
+                    },
+                ));
+                fields.push((
+                    "entries".into(),
+                    Value::Array(entries.iter().map(|e| e.to_json()).collect()),
+                ));
+            }
             Message::Error { message } => {
                 fields.push(("message".into(), json!(message)));
             }
@@ -489,6 +545,14 @@ impl Message {
         match kind.as_str() {
             "register" => Ok(Message::Register {
                 agent: str_field(v, "agent")?,
+                // Absent in frames from pre-fleet peers: stay compatible.
+                class: match v.get("class") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::String(s)) => Some(s.clone()),
+                    Some(_) => {
+                        return Err(NetError::Protocol("field \"class\" is not a string".into()))
+                    }
+                },
             }),
             "welcome" => Ok(Message::Welcome {
                 server: usize_field(v, "server")?,
@@ -523,6 +587,29 @@ impl Message {
             }),
             "shutdown" => Ok(Message::Shutdown),
             "shutdown_ack" => Ok(Message::ShutdownAck),
+            "fed_pull" => Ok(Message::FedPull {
+                follower: str_field(v, "follower")?,
+                from_version: u64_field(v, "from_version")?,
+            }),
+            "fed_entries" => {
+                let snapshot = match field(v, "snapshot")? {
+                    Value::Null => None,
+                    s => Some(Box::new(
+                        FedSnapshot::from_json(s).map_err(NetError::Protocol)?,
+                    )),
+                };
+                let entries = field(v, "entries")?
+                    .as_array()
+                    .ok_or_else(|| NetError::Protocol("entries is not an array".into()))?
+                    .iter()
+                    .map(|e| FedLogEntry::from_json(e).map_err(NetError::Protocol))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Message::FedEntries {
+                    leader_version: u64_field(v, "leader_version")?,
+                    snapshot,
+                    entries,
+                })
+            }
             "error" => Ok(Message::Error {
                 message: str_field(v, "message")?,
             }),
@@ -566,6 +653,11 @@ mod tests {
         let msgs = [
             Message::Register {
                 agent: "agent-3".into(),
+                class: None,
+            },
+            Message::Register {
+                agent: "agent-4".into(),
+                class: Some("stepcell".into()),
             },
             Message::Welcome {
                 server: 2,
@@ -591,6 +683,42 @@ mod tests {
             },
             Message::Shutdown,
             Message::ShutdownAck,
+            Message::FedPull {
+                follower: "fed-1".into(),
+                from_version: 17,
+            },
+            Message::FedEntries {
+                leader_version: 19,
+                snapshot: Some(Box::new(pocolo_core::federation::FedSnapshot {
+                    version: 18,
+                    tick: 180,
+                    app_region: vec![0, 1, 1],
+                    budget_w: vec![400.0, 350.0],
+                    migrating: vec![pocolo_core::federation::MigrationRecord {
+                        app: 2,
+                        to: 1,
+                        until_tick: 182,
+                    }],
+                })),
+                entries: vec![pocolo_core::federation::FedLogEntry {
+                    version: 19,
+                    decision: pocolo_core::federation::FederationDecision {
+                        tick: 190,
+                        budget_w: vec![380.0, 370.0],
+                        migrations: vec![pocolo_core::federation::MigrationIntent {
+                            app: 0,
+                            from: 0,
+                            to: 1,
+                            gain: 0.25,
+                        }],
+                    },
+                }],
+            },
+            Message::FedEntries {
+                leader_version: 0,
+                snapshot: None,
+                entries: Vec::new(),
+            },
             Message::Error {
                 message: "nope".into(),
             },
@@ -619,6 +747,33 @@ mod tests {
         buf.extend_from_slice(b"garbage");
         let err = read_frame(&mut &buf[..]).unwrap_err();
         assert!(matches!(err, NetError::Frame(_)), "got {err}");
+    }
+
+    #[test]
+    fn register_without_class_field_decodes_as_v1_compat() {
+        // A frame from a peer built before heterogeneous fleets: no
+        // "class" key at all. It must decode, not error.
+        let v = json!({"v": PROTOCOL_VERSION, "type": "register", "agent": "old-agent"});
+        assert_eq!(
+            Message::from_value(&v).unwrap(),
+            Message::Register {
+                agent: "old-agent".into(),
+                class: None,
+            }
+        );
+        // And an explicit null is treated the same as absent.
+        let v =
+            json!({"v": PROTOCOL_VERSION, "type": "register", "agent": "a", "class": Value::Null});
+        assert!(matches!(
+            Message::from_value(&v).unwrap(),
+            Message::Register { class: None, .. }
+        ));
+        // A declared class does not leak into classless encodings.
+        let plain = Message::Register {
+            agent: "a".into(),
+            class: None,
+        };
+        assert!(plain.to_value().get("class").is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | Simulation | [`sim`] | Discrete-event cluster simulation, policy experiments, degraded-mode resilience, heterogeneous-fleet SKU-aware vs SKU-blind comparison |
 //! | Traffic engine | [`traffic`] | Sharded million-user request synthesis (bit-identical at any shard count), composable mixes, online utility refit loop |
 //! | Distributed runtime | [`net`] | Length-prefixed JSON wire protocol over TCP, POM agent + POColo cluster daemons, heartbeat leases, loopback parity harness |
+//! | Geo-federation | [`federation`] | Multi-region control plane: pure region controller, leader–follower replicated decision log, brownout failover harness |
 //! | Cost analysis | [`tco`] | Hamilton-style amortized monthly TCO |
 //!
 //! # Quickstart
@@ -34,6 +35,7 @@
 pub use pocolo_cluster as cluster;
 pub use pocolo_core as core;
 pub use pocolo_faults as faults;
+pub use pocolo_federation as federation;
 pub use pocolo_manager as manager;
 pub use pocolo_net as net;
 pub use pocolo_sim as sim;
@@ -56,7 +58,11 @@ pub mod prelude {
     };
     pub use pocolo_faults::{
         eviction_order, FaultEvent, FaultKind, FaultPlan, FaultSpec, ReadmissionBackoff,
+        RegionFaultKind, RegionFaultPlan, RegionFaultSpec, RegionScenario,
         Scenario as FaultScenario,
+    };
+    pub use pocolo_federation::{
+        FederationConfig, FederationReport, FederationScenario, RegionController,
     };
     pub use pocolo_manager::{
         BeGuard, BeIntent, BeJob, BeQueue, CapAction, ControlDecision, ControlInput, ControlMode,
